@@ -1,0 +1,16 @@
+"""Regenerate Figure 1 (correlation CDFs) and time the run."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig1_correlation_cdf as experiment
+
+
+def bench_fig1_correlation_cdf(benchmark):
+    config = experiment.Config(dim=300, samples=2000)
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+    # Shape check: every dataset's CDF reaches 1 and is monotone.
+    for name in config.datasets:
+        col = table.column(name)
+        assert col[-1] == 1.0
+        assert all(a <= b + 1e-12 for a, b in zip(col, col[1:]))

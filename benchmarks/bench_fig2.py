@@ -1,0 +1,17 @@
+"""Regenerate Figure 2 (|mean/std| CDFs) and time the run."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig2_mean_std_cdf as experiment
+
+
+def bench_fig2_mean_std_cdf(benchmark):
+    config = experiment.Config(dim=300, samples=2000)
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+    # The dense (zero-mean) datasets must have nearly all features below 0.1,
+    # supporting the section-5 uncentered fast path.
+    x = table.column("x")
+    idx = x.index(0.1)
+    for name in ("gisette", "epsilon", "cifar10"):
+        assert table.column(name)[idx] > 0.9

@@ -1,0 +1,16 @@
+"""Regenerate Figure 3 (independence of covariance entries) and time it."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig3_independence as experiment
+
+
+def bench_fig3_independence(benchmark):
+    config = experiment.Config(dim=60, num_replicates=2000, t=150)
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+    # The paper's claim: the overwhelming majority of entry pairs are
+    # essentially uncorrelated (here: below 0.05 given the noise floor).
+    for row in table.rows:
+        fraction_below_005 = row[2]
+        assert fraction_below_005 > 0.8

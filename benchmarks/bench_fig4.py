@@ -1,0 +1,14 @@
+"""Regenerate Figure 4 (normality of covariance entries) and time it."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig4_normality as experiment
+
+
+def bench_fig4_normality(benchmark):
+    config = experiment.Config(dim=60, num_replicates=600, t=150)
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+    # Every inspected entry's QQ plot must hug the diagonal.
+    for qq in table.column("qq_corr"):
+        assert qq > 0.98

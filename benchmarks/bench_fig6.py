@@ -1,0 +1,39 @@
+"""Regenerate Figure 6 (max-F1 curves, robustness to u and alpha)."""
+
+import numpy as np
+
+from conftest import run_once, show
+
+from repro.experiments import fig6_f1_curves as experiment
+
+
+def bench_fig6_f1_curves(benchmark):
+    config = experiment.Config(
+        datasets=("gisette", "epsilon", "cifar10"),
+        dim=200,
+        samples=2000,
+        u_percentiles=(0.90, 0.99),
+        top_sizes=(30, 100, 300),
+    )
+    main, panel_f = run_once(benchmark, experiment.run, config)
+    show([main, panel_f])
+
+    # The paper's claim: averaged over the curve, ASCS's F1 is at least
+    # competitive with CS for every u choice (and typically better).
+    for name in config.datasets:
+        cs = np.mean(
+            [r[4] for r in main.rows if r[0] == name and r[1] == "CS"]
+        )
+        for q in config.u_percentiles:
+            label = f"ASCS u@{int(q * 100)}%"
+            ascs = np.mean(
+                [r[4] for r in main.rows if r[0] == name and r[1] == label]
+            )
+            assert ascs >= cs - 0.05, (name, label, ascs, cs)
+
+    # Panel f: alpha robustness — the spread across alphas stays small.
+    by_alpha = {}
+    for row in panel_f.rows:
+        by_alpha.setdefault(row[2], []).append(row[4])
+    for s, f1s in by_alpha.items():
+        assert max(f1s) - min(f1s) < 0.2

@@ -1,0 +1,19 @@
+"""Regenerate the section-8.3 sketch-size sweep (the paper's cut figure)."""
+
+from conftest import run_once, show
+
+from repro.experiments import sweep_sketch_size as experiment
+
+
+def bench_sweep_sketch_size(benchmark):
+    config = experiment.Config(dim=300, samples=3000)
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+
+    gains = table.column("ASCS-CS")
+    cs = table.column("CS")
+    # Paper's three claims: ASCS never clearly worse; both weak at the
+    # smallest R; the gap closes at the largest R relative to mid sizes.
+    assert all(g >= -0.05 for g in gains)
+    assert cs[0] < cs[-1]
+    assert gains[-1] <= max(gains) + 1e-9

@@ -1,0 +1,35 @@
+"""Regenerate Table 2 (trillion-scale streams: URL-like and DNA k-mers).
+
+This is the paper's headline table.  The shape being reproduced:
+
+* at the smallest sketch both methods are degraded (paper's DNA R=1e7 row);
+* at the middle sketch ASCS clearly beats CS (the 10x-memory headline);
+* at the largest sketch CS catches up (paper's R=1e7/1e9 rows).
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import table2_large_scale as experiment
+
+
+def bench_table2_large_scale(benchmark):
+    config = experiment.Config(
+        url_samples=8_000,
+        url_buckets=(20_000, 100_000, 400_000),
+        dna_genome=20_000,
+        dna_coverage=8.0,
+        dna_buckets=(8_000, 40_000, 160_000),
+    )
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+
+    for dataset in ("url", "dna"):
+        rows = [r for r in table.rows if r[0] == dataset]
+        cs = [r[5] for r in rows]
+        ascs = [r[6] for r in rows]
+        # Middle row: ASCS ahead of CS (the headline win).
+        assert ascs[1] >= cs[1]
+        # Largest sketch: CS recovers to within a small gap of ASCS.
+        assert cs[2] >= ascs[2] - 0.15
+        # More memory never hurts CS.
+        assert cs[2] >= cs[0] - 0.05

@@ -1,0 +1,28 @@
+"""Regenerate Table 4 (mean correlation of top fractions, 3 methods)."""
+
+import numpy as np
+
+from conftest import run_once, show
+
+from repro.experiments import table4_top_fraction as experiment
+
+
+def bench_table4_top_fraction(benchmark):
+    config = experiment.Config(dim=300, samples=3000)
+    table = run_once(benchmark, experiment.run, config)
+    show(table)
+
+    # Headline row (fraction = 0.01 alpha p): ASCS at least competitive with
+    # CS on average across datasets.
+    head = [r for r in table.rows if r[0] == 0.01]
+    by_method = {r[1]: np.array(r[2:], dtype=float) for r in head}
+    assert by_method["ASCS"].mean() >= by_method["CS"].mean() - 0.02
+
+    # Mean correlation decays as the fraction grows (harder, deeper sets).
+    for method in ("CS", "ASCS"):
+        series = [
+            np.nanmean(np.array(r[2:], dtype=float))
+            for r in table.rows
+            if r[1] == method
+        ]
+        assert series[0] >= series[-1]

@@ -1,0 +1,59 @@
+"""Click-through scenario: co-occurring URL attributes at tight memory.
+
+Mirrors the paper's URL experiment (Table 2): a sparse binary attribute
+stream where a handful of attribute groups co-occur (hosts, tokens, paths)
+over a large noisy background.  The demo sweeps the sketch size to show the
+paper's memory story: vanilla CS needs several times the memory that ASCS
+needs to report clean top pairs.
+
+Run:  python examples/clickstream_correlations.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.covariance import pair_correlations
+from repro.data import URLLikeStream
+from repro.evaluation import run_sparse_method
+from repro.hashing import index_to_pair, num_pairs
+
+
+def main() -> None:
+    stream = URLLikeStream(
+        dim=20_000,
+        num_samples=10_000,
+        num_groups=60,
+        group_size=6,
+        group_prob=0.5,
+        member_prob=0.95,
+        background_nnz=40,
+        seed=5,
+    )
+    d, n = stream.dim, stream.num_samples
+    print(f"stream: {n} samples, {d:,} binary attributes, "
+          f"~{stream.average_nnz:.0f} set per sample")
+    print(f"correlation matrix: {num_pairs(d):,} entries; "
+          f"{stream.planted_pair_keys().size} planted strong pairs\n")
+
+    stored = stream.materialize()  # evaluation only — the sketch is one-pass
+
+    print(f"{'memory':>8}  {'method':>6}  {'top-500 mean corr':>18}  {'kept':>6}")
+    for num_buckets in (20_000, 100_000, 400_000):
+        for method in ("cs", "ascs"):
+            keys, _, run = run_sparse_method(
+                lambda: iter(stream), d, n, method, num_buckets,
+                alpha=1e-5, u=0.5, top_k=500, track_top=4000, seed=2,
+            )
+            i, j = index_to_pair(keys, d)
+            corr = pair_correlations(stored, i, j)
+            memory_mb = 5 * num_buckets * 8 / 1e6
+            print(f"{memory_mb:6.1f}MB  {method.upper():>6}  "
+                  f"{corr.mean():18.3f}  {run.acceptance_rate:6.1%}")
+    print("\nReading the sweep: at the mid budget ASCS already reports clean "
+          "pairs while CS is noise-dominated — the paper's 'CS needs ~10x "
+          "the memory' headline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Genomics scenario: co-occurring k-mers in sequencing reads.
+
+The paper's flagship dataset is a DNA 12-mer stream whose correlation
+matrix has 144 trillion entries.  This example runs the same pipeline at
+laptop scale: a random genome is sequenced into reads, each read becomes a
+sparse k-mer count sample, and ASCS recovers the strongly co-occurring
+k-mer pairs (overlapping k-mers from the same genome locus) one pass over
+the reads — the feature space is 4^k, far too large to tabulate.
+
+Run:  python examples/genomics_dna_kmers.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.covariance import CovarianceSketcher, pair_correlations
+from repro.data import DNAKmerStream
+from repro.evaluation import sparse_pilot
+from repro.core import build_estimator
+from repro.hashing import index_to_pair, num_pairs
+from repro.theory import ProblemModel, plan_hyperparameters
+
+BASES = "ACGT"
+
+
+def decode_kmer(code: int, k: int) -> str:
+    """Turn a base-4 k-mer code back into its ACGT string."""
+    out = []
+    for _ in range(k):
+        out.append(BASES[code % 4])
+        code //= 4
+    return "".join(reversed(out))
+
+
+def main() -> None:
+    stream = DNAKmerStream(
+        genome_length=20_000, read_length=150, coverage=8.0, k=8, seed=42
+    )
+    d, reads = stream.dim, stream.num_reads
+    p = num_pairs(d)
+    print(f"genome {stream.genome_length}bp -> {reads} reads of "
+          f"{stream.read_length}bp, k={stream.k}")
+    print(f"feature space: {d:,} possible k-mers; "
+          f"correlation matrix: {p:,} entries")
+
+    # One pilot pass estimates the noise scale (section 7.2 relaxation),
+    # then Algorithm 3 plans the exploration length and threshold slope.
+    sigma = sparse_pilot(iter(stream), d, num_pilot=300)
+    num_buckets = 120_000
+    model = ProblemModel(
+        p=p, alpha=1e-5, u=0.5, sigma=sigma, T=reads,
+        num_tables=5, num_buckets=num_buckets,
+    )
+    plan = plan_hyperparameters(model, delta=0.05, delta_star=0.2)
+    print(f"\nsigma estimate: {sigma:.3f}; plan: T0={plan.exploration_length} "
+          f"reads, theta={plan.theta:.3f}")
+    print(f"sketch: 5 x {num_buckets} buckets = "
+          f"{5 * num_buckets * 8 / 1e6:.1f}MB "
+          f"({5 * num_buckets / p:.2e} of the matrix)")
+
+    estimator = build_estimator(
+        "ascs", reads, 5, num_buckets, plan=plan, seed=1, track_top=4000
+    )
+    sketcher = CovarianceSketcher(d, estimator, mode="correlation", batch_size=16)
+    sketcher.fit_sparse(iter(stream))
+
+    keys, estimates = estimator.top_k(15)
+    i, j = index_to_pair(keys, d)
+
+    # Evaluate against the exact empirical correlations of the reads.
+    stored = stream.materialize()
+    true_corr = pair_correlations(stored, i, j)
+
+    print(f"\n{'k-mer pair':>22}  {'estimate':>8}  {'true corr':>9}")
+    for a, b, est, tc in zip(i, j, estimates, true_corr):
+        print(f"{decode_kmer(int(a), 8)}-{decode_kmer(int(b), 8)}  "
+              f"{est:8.3f}  {tc:9.3f}")
+    print(f"\nmean true correlation of reported pairs: {true_corr.mean():.3f}")
+    print(f"update acceptance during sampling: {estimator.acceptance_rate:.1%}")
+    print("\n(Every k-mer pair within a read genuinely co-occurs, so millions "
+          "of pairs carry real correlation here; the top-of-ranking estimates "
+          "are inflated by selection over that pool — the reported *pairs* "
+          "are what matters, and their true correlations are printed above.)")
+
+
+if __name__ == "__main__":
+    main()

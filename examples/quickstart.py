@@ -1,0 +1,54 @@
+"""Quickstart: recover planted correlations from a stream in one call.
+
+Generates a 300-feature dataset whose correlation matrix is sparse (the
+paper's simulation setting), streams it once through ASCS with a 20,000
+float memory budget (~45% of the 44,850 covariance entries), and checks the
+reported top pairs against the planted ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import sketch_correlations
+from repro.data import BlockCorrelationModel
+
+
+def main() -> None:
+    # A sparse covariance model: ~1% of pairs carry correlations in
+    # (0.5, 1), everything else is independent noise.
+    model = BlockCorrelationModel.from_alpha(300, alpha=0.01, seed=7)
+    data = model.sample(5000)
+    print(f"dataset: {data.shape[0]} samples x {data.shape[1]} features, "
+          f"{model.num_signal_pairs} planted signal pairs")
+
+    result = sketch_correlations(
+        data,
+        memory_floats=20_000,
+        method="ascs",
+        alpha=model.alpha,
+        top_k=25,
+        seed=1,
+    )
+
+    plan = result.plan
+    print(f"\nAlgorithm 3 plan: T0={plan.exploration_length}, "
+          f"tau0={plan.tau0:g}, theta={plan.theta:.3f} "
+          f"(pilot u={result.pilot.u:.3f}, sigma={result.pilot.sigma:.3f})")
+    print(f"sampling kept {result.estimator.acceptance_rate:.1%} of updates\n")
+
+    truth = model.true_correlation()
+    print(f"{'pair':>12}  {'estimate':>9}  {'true corr':>9}")
+    for i, j, est in zip(result.pairs_i, result.pairs_j, result.estimates):
+        print(f"({i:4d},{j:4d})  {est:9.3f}  {truth[i, j]:9.3f}")
+
+    found = truth[result.pairs_i, result.pairs_j]
+    print(f"\nmean true correlation of reported top-25: {found.mean():.3f}")
+    hit_rate = np.mean(found >= 0.5)
+    print(f"fraction of reported pairs that are planted signals: {hit_rate:.0%}")
+
+
+if __name__ == "__main__":
+    main()

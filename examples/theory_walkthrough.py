@@ -1,0 +1,104 @@
+"""Walk through the paper's theory: bounds, Algorithm 3, SNR dynamics.
+
+For a concrete problem instance this prints
+
+1. the saturation probability and what it forces on ``delta`` (section 6.4),
+2. the Theorem-1 exploration-length trade-off,
+3. the Theorem-2 threshold-slope trade-off,
+4. the Theorem-3 SNR-amplification trajectory vs a measured run.
+
+Run:  python examples/theory_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.covariance import CovarianceSketcher, flat_true_correlations
+from repro.core import build_estimator
+from repro.data import BlockCorrelationModel
+from repro.hashing import num_pairs
+from repro.theory import (
+    ProblemModel,
+    SNRRecorder,
+    plan_hyperparameters,
+    saturation_probability,
+    snr_count_sketch,
+    theorem1_miss_probability,
+    theorem2_escape_probability,
+    theorem3_snr_ratio,
+)
+
+
+def main() -> None:
+    d, n = 150, 4000
+    data_model = BlockCorrelationModel.from_alpha(
+        d, alpha=0.01, rho_range=(0.6, 0.95), seed=3
+    )
+    p = num_pairs(d)
+    model = ProblemModel(
+        p=p, alpha=data_model.alpha, u=data_model.signal_strength,
+        sigma=1.0, T=n, num_tables=5, num_buckets=p // 15,
+    )
+
+    print(f"problem: p={p:,} pairs, alpha={model.alpha:.3%}, u={model.u:.2f}, "
+          f"sketch 5 x {model.num_buckets}")
+    sp = saturation_probability(model)
+    print(f"saturation probability 1 - p0^K = {sp:.4f} "
+          f"(delta must exceed it; section 8.1 picks max(1.01 SP, 0.05))\n")
+
+    print("Theorem 1 - miss probability at the end of exploration:")
+    for t0 in (25, 50, 100, 400, 1600):
+        bound = theorem1_miss_probability(model, t0, 1e-4)
+        print(f"  T0={t0:5d}: P[miss at T0] <= {bound:.4f}")
+
+    print("\nTheorem 2 - escape probability during sampling (T0=200):")
+    for theta_frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+        theta = theta_frac * model.u
+        bound = theorem2_escape_probability(model, 200, 1e-4, theta)
+        print(f"  theta={theta:.3f} ({theta_frac:.0%} of u): "
+              f"P[filtered later] <= {bound:.4f}")
+
+    plan = plan_hyperparameters(model, delta=max(1.01 * sp, 0.05))
+    print(f"\nAlgorithm 3 plan: T0={plan.exploration_length}, "
+          f"theta={plan.theta:.3f}, delta={plan.delta:.3f}, "
+          f"delta*={plan.delta_star:.3f}")
+
+    print(f"\nSNR of the raw stream (what CS ingests): "
+          f"{snr_count_sketch(model):.4f}")
+    print("Theorem 3 - guaranteed SNR amplification of ASCS over CS:")
+    for t in (plan.exploration_length, n // 4, n // 2, n):
+        t = max(t, plan.exploration_length)
+        ratio = theorem3_snr_ratio(
+            model, t, plan.exploration_length, plan.theta, plan.delta_star
+        )
+        print(f"  t={t:5d}: SNR_ASCS / SNR_CS >= {ratio:.3f}")
+
+    # Measure the realised SNR trajectory on an actual run.
+    data = data_model.sample(n)
+    truth = flat_true_correlations(data)
+    signals = np.argsort(-truth)[: data_model.num_signal_pairs]
+
+    measured = {}
+    for method in ("cs", "ascs"):
+        recorder = SNRRecorder(signals, window=n // 8)
+        kwargs = dict(seed=1, observer=recorder)
+        if method == "ascs":
+            kwargs["plan"] = plan
+        est = build_estimator(method, n, 5, model.num_buckets, **kwargs)
+        sk = CovarianceSketcher(d, est, mode="correlation", batch_size=50)
+        sk.fit_dense(data)
+        recorder.flush()
+        measured[method] = dict(zip(*recorder.curve()))
+
+    print("\nmeasured SNR of inserted updates (window averages):")
+    print(f"{'t':>6}  {'CS':>8}  {'ASCS':>8}  {'ratio':>7}")
+    for t in sorted(measured["ascs"]):
+        cs_snr = measured["cs"].get(t)
+        if cs_snr:
+            ratio = measured["ascs"][t] / cs_snr
+            print(f"{t:6d}  {cs_snr:8.4f}  {measured['ascs'][t]:8.4f}  {ratio:7.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — Active Sampling Count Sketch (ASCS), SIGMOD 2021 reproduction.
+
+Online one-pass sparse estimation of very large covariance/correlation
+matrices.  The package layers:
+
+* :mod:`repro.hashing` — pair-index algebra and universal hash families;
+* :mod:`repro.sketch` — count sketch, count-min, ASketch, Cold Filter;
+* :mod:`repro.covariance` — streaming moments, pair updates, the pipeline;
+* :mod:`repro.theory` — Theorems 1-3 and the Algorithm-3 planner;
+* :mod:`repro.core` — ASCS itself and the high-level API;
+* :mod:`repro.data` — synthetic datasets and stream generators;
+* :mod:`repro.evaluation` — paper metrics and the comparison harness;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import sketch_correlations
+    from repro.data import BlockCorrelationModel
+
+    model = BlockCorrelationModel.from_alpha(300, alpha=0.01, seed=7)
+    data = model.sample(4000)
+    result = sketch_correlations(data, memory_floats=20_000, method="ascs",
+                                 alpha=0.01, top_k=20)
+    for i, j, est in zip(result.pairs_i, result.pairs_j, result.estimates):
+        print(f"({i:3d},{j:3d})  corr-estimate={est:+.3f}")
+"""
+
+from repro.core import (
+    ActiveSamplingCountSketch,
+    SketchEstimator,
+    SketchResult,
+    ThresholdSchedule,
+    build_estimator,
+    run_pilot,
+    sketch_correlations,
+)
+from repro.covariance import CovarianceSketcher
+from repro.sketch import CountSketch
+from repro.theory import ProblemModel, plan_hyperparameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveSamplingCountSketch",
+    "CountSketch",
+    "CovarianceSketcher",
+    "ProblemModel",
+    "SketchEstimator",
+    "SketchResult",
+    "ThresholdSchedule",
+    "build_estimator",
+    "plan_hyperparameters",
+    "run_pilot",
+    "sketch_correlations",
+    "__version__",
+]

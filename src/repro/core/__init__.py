@@ -1,0 +1,26 @@
+"""Core layer: ASCS (Algorithm 2), estimator protocol, high-level API."""
+
+from repro.core.api import (
+    METHODS,
+    PilotEstimates,
+    SketchResult,
+    build_estimator,
+    run_pilot,
+    sketch_correlations,
+)
+from repro.core.ascs import ActiveSamplingCountSketch
+from repro.core.estimator import SketchEstimator, StreamingEstimator
+from repro.core.schedule import ThresholdSchedule
+
+__all__ = [
+    "METHODS",
+    "ActiveSamplingCountSketch",
+    "PilotEstimates",
+    "SketchEstimator",
+    "SketchResult",
+    "StreamingEstimator",
+    "ThresholdSchedule",
+    "build_estimator",
+    "run_pilot",
+    "sketch_correlations",
+]

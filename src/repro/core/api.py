@@ -1,0 +1,292 @@
+"""High-level one-call API: data in, top correlation pairs out.
+
+This is the entry point a downstream user adopts.  It packages the paper's
+full recipe (section 8.1):
+
+1. a pilot pass over the first few percent of the data estimates the
+   signal strength ``u`` (the ``(1-alpha)`` percentile of pilot count-sketch
+   estimates) and the noise scale ``sigma`` (root mean square pair product);
+2. Algorithm 3 turns (``u``, ``sigma``, ``alpha``, sketch shape) into the
+   exploration length ``T0`` and threshold slope ``theta``;
+3. one streaming pass feeds every sample through the chosen estimator
+   (``ascs``, ``cs``, ``asketch`` or ``coldfilter``);
+4. retrieval returns the top pairs with their estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ascs import ActiveSamplingCountSketch
+from repro.core.estimator import SketchEstimator
+from repro.core.schedule import ThresholdSchedule
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.hashing.pairs import num_pairs
+from repro.sketch.augmented import AugmentedSketch
+from repro.sketch.cold_filter import ColdFilterSketch
+from repro.sketch.count_sketch import CountSketch
+from repro.theory.bounds import ProblemModel
+from repro.theory.planner import ASCSPlan, plan_hyperparameters
+
+__all__ = ["SketchResult", "PilotEstimates", "run_pilot", "build_estimator", "sketch_correlations"]
+
+METHODS = ("ascs", "cs", "asketch", "coldfilter")
+
+
+@dataclass
+class PilotEstimates:
+    """Signal/noise scale estimated from a pilot prefix of the stream."""
+
+    u: float
+    sigma: float
+    num_pilot_samples: int
+    percentiles: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass
+class SketchResult:
+    """Outcome of :func:`sketch_correlations`."""
+
+    pairs_i: np.ndarray
+    pairs_j: np.ndarray
+    estimates: np.ndarray
+    method: str
+    plan: ASCSPlan | None
+    pilot: PilotEstimates | None
+    sketcher: CovarianceSketcher
+
+    @property
+    def estimator(self):
+        return self.sketcher.estimator
+
+
+def _as_dense(data) -> np.ndarray:
+    if hasattr(data, "toarray") and not isinstance(data, np.ndarray):
+        return np.asarray(data.toarray(), dtype=np.float64)
+    return np.asarray(data, dtype=np.float64)
+
+
+def run_pilot(
+    data,
+    alpha: float,
+    *,
+    num_tables: int = 5,
+    num_buckets: int = 4096,
+    pilot_fraction: float = 0.05,
+    mode: str = "correlation",
+    seed: int = 0,
+    extra_percentiles: tuple[float, ...] = (),
+) -> PilotEstimates:
+    """Estimate ``u`` and ``sigma`` from the first ``pilot_fraction`` of data.
+
+    Follows section 8.1: insert the pilot prefix into a vanilla count
+    sketch, query the pair estimates and take the ``(1 - alpha)``
+    percentile as the signal strength ``u``; ``sigma`` is the section-7.2
+    average-variance relaxation (RMS of pilot pair products).
+    """
+    dense = _as_dense(data)
+    n, d = dense.shape
+    n_pilot = max(min(n, 30), int(round(pilot_fraction * n)))
+    pilot = dense[:n_pilot]
+
+    sketch = CountSketch(num_tables, num_buckets, seed=seed + 101)
+    estimator = SketchEstimator(sketch, total_samples=n_pilot, name="pilot")
+    sketcher = CovarianceSketcher(
+        d, estimator, mode=mode, centering="none", batch_size=max(8, n_pilot // 8)
+    )
+    sketcher.fit_dense(pilot)
+
+    p = num_pairs(d)
+    if p <= 4_000_000:
+        keys = np.arange(p, dtype=np.int64)
+    else:
+        rng = np.random.default_rng(seed + 13)
+        keys = rng.integers(0, p, size=200_000)
+    estimates = estimator.estimate(keys)
+    u = float(np.quantile(estimates, 1.0 - alpha))
+
+    # sigma via the section-7.2 relaxation on the same (normalised) stream.
+    if mode == "correlation":
+        std = sketcher.moments.std(floor=sketcher.std_floor)
+        work = pilot / std
+    else:
+        work = pilot
+    gram_sq = 0.0
+    for row in work:
+        prod = np.outer(row, row)
+        gram_sq += float((prod**2).sum() - (np.diag(prod) ** 2).sum()) / 2.0
+    sigma = float(np.sqrt(gram_sq / (p * n_pilot)))
+
+    percentiles = {
+        q: float(np.quantile(estimates, q)) for q in extra_percentiles
+    }
+    return PilotEstimates(
+        u=max(u, 1e-12),
+        sigma=max(sigma, 1e-12),
+        num_pilot_samples=n_pilot,
+        percentiles=percentiles,
+    )
+
+
+def build_estimator(
+    method: str,
+    total_samples: int,
+    num_tables: int,
+    num_buckets: int,
+    *,
+    plan: ASCSPlan | None = None,
+    seed: int = 0,
+    track_top: int = 0,
+    two_sided: bool = False,
+    observer=None,
+    filter_capacity: int | None = None,
+    cold_threshold: float | None = None,
+) -> SketchEstimator:
+    """Construct any of the four comparable estimators at a common budget."""
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    common = dict(
+        track_top=track_top, two_sided=two_sided, observer=observer
+    )
+    if method == "ascs":
+        if plan is None:
+            raise ValueError("method='ascs' requires a plan (run Algorithm 3 first)")
+        sketch = CountSketch(num_tables, num_buckets, seed=seed)
+        schedule = ThresholdSchedule.from_plan(plan, total_samples)
+        return ActiveSamplingCountSketch(
+            sketch, total_samples, schedule, name="ASCS", **common
+        )
+    if method == "cs":
+        sketch = CountSketch(num_tables, num_buckets, seed=seed)
+        return SketchEstimator(sketch, total_samples, name="CS", **common)
+    if method == "asketch":
+        capacity = filter_capacity or max(32, num_buckets // 64)
+        # Charge the filter against the budget so comparisons stay fair.
+        buckets = max(1, num_buckets - (2 * capacity) // num_tables)
+        sketch = AugmentedSketch(
+            num_tables,
+            buckets,
+            filter_capacity=capacity,
+            seed=seed,
+            two_sided=two_sided,
+        )
+        return SketchEstimator(sketch, total_samples, name="ASketch", **common)
+    # coldfilter
+    threshold = cold_threshold if cold_threshold is not None else 1.0 / total_samples
+    gate_tables = 3
+    gate_buckets = num_buckets
+    # The gate's quarter-width counters are charged at R/4 floats.
+    main_buckets = max(1, num_buckets - gate_buckets // (4 * num_tables))
+    sketch = ColdFilterSketch(
+        num_tables,
+        main_buckets,
+        filter_buckets=gate_buckets,
+        filter_tables=gate_tables,
+        threshold=threshold,
+        seed=seed,
+    )
+    return SketchEstimator(sketch, total_samples, name="ColdFilter", **common)
+
+
+def sketch_correlations(
+    data,
+    memory_floats: int,
+    *,
+    method: str = "ascs",
+    alpha: float = 0.01,
+    top_k: int = 100,
+    num_tables: int = 5,
+    mode: str = "correlation",
+    batch_size: int = 32,
+    pilot_fraction: float = 0.05,
+    tau0: float = 1e-4,
+    delta: float | None = None,
+    delta_star: float | None = None,
+    u: float | None = None,
+    sigma: float | None = None,
+    two_sided: bool = False,
+    seed: int = 0,
+) -> SketchResult:
+    """One-pass sparse correlation estimation with a memory budget.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dense array or scipy sparse matrix.  Rows are treated as
+        one ordered stream (shuffle upstream if your data is not i.i.d.,
+        section 3).
+    memory_floats:
+        Total sketch budget ``M``; the paper's recipe ``R = M / K`` sizes
+        the tables.
+    method:
+        ``"ascs"`` (default), ``"cs"``, ``"asketch"`` or ``"coldfilter"``.
+    alpha:
+        Assumed fraction of signal pairs (Table 3 lists the paper's picks).
+    u, sigma:
+        Optional overrides for the pilot estimates.
+    top_k:
+        Number of top pairs to return.
+
+    Returns
+    -------
+    :class:`SketchResult` with the top pairs sorted by decreasing estimate.
+    """
+    dense = _as_dense(data)
+    n, d = dense.shape
+    num_buckets = max(16, int(memory_floats) // int(num_tables))
+
+    pilot = None
+    plan = None
+    if method == "ascs":
+        if u is None or sigma is None:
+            pilot = run_pilot(
+                dense,
+                alpha,
+                num_tables=num_tables,
+                num_buckets=num_buckets,
+                pilot_fraction=pilot_fraction,
+                mode=mode,
+                seed=seed,
+            )
+            u = u if u is not None else pilot.u
+            sigma = sigma if sigma is not None else pilot.sigma
+        model = ProblemModel(
+            p=num_pairs(d),
+            alpha=alpha,
+            u=u,
+            sigma=sigma,
+            T=n,
+            num_tables=num_tables,
+            num_buckets=num_buckets,
+        )
+        plan = plan_hyperparameters(
+            model, tau0=tau0, delta=delta, delta_star=delta_star
+        )
+
+    estimator = build_estimator(
+        method,
+        n,
+        num_tables,
+        num_buckets,
+        plan=plan,
+        seed=seed,
+        two_sided=two_sided,
+        track_top=max(4 * top_k, 64),
+    )
+    sketcher = CovarianceSketcher(
+        d, estimator, mode=mode, centering="none", batch_size=batch_size
+    )
+    sketcher.fit_dense(dense)
+
+    i, j, estimates = sketcher.top_pairs(top_k)
+    return SketchResult(
+        pairs_i=i,
+        pairs_j=j,
+        estimates=estimates,
+        method=method,
+        plan=plan,
+        pilot=pilot,
+        sketcher=sketcher,
+    )

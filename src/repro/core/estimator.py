@@ -1,0 +1,141 @@
+"""Streaming mean estimators over flat keys — the layer Algorithm 1/2 run at.
+
+An estimator consumes batches of (key, summed-value) updates produced by the
+covariance pipeline, maintains the ``1/T`` scaling of Algorithms 1-2, tracks
+top candidates for trillion-scale retrieval, and exposes a uniform query
+interface.  :class:`SketchEstimator` is the ingest-everything behaviour
+(vanilla CS, ASketch, Cold Filter — anything satisfying
+:class:`repro.sketch.ValueSketch`); ASCS subclasses it and overrides the
+acceptance rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sketch.base import ValueSketch, validate_batch
+from repro.sketch.topk import TopKTracker
+
+__all__ = ["StreamingEstimator", "SketchEstimator"]
+
+#: Observer signature: (samples_seen_after_batch, keys, values, accepted_mask).
+Observer = Callable[[int, np.ndarray, np.ndarray, np.ndarray], None]
+
+
+@runtime_checkable
+class StreamingEstimator(Protocol):
+    """Anything that can ingest keyed updates and estimate means."""
+
+    def ingest(self, keys, values, num_samples: int = 1) -> None: ...
+
+    def estimate(self, keys) -> np.ndarray: ...
+
+    def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]: ...
+
+
+class SketchEstimator:
+    """Ingest-everything streaming mean estimator backed by a value sketch.
+
+    Parameters
+    ----------
+    sketch:
+        Backing :class:`repro.sketch.ValueSketch` (count sketch for the
+        vanilla baseline; ASketch / Cold Filter plug in unchanged).
+    total_samples:
+        ``T`` — stream length; updates are scaled by ``1/T`` as in
+        Algorithm 1 so queries estimate the stream mean directly.
+    track_top:
+        Candidate-pool capacity for trillion-scale top-k retrieval
+        (0 disables tracking; retrieval then requires a full scan).
+    two_sided:
+        Rank/accept by absolute value instead of signed value.
+    observer:
+        Optional hook called after every batch with
+        ``(samples_seen, keys, values, accepted_mask)`` — used by the SNR
+        instrumentation of Figure 5.
+    name:
+        Label used by experiment tables.
+    """
+
+    def __init__(
+        self,
+        sketch: ValueSketch,
+        total_samples: int,
+        *,
+        track_top: int = 0,
+        two_sided: bool = False,
+        observer: Observer | None = None,
+        name: str = "CS",
+    ):
+        if total_samples < 1:
+            raise ValueError(f"total_samples must be >= 1, got {total_samples}")
+        self.sketch = sketch
+        self.total_samples = int(total_samples)
+        self.two_sided = bool(two_sided)
+        self.observer = observer
+        self.name = name
+        self.samples_seen = 0
+        self.updates_examined = 0
+        self.updates_accepted = 0
+        self.tracker = (
+            TopKTracker(track_top, two_sided=two_sided) if track_top else None
+        )
+
+    # ------------------------------------------------------------------
+    def _accept(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray | None:
+        """Acceptance mask for a batch; ``None`` means accept everything.
+
+        Subclasses (ASCS) override this with the active-sampling rule.
+        """
+        return None
+
+    def ingest(self, keys, values, num_samples: int = 1) -> None:
+        """Consume a batch of per-key *summed* updates covering
+        ``num_samples`` stream samples."""
+        keys, values = validate_batch(keys, values)
+        mask = self._accept(keys, values)
+        if mask is None:
+            accepted_keys, accepted_values = keys, values
+            mask_out = np.ones(keys.size, dtype=bool)
+        else:
+            accepted_keys, accepted_values = keys[mask], values[mask]
+            mask_out = mask
+        self.sketch.insert(accepted_keys, accepted_values / self.total_samples)
+        self.samples_seen += int(num_samples)
+        self.updates_examined += keys.size
+        self.updates_accepted += int(mask_out.sum())
+        if self.tracker is not None and accepted_keys.size:
+            self.tracker.offer(accepted_keys, self.sketch.query(accepted_keys))
+        if self.observer is not None:
+            self.observer(self.samples_seen, keys, values, mask_out)
+
+    def estimate(self, keys) -> np.ndarray:
+        """Current mean estimates for the given keys."""
+        return self.sketch.query(keys)
+
+    def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` candidates by final estimate (requires ``track_top``)."""
+        if self.tracker is None:
+            raise RuntimeError(
+                "top_k requires track_top > 0; use a full scan for small key spaces"
+            )
+        return self.tracker.top_k(k, sketch=self.sketch)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of examined updates that reached the sketch."""
+        if self.updates_examined == 0:
+            return 1.0
+        return self.updates_accepted / self.updates_examined
+
+    @property
+    def memory_floats(self) -> int:
+        return self.sketch.memory_floats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, T={self.total_samples}, "
+            f"seen={self.samples_seen})"
+        )

@@ -1,0 +1,80 @@
+"""Sampling-threshold schedule for ASCS (sections 6.4-6.5).
+
+The paper restricts the threshold to a linear ramp,
+``tau(t) = tau(T0) + theta/T * (t - T0)`` — two parameters, and close to the
+law-of-iterated-logarithm optimal growth.  :class:`ThresholdSchedule`
+packages the ramp together with the exploration length so the estimator can
+ask one object a single question: "what threshold applies at stream position
+``t``?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.theory.planner import ASCSPlan
+
+__all__ = ["ThresholdSchedule"]
+
+
+@dataclass(frozen=True)
+class ThresholdSchedule:
+    """Linear sampling-threshold schedule.
+
+    Attributes
+    ----------
+    exploration_length:
+        ``T0`` — stream positions ``t < T0`` are in the exploration period
+        (insert everything).
+    tau0:
+        Threshold at the start of sampling, ``tau(T0)``.
+    theta:
+        Slope parameter; the threshold reaches ``tau0 + theta (T - T0)/T``
+        at the end of the stream.
+    total_samples:
+        ``T`` — the stream-length normaliser of the ramp.
+    """
+
+    exploration_length: int
+    tau0: float
+    theta: float
+    total_samples: int
+
+    def __post_init__(self):
+        if self.exploration_length < 0:
+            raise ValueError("exploration_length must be non-negative")
+        if self.total_samples < 1:
+            raise ValueError("total_samples must be >= 1")
+        if self.theta < 0:
+            raise ValueError("theta must be non-negative")
+
+    @classmethod
+    def from_plan(cls, plan: ASCSPlan, total_samples: int) -> "ThresholdSchedule":
+        """Build the schedule an :class:`repro.theory.ASCSPlan` prescribes."""
+        return cls(
+            exploration_length=plan.exploration_length,
+            tau0=plan.tau0,
+            theta=plan.theta,
+            total_samples=int(total_samples),
+        )
+
+    def in_exploration(self, t: int) -> bool:
+        """Whether stream position ``t`` (0-based samples seen) is still in
+        the exploration period."""
+        return t < self.exploration_length
+
+    def threshold(self, t: int) -> float:
+        """``tau(t)`` — defined for ``t >= T0``; clamps below ``T0``."""
+        t_eff = max(int(t), self.exploration_length)
+        return self.tau0 + self.theta * (t_eff - self.exploration_length) / self.total_samples
+
+    def thresholds(self, t: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`threshold`."""
+        t = np.maximum(np.asarray(t, dtype=np.float64), self.exploration_length)
+        return self.tau0 + self.theta * (t - self.exploration_length) / self.total_samples
+
+    @property
+    def final_threshold(self) -> float:
+        return self.threshold(self.total_samples)

@@ -1,0 +1,37 @@
+"""Streaming covariance engine: moments, pair updates, pipeline, truth."""
+
+from repro.covariance.ground_truth import (
+    correlation_matrix,
+    flat_true_correlations,
+    pair_correlations,
+    signal_key_set,
+    signal_threshold,
+    top_true_pairs,
+)
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.covariance.running import ExactCovariance, RunningMoments, SparseMoments
+from repro.covariance.updates import (
+    adjustment_matrix,
+    aggregate_pair_updates,
+    dense_batch_products,
+    sparse_sample_pairs,
+    triu_pair_values,
+)
+
+__all__ = [
+    "CovarianceSketcher",
+    "ExactCovariance",
+    "RunningMoments",
+    "SparseMoments",
+    "adjustment_matrix",
+    "aggregate_pair_updates",
+    "correlation_matrix",
+    "dense_batch_products",
+    "flat_true_correlations",
+    "pair_correlations",
+    "signal_key_set",
+    "signal_threshold",
+    "sparse_sample_pairs",
+    "top_true_pairs",
+    "triu_pair_values",
+]

@@ -1,0 +1,139 @@
+"""Pair-product update computation (section 4 of the paper).
+
+The stream of covariance increments is ``X_i^(t) = (Y_a - E Y_a)(Y_b - E Y_b)``
+for the pair ``i = (a, b)``.  Three practical variants are provided:
+
+* **uncentered** — ``Y_a Y_b`` directly; the paper's recommended fast path
+  (section 5) valid when feature means are negligible vs their stds.
+* **running-mean centered** — subtract the current running mean, skipping
+  the correction for the drift of earlier samples ("In the real experiments
+  ... we may just skip the adjustment term", section 4).
+* **exact centered** — running mean plus the closed-form ``adjustment`` term
+  of section 4, which keeps the sketch content exactly equal to the batch
+  centered co-moment at every time step.
+
+All three are expressed as batched matrix products so the dense path costs
+one ``d x d`` GEMM per batch regardless of batch size.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.hashing.pairs import pair_to_index
+
+__all__ = [
+    "triu_pair_values",
+    "dense_batch_products",
+    "adjustment_matrix",
+    "sparse_sample_pairs",
+    "aggregate_pair_updates",
+]
+
+
+@lru_cache(maxsize=8)
+def _triu_indices(d: int) -> tuple[np.ndarray, np.ndarray]:
+    return np.triu_indices(d, k=1)
+
+
+def triu_pair_values(matrix: np.ndarray) -> np.ndarray:
+    """Extract the strict upper triangle row-major — aligned with flat pair
+    keys ``0..p-1`` of :func:`repro.hashing.pair_to_index`."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    rows, cols = _triu_indices(matrix.shape[0])
+    return matrix[rows, cols]
+
+
+def dense_batch_products(batch: np.ndarray, center: np.ndarray | None = None) -> np.ndarray:
+    """Sum of pair products over a dense batch, as a flat ``p``-vector.
+
+    Computes ``sum_t (y_t - c)(y_t - c)^T`` restricted to the strict upper
+    triangle, where ``c`` is ``center`` (or zero).  This equals the total
+    update mass a batch of samples contributes to every covariance entry.
+    """
+    batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+    if center is not None:
+        batch = batch - np.asarray(center, dtype=np.float64)
+    gram = batch.T @ batch
+    return triu_pair_values(gram)
+
+
+def adjustment_matrix(
+    mean_old: np.ndarray,
+    mean_new: np.ndarray,
+    t_prev: int,
+) -> np.ndarray:
+    """The section-4 ``adjustment`` term as a flat ``p``-vector.
+
+    When the running mean moves from ``mean_old`` (over ``t_prev`` samples)
+    to ``mean_new`` (over ``t_prev + 1``), the ``t_prev`` previously
+    inserted centered products must be corrected by::
+
+        sum_k (y_k - m_new)(y_k - m_new)^T - sum_k (y_k - m_old)(y_k - m_old)^T
+            = t_prev * d d^T,    d = m_old - m_new
+
+    (the cross terms vanish because ``sum_k (y_k - m_old) = 0``).  Adding
+    this to the newly inserted ``(y_new - m_new)`` product keeps the
+    accumulated sum exactly equal to the batch centered co-moment at every
+    step — verified against :class:`repro.covariance.ExactCovariance` in
+    the tests.
+
+    Note: the paper's printed expression,
+    ``(t+1) d_a d_b + e_a d_b + d_a e_b`` with ``e = y_new - m_old``, is the
+    variant that pairs with centering the *new* sample by the **old** mean;
+    both variants agree with this one after simplification (``d`` is
+    proportional to ``e``), and this closed form is the one that is exact
+    for the new-mean centering the pipeline uses.
+    """
+    d = np.asarray(mean_old, dtype=np.float64) - np.asarray(mean_new, dtype=np.float64)
+    return triu_pair_values(t_prev * np.outer(d, d))
+
+
+def sparse_sample_pairs(
+    indices: np.ndarray,
+    values: np.ndarray,
+    dim: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair keys and products ``v_a * v_b`` for one sparse sample.
+
+    A sample with ``m`` non-zeros touches exactly ``m*(m-1)/2`` covariance
+    entries; everything else receives a zero update and is skipped — the
+    sparsity shortcut of section 5.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if indices.shape != values.shape:
+        raise ValueError("indices and values must align")
+    order = np.argsort(indices, kind="stable")
+    indices = indices[order]
+    values = values[order]
+    m = indices.size
+    if m < 2:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    rows, cols = _triu_indices(m)
+    keys = pair_to_index(indices[rows], indices[cols], dim)
+    return keys, values[rows] * values[cols]
+
+
+def aggregate_pair_updates(
+    keys_list: list[np.ndarray],
+    values_list: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine per-sample pair updates into unique (key, summed value) arrays.
+
+    Batching the stream this way is exact for any linear sketch: inserting
+    the per-key sums is identical to inserting each sample separately.
+    """
+    if not keys_list:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    keys = np.concatenate(keys_list)
+    values = np.concatenate(values_list)
+    if keys.size == 0:
+        return keys.astype(np.int64), values.astype(np.float64)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=values, minlength=uniq.size)
+    return uniq.astype(np.int64), sums.astype(np.float64)

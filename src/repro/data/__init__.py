@@ -1,0 +1,37 @@
+"""Data substrates: synthetic models, dataset stand-ins, stream generators."""
+
+from repro.data.dna import DNAKmerStream
+from repro.data.libsvm_like import (
+    Dataset,
+    make_cifar10_like,
+    make_epsilon_like,
+    make_gisette_like,
+    make_rcv1_like,
+    make_sector_like,
+)
+from repro.data.registry import DATASET_SPECS, DatasetSpec, dataset_names, make_dataset
+from repro.data.streams import ShuffleBuffer, SparseSample, batched, dense_rows, take
+from repro.data.synthetic import BlockCorrelationModel, plan_group_layout
+from repro.data.url_like import URLLikeStream
+
+__all__ = [
+    "BlockCorrelationModel",
+    "DATASET_SPECS",
+    "DNAKmerStream",
+    "Dataset",
+    "DatasetSpec",
+    "ShuffleBuffer",
+    "SparseSample",
+    "URLLikeStream",
+    "batched",
+    "dataset_names",
+    "dense_rows",
+    "make_cifar10_like",
+    "make_dataset",
+    "make_epsilon_like",
+    "make_gisette_like",
+    "make_rcv1_like",
+    "make_sector_like",
+    "plan_group_layout",
+    "take",
+]

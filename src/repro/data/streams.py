@@ -1,0 +1,88 @@
+"""Stream utilities: sample containers, buffered shuffling, batching.
+
+The paper's i.i.d. assumption (section 3) is satisfied in practice by
+"buffering the incoming data and shuffling it before passing to the
+algorithm" — :class:`ShuffleBuffer` implements exactly that, mirroring the
+dataloader shuffling of pytorch/tensorflow the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+import numpy as np
+
+__all__ = ["SparseSample", "ShuffleBuffer", "take", "batched", "dense_rows"]
+
+
+class SparseSample(NamedTuple):
+    """One sparse observation: parallel arrays of feature indices/values."""
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def densify(self, dim: int) -> np.ndarray:
+        out = np.zeros(dim, dtype=np.float64)
+        out[np.asarray(self.indices, dtype=np.int64)] = self.values
+        return out
+
+
+class ShuffleBuffer:
+    """Buffered stream shuffler (the section-3 i.i.d.-inducing procedure).
+
+    Holds up to ``buffer_size`` items; each incoming item evicts (and
+    yields) a uniformly random buffered one.  A full pass produces a
+    near-uniform shuffle for buffer sizes a small multiple of any local
+    correlation length in the source stream.
+    """
+
+    def __init__(self, source: Iterable, buffer_size: int, *, seed: int = 0):
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.source = source
+        self.buffer_size = int(buffer_size)
+        self.rng = np.random.default_rng(seed)
+
+    def __iter__(self) -> Iterator:
+        buffer: list = []
+        for item in self.source:
+            if len(buffer) < self.buffer_size:
+                buffer.append(item)
+                continue
+            slot = int(self.rng.integers(0, self.buffer_size))
+            yield buffer[slot]
+            buffer[slot] = item
+        self.rng.shuffle(buffer)
+        yield from buffer
+
+
+def take(stream: Iterable, n: int) -> Iterator:
+    """Yield at most ``n`` items from ``stream``."""
+    for count, item in enumerate(stream):
+        if count >= n:
+            return
+        yield item
+
+
+def batched(stream: Iterable, batch_size: int) -> Iterator[list]:
+    """Group a stream into lists of ``batch_size`` (last may be short)."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batch: list = []
+    for item in stream:
+        batch.append(item)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def dense_rows(matrix: np.ndarray) -> Iterator[np.ndarray]:
+    """View a dense ``(n, d)`` array as a stream of rows."""
+    for row in np.asarray(matrix, dtype=np.float64):
+        yield row

@@ -1,0 +1,29 @@
+"""Evaluation layer: paper metrics and the shared experiment engine."""
+
+from repro.evaluation.harness import (
+    MethodRun,
+    rank_all_pairs,
+    run_method,
+    run_sparse_method,
+    sparse_pilot,
+)
+from repro.evaluation.metrics import (
+    max_f1_score,
+    mean_top_true_value,
+    precision_at_k,
+    precision_recall_curve,
+    recall_at_k,
+)
+
+__all__ = [
+    "MethodRun",
+    "max_f1_score",
+    "mean_top_true_value",
+    "precision_at_k",
+    "precision_recall_curve",
+    "rank_all_pairs",
+    "recall_at_k",
+    "run_method",
+    "run_sparse_method",
+    "sparse_pilot",
+]

@@ -1,0 +1,9 @@
+"""Experiment harness: one module per paper table/figure.
+
+See :mod:`repro.experiments.runner` for the registry and CLI; DESIGN.md for
+the experiment index mapping paper artifacts to modules.
+"""
+
+from repro.experiments.base import TableResult, render_results
+
+__all__ = ["TableResult", "render_results"]

@@ -1,0 +1,5 @@
+"""Allow ``python -m repro.experiments <name>``."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

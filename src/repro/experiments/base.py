@@ -1,0 +1,93 @@
+"""Experiment infrastructure: result tables, rendering, registry plumbing.
+
+Every paper table/figure is reproduced by a module exposing
+
+* a ``Config`` dataclass with scaled-down-but-faithful defaults,
+* ``run(config) -> TableResult`` (or a list of them),
+* a ``PAPER_REFERENCE`` string quoting what the paper reports, so the
+  rendered output can be compared side by side (EXPERIMENTS.md records the
+  comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TableResult", "format_cell", "render_results"]
+
+
+def format_cell(value) -> str:
+    """Human-friendly cell formatting for mixed numeric/string tables."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class TableResult:
+    """One rendered experiment artifact (a table or a figure's data series).
+
+    Attributes
+    ----------
+    title:
+        Human-readable caption, e.g. ``"Table 2 - mean of top-1000 ..."``.
+    columns:
+        Column headers.
+    rows:
+        Row tuples aligned with ``columns``.
+    notes:
+        Free-form caveats (scale substitutions, fallbacks used, ...).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace-aligned text rendering."""
+        header = [str(c) for c in self.columns]
+        body = [[format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in body)) if body else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_results(results: "TableResult | Sequence[TableResult]") -> str:
+    """Render one or several results separated by blank lines."""
+    if isinstance(results, TableResult):
+        results = [results]
+    return "\n\n".join(r.render() for r in results)

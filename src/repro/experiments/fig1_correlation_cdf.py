@@ -1,0 +1,57 @@
+"""Figure 1 — empirical CDF of |correlation| across datasets.
+
+The paper's motivation figure: "most of the correlations are close to zero,
+and only a few of them are significantly larger than zero."  We compute the
+exact correlation matrix of each (synthetic stand-in) dataset and report
+the proportion of ``|corr| <= x`` on a grid of thresholds — the (x, y)
+series of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.covariance.ground_truth import flat_true_correlations
+from repro.data.registry import make_dataset
+from repro.experiments.base import TableResult
+
+__all__ = ["Config", "run", "PAPER_REFERENCE"]
+
+PAPER_REFERENCE = (
+    "Figure 1: for all four datasets the CDF of |correlation| rises almost "
+    "to 1 within x <= 0.1; only a tiny tail extends to large correlations."
+)
+
+
+@dataclass
+class Config:
+    datasets: tuple[str, ...] = ("gisette", "epsilon", "cifar10", "rcv1")
+    dim: int = 400
+    samples: int = 2500
+    thresholds: tuple[float, ...] = field(
+        default=(0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+    )
+    seed: int = 0
+
+
+def run(config: Config = Config()) -> TableResult:
+    table = TableResult(
+        title="Figure 1 - proportion of |correlation| <= x",
+        columns=("x",) + tuple(config.datasets),
+    )
+    flats = {}
+    for name in config.datasets:
+        dataset = make_dataset(name, d=config.dim, n=config.samples, seed=config.seed)
+        flats[name] = np.abs(flat_true_correlations(dataset.dense()))
+    for x in config.thresholds:
+        row = [x]
+        for name in config.datasets:
+            row.append(float(np.mean(flats[name] <= x)))
+        table.add_row(*row)
+    table.notes.append(
+        f"synthetic stand-ins at d={config.dim}, n={config.samples} "
+        "(see DESIGN.md substitutions)"
+    )
+    return table

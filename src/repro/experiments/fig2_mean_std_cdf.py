@@ -1,0 +1,54 @@
+"""Figure 2 — empirical CDF of |mean/std| per feature.
+
+Justifies the section-5 fast path: "the mean of most of the features have
+extremely low (less than 1% of its standard deviation)", so the uncentered
+product ``Y_a Y_b`` approximates the covariance update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.registry import make_dataset
+from repro.experiments.base import TableResult
+
+__all__ = ["Config", "run", "PAPER_REFERENCE"]
+
+PAPER_REFERENCE = (
+    "Figure 2: for the sparse text datasets the bulk of features have "
+    "|mean/std| below ~0.1; dense datasets sit higher but still far below 1."
+)
+
+
+@dataclass
+class Config:
+    datasets: tuple[str, ...] = ("gisette", "epsilon", "cifar10", "rcv1")
+    dim: int = 400
+    samples: int = 2500
+    thresholds: tuple[float, ...] = field(
+        default=(0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+    )
+    seed: int = 0
+
+
+def run(config: Config = Config()) -> TableResult:
+    table = TableResult(
+        title="Figure 2 - proportion of features with |mean/std| <= x",
+        columns=("x",) + tuple(config.datasets),
+    )
+    ratios = {}
+    for name in config.datasets:
+        dataset = make_dataset(name, d=config.dim, n=config.samples, seed=config.seed)
+        dense = dataset.dense()
+        mean = dense.mean(axis=0)
+        std = dense.std(axis=0)
+        safe = np.maximum(std, 1e-12)
+        ratios[name] = np.abs(mean) / safe
+    for x in config.thresholds:
+        row = [x]
+        for name in config.datasets:
+            row.append(float(np.mean(ratios[name] <= x)))
+        table.add_row(*row)
+    return table

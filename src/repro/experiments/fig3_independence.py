@@ -1,0 +1,91 @@
+"""Figure 3 — pairwise correlation between covariance entries.
+
+Validates the independence assumption of section 6.1: across replicates,
+the empirical covariance entries ``(X-bar_i, X-bar_j)`` should be nearly
+uncorrelated.  The paper reports that on the simulation dataset "over 97%
+of the covariance pairs have correlations less than 0.02".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.registry import make_dataset
+from repro.experiments.base import TableResult
+from repro.experiments.replicates import replicate_covariances, simulation_model
+
+__all__ = ["Config", "run", "PAPER_REFERENCE"]
+
+PAPER_REFERENCE = (
+    "Figure 3: histogram of |corr(X-bar_i, X-bar_j)| concentrated near 0; "
+    "simulation: >97% of pairs below 0.02."
+)
+
+
+@dataclass
+class Config:
+    dim: int = 60
+    num_replicates: int = 4000
+    t: int = 150
+    num_entries: int = 120  # covariance entries whose cross-correlations we test
+    thresholds: tuple[float, ...] = (0.02, 0.05, 0.1, 0.2)
+    gisette_samples: int = 1500
+    seed: int = 0
+
+
+def _cross_correlation_stats(entries: np.ndarray, thresholds) -> list[float]:
+    """Fraction of entry pairs with |corr| below each threshold."""
+    corr = np.corrcoef(entries.T)
+    rows, cols = np.triu_indices(corr.shape[0], k=1)
+    vals = np.abs(corr[rows, cols])
+    vals = vals[np.isfinite(vals)]
+    return [float(np.mean(vals <= thr)) for thr in thresholds]
+
+
+def run(config: Config = Config()) -> TableResult:
+    rng = np.random.default_rng(config.seed)
+    table = TableResult(
+        title="Figure 3 - fraction of covariance-entry pairs with |corr| <= x",
+        columns=("source",) + tuple(f"x={thr}" for thr in config.thresholds)
+        + ("median |corr|",),
+    )
+
+    # Simulation dataset (fresh samples per replicate).
+    model = simulation_model(config.dim, seed=config.seed)
+    p = config.dim * (config.dim - 1) // 2
+    keys = rng.choice(p, size=min(config.num_entries, p), replace=False)
+    sim = replicate_covariances(
+        model, config.num_replicates, config.t, seed=config.seed + 1, pair_keys=keys
+    )
+    corr = np.corrcoef(sim.T)
+    med = float(np.median(np.abs(corr[np.triu_indices(corr.shape[0], k=1)])))
+    table.add_row("simulation", *_cross_correlation_stats(sim, config.thresholds), med)
+
+    # gisette-like (bootstrap replicates).
+    dataset = make_dataset(
+        "gisette", d=config.dim, n=config.gisette_samples, seed=config.seed + 2
+    )
+    gis = replicate_covariances(
+        dataset.dense(),
+        config.num_replicates,
+        config.t,
+        seed=config.seed + 3,
+        pair_keys=keys,
+    )
+    corr = np.corrcoef(gis.T)
+    med = float(np.median(np.abs(corr[np.triu_indices(corr.shape[0], k=1)])))
+    table.add_row("gisette", *_cross_correlation_stats(gis, config.thresholds), med)
+
+    noise_floor = 1.0 / np.sqrt(config.num_replicates)
+    table.notes.append(
+        f"{config.num_replicates} replicates of t={config.t} samples, "
+        f"{len(keys)} covariance entries inspected"
+    )
+    table.notes.append(
+        f"correlation-estimation noise floor ~{noise_floor:.3f}: even exactly "
+        "independent entries show |corr| of this order (the paper's 15k "
+        "replicates have floor 0.008)"
+    )
+    return table

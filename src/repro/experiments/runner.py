@@ -1,0 +1,91 @@
+"""Experiment registry and CLI.
+
+``python -m repro.experiments <name>`` (or the ``repro-experiments``
+console script) runs one reproduction with its default config and prints
+the table(s) plus the paper's reference values for side-by-side reading.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig1_correlation_cdf,
+    fig2_mean_std_cdf,
+    fig3_independence,
+    fig4_normality,
+    fig5_rosnr,
+    fig6_f1_curves,
+    sweep_sketch_size,
+    table1_theorem_validation,
+    table2_large_scale,
+    table4_top_fraction,
+    table5_k_sensitivity,
+    table6_timing,
+)
+from repro.experiments.base import render_results
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS = {
+    "fig1": fig1_correlation_cdf,
+    "fig2": fig2_mean_std_cdf,
+    "fig3": fig3_independence,
+    "fig4": fig4_normality,
+    "fig5": fig5_rosnr,
+    "fig6": fig6_f1_curves,
+    "table1": table1_theorem_validation,
+    "table2": table2_large_scale,
+    "table4": table4_top_fraction,
+    "table5": table5_k_sensitivity,
+    "table6": table6_timing,
+    "sweep": sweep_sketch_size,
+}
+
+
+def run_experiment(name: str, config=None):
+    """Run one experiment by registry name; returns its TableResult(s)."""
+    module = EXPERIMENTS.get(name)
+    if module is None:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return module.run(config if config is not None else module.Config())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the ASCS paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiment names (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    names = args.names or list(EXPERIMENTS)
+    for name in names:
+        module = EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        results = module.run(module.Config())
+        elapsed = time.perf_counter() - start
+        print(render_results(results))
+        print(f"\npaper reference: {module.PAPER_REFERENCE}")
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""Table 1 — validation of the Theorem-1/2 miss-probability bounds.
+
+Protocol (section 7.3): simulation datasets (and gisette bootstraps) with
+``R = p/20``, ``K = 5``.  For each target ``delta``, Algorithm 3 picks
+``T0``; we then measure across replicates the realised fraction of signal
+covariances whose estimate falls below ``tau(T0)`` at the first sampling
+decision — it must stay below ``delta``.  For each target ``delta* - delta``
+the planner picks ``theta`` and we measure the realised fraction of signals
+that passed at ``T0`` but were filtered at some later decision — it must
+stay below ``delta* - delta``.
+
+Saturation note: at the paper's own parameters (``R = p/20``, ``alpha ~
+0.5%``, ``K = 5``) the Theorem-1 bound saturates at ``SP = 1 - p0^K ~ 0.39``
+— the worst-case assumption that *any* signal-signal collision loses the
+signal.  Targets of 0.05-0.10 are therefore only satisfiable for the
+non-saturated component ``Phi(.) * p0^K``; we budget the target against
+that component (``bound <= SP + delta``), which is the only reading under
+which the paper's Table-1 targets are feasible.  The realised miss rates
+come out far below the targets exactly as the paper reports, because a
+signal-signal collision does not actually lose the signal in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ascs import ActiveSamplingCountSketch
+from repro.core.schedule import ThresholdSchedule
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.data.registry import make_dataset
+from repro.experiments.base import TableResult
+from repro.experiments.replicates import simulation_model
+from repro.hashing.pairs import num_pairs
+from repro.sketch.count_sketch import CountSketch
+from repro.theory.bounds import ProblemModel, saturation_probability
+from repro.theory.planner import find_exploration_length, find_threshold_slope
+from repro.theory.snr import estimate_sigma
+from repro.covariance.ground_truth import flat_true_correlations, signal_key_set
+
+__all__ = ["Config", "run", "PAPER_REFERENCE", "SignalMissTracker"]
+
+PAPER_REFERENCE = (
+    "Table 1: realised miss probabilities are strictly below their targets; "
+    "e.g. simulation delta=0.05 -> realised 0.0056, delta*-delta=0.05 -> "
+    "realised 0.0421."
+)
+
+
+class SignalMissTracker:
+    """Observer recording, per signal key, the first-decision and
+    during-sampling filtering events of an ASCS run.
+
+    Works with the dense pipeline, where every batch carries all ``p`` keys
+    in sorted order, so signal keys index the mask directly.
+    """
+
+    def __init__(self, signal_keys: np.ndarray, exploration_length: int):
+        self.signal_keys = np.asarray(signal_keys, dtype=np.int64)
+        self.exploration_length = int(exploration_length)
+        self._last_t = 0
+        self.first_decision_pass: np.ndarray | None = None
+        self.filtered_later = np.zeros(self.signal_keys.size, dtype=bool)
+
+    def __call__(self, t, keys, values, mask) -> None:
+        t_pre = self._last_t
+        self._last_t = int(t)
+        if t_pre < self.exploration_length:
+            return  # exploration batch (or the batch straddling T0)
+        positions = np.searchsorted(keys, self.signal_keys)
+        ok = (positions < keys.size) & (keys[np.minimum(positions, keys.size - 1)] == self.signal_keys)
+        signal_mask = np.zeros(self.signal_keys.size, dtype=bool)
+        signal_mask[ok] = mask[positions[ok]]
+        if self.first_decision_pass is None:
+            self.first_decision_pass = signal_mask.copy()
+        else:
+            self.filtered_later |= self.first_decision_pass & ~signal_mask
+
+    @property
+    def miss_at_t0_rate(self) -> float:
+        if self.first_decision_pass is None:
+            return float("nan")
+        return float(1.0 - self.first_decision_pass.mean())
+
+    @property
+    def miss_during_sampling_rate(self) -> float:
+        if self.first_decision_pass is None:
+            return float("nan")
+        passed = self.first_decision_pass.sum()
+        if passed == 0:
+            return 0.0
+        return float(self.filtered_later[self.first_decision_pass].sum() / passed)
+
+
+@dataclass
+class Config:
+    dim: int = 80
+    samples: int = 1000
+    num_tables: int = 5
+    bucket_fraction: float = 1.0 / 20.0
+    num_replicates: int = 12
+    delta_targets: tuple[float, ...] = (0.05, 0.06, 0.07, 0.08, 0.09, 0.10)
+    escape_targets: tuple[float, ...] = (0.05, 0.07, 0.09, 0.11, 0.13, 0.15)
+    base_delta: float = 0.05
+    tau0: float = 1e-4
+    sources: tuple[str, ...] = ("simulation", "gisette")
+    seed: int = 0
+
+
+def _one_replicate(
+    data: np.ndarray,
+    signal_keys: np.ndarray,
+    model: ProblemModel,
+    t0: int,
+    theta: float,
+    tau0: float,
+    seed: int,
+) -> SignalMissTracker:
+    """Run ASCS once with fixed hyperparameters, instrumented."""
+    tracker = SignalMissTracker(signal_keys, t0)
+    schedule = ThresholdSchedule(
+        exploration_length=t0, tau0=tau0, theta=theta, total_samples=model.T
+    )
+    sketch = CountSketch(model.num_tables, model.num_buckets, seed=seed)
+    estimator = ActiveSamplingCountSketch(
+        sketch, model.T, schedule, observer=tracker
+    )
+    sketcher = CovarianceSketcher(
+        data.shape[1], estimator, mode="correlation", batch_size=25
+    )
+    sketcher.fit_dense(data)
+    return tracker
+
+
+def _source_data(name: str, config: Config, replicate: int):
+    """(data, signal_keys, u, sigma) for one replicate of a source."""
+    if name == "simulation":
+        model = simulation_model(config.dim, seed=config.seed)
+        rng = np.random.default_rng(config.seed + 1000 + replicate)
+        data = model.sample(config.samples, rng)
+        return data, model.signal_pairs(), model.signal_strength
+    dataset = make_dataset("gisette", d=config.dim, n=4 * config.samples, seed=config.seed)
+    rng = np.random.default_rng(config.seed + 2000 + replicate)
+    rows = rng.integers(0, dataset.n, size=config.samples)
+    data = dataset.dense()[rows]
+    truth = flat_true_correlations(dataset.dense())
+    order = np.argsort(-truth)
+    k = max(1, int(round(dataset.alpha * truth.size)))
+    signal_keys = np.sort(order[:k])
+    u = float(truth[order[k - 1]])
+    return data, signal_keys, max(u, 0.05)
+
+
+def run(config: Config = Config()) -> TableResult:
+    table = TableResult(
+        title="Table 1 - target probability bounds vs realised miss rates",
+        columns=("source", "bound", "target", "realised", "bounded"),
+    )
+    p = num_pairs(config.dim)
+    num_buckets = max(16, int(config.bucket_fraction * p))
+
+    for source in config.sources:
+        data0, signal_keys, u = _source_data(source, config, 0)
+        work = data0 / np.maximum(data0.std(axis=0), 1e-6)
+        prods = [
+            np.outer(row, row)[np.triu_indices(config.dim, k=1)]
+            for row in work[:64]
+        ]
+        sigma = estimate_sigma(np.asarray(prods))
+        model = ProblemModel(
+            p=p,
+            alpha=max(signal_keys.size / p, 1e-9),
+            u=u,
+            sigma=sigma,
+            T=config.samples,
+            num_tables=config.num_tables,
+            num_buckets=num_buckets,
+        )
+
+        sp = saturation_probability(model)
+
+        # --- Theorem 1: miss at T0 vs target delta -------------------
+        # Budget the target against the non-saturated bound component
+        # (see the module docstring's saturation note).
+        for delta in config.delta_targets:
+            t0 = find_exploration_length(model, config.tau0, min(sp + delta, 0.999))
+            if t0 is None:
+                table.add_row(source, "thm1 (delta)", delta, float("nan"), False)
+                continue
+            misses = []
+            for rep in range(config.num_replicates):
+                data, keys, _ = _source_data(source, config, rep)
+                tracker = _one_replicate(
+                    data, keys, model, t0, 0.0, config.tau0, config.seed + rep
+                )
+                misses.append(tracker.miss_at_t0_rate)
+            realised = float(np.nanmean(misses))
+            table.add_row(source, "thm1 (delta)", delta, realised, realised <= delta)
+
+        # --- Theorem 2: escape during sampling vs delta* - delta -----
+        t0 = find_exploration_length(
+            model, config.tau0, min(sp + config.base_delta, 0.999)
+        )
+        if t0 is None:
+            continue
+        for budget in config.escape_targets:
+            theta = find_threshold_slope(model, t0, config.tau0, budget)
+            if theta is None:
+                table.add_row(source, "thm2 (d*-d)", budget, float("nan"), False)
+                continue
+            misses = []
+            for rep in range(config.num_replicates):
+                data, keys, _ = _source_data(source, config, rep)
+                tracker = _one_replicate(
+                    data, keys, model, t0, theta, config.tau0, config.seed + rep
+                )
+                misses.append(tracker.miss_during_sampling_rate)
+            realised = float(np.nanmean(misses))
+            table.add_row(source, "thm2 (d*-d)", budget, realised, realised <= budget)
+
+    table.notes.append(
+        f"{config.num_replicates} replicates, d={config.dim}, T={config.samples}, "
+        f"R=p/20, K={config.num_tables}"
+    )
+    return table

@@ -1,0 +1,168 @@
+"""Table 2 — mean of the top-1000 correlations on trillion-scale streams.
+
+The paper streams the URL dataset (10^12 pair entries) and the DNA 12-mer
+dataset (1.4x10^14 entries) through CS and ASCS at three sketch sizes each,
+reporting the mean (empirical) correlation of the top-1000 reported pairs.
+The headline: at small memory ASCS finds near-perfect pairs where CS finds
+noise; at 10x the memory CS catches up.
+
+Here the streams are the scaled generators of :mod:`repro.data` (see the
+DESIGN.md substitution table): the pair space still far exceeds the sketch
+(10^8-10^9 entries vs 10^4-10^5 buckets), retrieval uses the candidate
+tracker (no full scan is possible), and evaluation computes the exact
+empirical correlation of the reported pairs from the stored stream —
+precisely the paper's metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.covariance.ground_truth import pair_correlations
+from repro.data.dna import DNAKmerStream
+from repro.data.url_like import URLLikeStream
+from repro.evaluation.harness import run_sparse_method, sparse_pilot
+from repro.experiments.base import TableResult
+from repro.hashing.pairs import index_to_pair, num_pairs
+
+__all__ = ["Config", "run", "PAPER_REFERENCE"]
+
+PAPER_REFERENCE = (
+    "Table 2: URL (p=1e12): K=5, R=1e6 -> CS 0.439 / ASCS 0.979; R=5e6 -> "
+    "0.980/0.987; R=1e7 -> 0.992/0.989.  DNA (p=1.4e14): R=1e7 -> "
+    "0.023/0.087; R=1e8 -> 0.347/0.998; R=1e9 -> 0.999/0.999."
+)
+
+
+@dataclass
+class Config:
+    # URL-like stream (scaled): p ~ 2e8 pair entries.
+    url_dim: int = 20_000
+    url_samples: int = 12_000
+    url_buckets: tuple[int, ...] = (20_000, 100_000, 400_000)
+    # DNA stream (scaled): p ~ 2e9 pair entries.  Coverage 8 puts the
+    # bucket-noise scale (~sqrt(G*L/(c^3 R)) in correlation units) in the
+    # paper's regime: CS broken at the small R, clean at the large one.
+    dna_genome: int = 30_000
+    dna_read_length: int = 150
+    dna_coverage: float = 8.0
+    dna_k: int = 8
+    dna_buckets: tuple[int, ...] = (10_000, 60_000, 240_000)
+    num_tables: int = 5
+    top_k: int = 1000
+    u: float = 0.5
+    alpha: float = 1e-5
+    batch_size: int = 32
+    track_top: int = 5_000
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def _evaluate_stream(
+    table: TableResult,
+    name: str,
+    stream_factory,
+    dim: int,
+    total_samples: int,
+    buckets: tuple[int, ...],
+    config: Config,
+) -> None:
+    p = num_pairs(dim)
+    stored = stream_factory().materialize() if hasattr(stream_factory(), "materialize") else None
+    sigma = sparse_pilot(iter(stream_factory()), dim, num_pilot=400)
+    for num_buckets in buckets:
+        scores = {}
+        accepts = {}
+        for method in ("cs", "ascs"):
+            keys, _, run_info = run_sparse_method(
+                lambda: iter(stream_factory()),
+                dim,
+                total_samples,
+                method,
+                num_buckets,
+                num_tables=config.num_tables,
+                alpha=config.alpha,
+                u=config.u,
+                sigma=sigma,
+                batch_size=config.batch_size,
+                track_top=config.track_top,
+                top_k=config.top_k,
+                seed=config.seed,
+            )
+            i, j = index_to_pair(keys, dim)
+            truth = pair_correlations(stored, i, j)
+            scores[method] = float(truth.mean()) if truth.size else float("nan")
+            accepts[method] = run_info.acceptance_rate
+        memory_mb = config.num_tables * num_buckets * 8 / 1e6
+        table.add_row(
+            name,
+            f"{p:.2g}",
+            config.num_tables,
+            num_buckets,
+            f"{memory_mb:.1f}MB",
+            scores["cs"],
+            scores["ascs"],
+            accepts["ascs"],
+        )
+
+
+def run(config: Config = Config()) -> TableResult:
+    table = TableResult(
+        title="Table 2 - mean correlation of top-1000 reported pairs (large scale)",
+        columns=(
+            "dataset",
+            "pair entries",
+            "K",
+            "R",
+            "memory",
+            "CS",
+            "ASCS",
+            "ASCS accept",
+        ),
+    )
+
+    url_factory = lambda: URLLikeStream(  # noqa: E731
+        dim=config.url_dim,
+        num_samples=config.url_samples,
+        num_groups=60,
+        group_size=6,
+        group_prob=0.5,
+        member_prob=0.95,
+        background_nnz=40,
+        seed=config.seed + 5,
+    )
+    _evaluate_stream(
+        table,
+        "url",
+        url_factory,
+        config.url_dim,
+        config.url_samples,
+        config.url_buckets,
+        config,
+    )
+
+    dna_factory = lambda: DNAKmerStream(  # noqa: E731
+        genome_length=config.dna_genome,
+        read_length=config.dna_read_length,
+        coverage=config.dna_coverage,
+        k=config.dna_k,
+        seed=42,
+    )
+    dna = dna_factory()
+    _evaluate_stream(
+        table,
+        "dna",
+        dna_factory,
+        dna.dim,
+        dna.num_reads,
+        config.dna_buckets,
+        config,
+    )
+
+    table.notes.append(
+        "streams scaled per DESIGN.md; metric = exact empirical correlation "
+        "of reported pairs, as in the paper"
+    )
+    return table

@@ -1,0 +1,90 @@
+"""Table 4 — mean correlation of top fractions of ``alpha * p`` entries.
+
+For each dataset and each fraction ``f`` in {0.01, 0.05, 0.1, 0.25, 0.5, 1},
+rank all pairs by sketch estimate and average the *true* correlation of the
+top ``f * alpha * p`` — comparing CS, Augmented Sketch and ASCS at the same
+memory budget (the paper's R=20000, K=5 = 20% of p).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covariance.ground_truth import flat_true_correlations
+from repro.data.registry import make_dataset
+from repro.evaluation.harness import run_method
+from repro.evaluation.metrics import mean_top_true_value
+from repro.experiments.base import TableResult
+
+__all__ = ["Config", "run", "PAPER_REFERENCE"]
+
+PAPER_REFERENCE = (
+    "Table 4 (fraction 0.01*alpha*p row): cifar10 CS 0.43 / ASketch 0.40 / "
+    "ASCS 0.58; epsilon 0.43/0.38/0.62; gisette 0.92/0.98/0.97; rcv1 "
+    "0.85/0.85/0.97; sector 0.90/0.88/0.94.  ASCS best or tied on nearly "
+    "every cell, advantage shrinking as the fraction grows."
+)
+
+
+@dataclass
+class Config:
+    datasets: tuple[str, ...] = ("cifar10", "epsilon", "gisette", "rcv1", "sector")
+    methods: tuple[str, ...] = ("cs", "asketch", "ascs")
+    fractions: tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+    dim: int = 300
+    samples: int = 3000
+    memory_fraction: float = 0.2
+    num_tables: int = 5
+    batch_size: int = 50
+    seed: int = 0
+
+
+METHOD_LABELS = {"cs": "CS", "asketch": "ASketch", "ascs": "ASCS"}
+
+
+def run(config: Config = Config()) -> TableResult:
+    table = TableResult(
+        title="Table 4 - mean correlation of top fraction*alpha*p entries",
+        columns=("fraction", "method") + tuple(config.datasets),
+    )
+    p = config.dim * (config.dim - 1) // 2
+    memory = max(200, int(config.memory_fraction * p))
+
+    # dataset -> method -> ranked keys; dataset -> (truth, alpha)
+    rankings: dict[str, dict[str, np.ndarray]] = {}
+    truths: dict[str, tuple[np.ndarray, float]] = {}
+    for name in config.datasets:
+        dataset = make_dataset(name, d=config.dim, n=config.samples, seed=config.seed)
+        dense = dataset.dense()
+        truths[name] = (flat_true_correlations(dense), dataset.alpha)
+        rankings[name] = {}
+        for method in config.methods:
+            result = run_method(
+                dense,
+                method,
+                memory,
+                dataset.alpha,
+                num_tables=config.num_tables,
+                batch_size=config.batch_size,
+                seed=config.seed,
+            )
+            rankings[name][method] = result.ranked_keys
+
+    for fraction in config.fractions:
+        for method in config.methods:
+            row = [fraction, METHOD_LABELS[method]]
+            for name in config.datasets:
+                truth, alpha = truths[name]
+                k = max(1, int(round(fraction * alpha * truth.size)))
+                row.append(
+                    mean_top_true_value(rankings[name][method], truth, k)
+                )
+            table.add_row(*row)
+
+    table.notes.append(
+        f"d={config.dim}, n={config.samples}, memory = {memory} floats "
+        f"(~{config.memory_fraction:.0%} of p), K={config.num_tables}"
+    )
+    return table

@@ -1,0 +1,37 @@
+"""Hashing substrate: pair-index algebra and universal hash families."""
+
+from repro.hashing.families import (
+    FAMILY_NAMES,
+    MERSENNE_PRIME_61,
+    HashFamily,
+    MultiplyShiftHash,
+    PolynomialHash,
+    SignHash,
+    TabulationHash,
+    make_family,
+)
+from repro.hashing.pairs import (
+    MAX_DIMENSION,
+    all_pair_indices,
+    index_to_pair,
+    num_pairs,
+    pair_to_index,
+    pairs_among,
+)
+
+__all__ = [
+    "FAMILY_NAMES",
+    "MERSENNE_PRIME_61",
+    "HashFamily",
+    "MultiplyShiftHash",
+    "PolynomialHash",
+    "SignHash",
+    "TabulationHash",
+    "make_family",
+    "MAX_DIMENSION",
+    "all_pair_indices",
+    "index_to_pair",
+    "num_pairs",
+    "pair_to_index",
+    "pairs_among",
+]

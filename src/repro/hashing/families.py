@@ -1,0 +1,228 @@
+"""Vectorised universal hash families over 64-bit keys.
+
+Count Sketch needs, per hash table, a bucket hash ``h: [p] -> [R]`` and a
+sign hash ``s: [p] -> {+1, -1}`` (Charikar et al. 2002; paper section 4).
+At trillion scale the key space cannot be tabulated, so every family here
+computes hashes on the fly for whole ``uint64`` arrays:
+
+* :class:`MultiplyShiftHash` — the classic ``(a*x + b) mod 2^64`` high-bits
+  scheme.  Fastest; near-universal.  The library default.
+* :class:`PolynomialHash` — ``(sum_m a_m x^m) mod (2^61 - 1) mod R`` with
+  exact Mersenne-prime modular arithmetic implemented via 32-bit limb
+  splitting (numpy has no 128-bit integers).  Degree ``k`` gives genuine
+  k-wise independence, which the paper's analysis assumes.
+* :class:`TabulationHash` — 8x256 XOR table lookup; 3-independent and
+  empirically behaves like full randomness.
+
+All families are deterministic functions of their ``seed`` and are
+picklable, so sketches can be serialised and merged across processes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE_PRIME_61",
+    "HashFamily",
+    "MultiplyShiftHash",
+    "PolynomialHash",
+    "TabulationHash",
+    "SignHash",
+    "make_family",
+    "FAMILY_NAMES",
+]
+
+#: The Mersenne prime 2^61 - 1 used for exact modular polynomial hashing.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_U64 = np.uint64
+_MASK32 = _U64(0xFFFFFFFF)
+_MASK29 = _U64((1 << 29) - 1)
+_MASK61 = _U64(MERSENNE_PRIME_61)
+
+
+def _as_u64(keys) -> np.ndarray:
+    keys = np.asarray(keys)
+    if keys.dtype != np.uint64:
+        keys = keys.astype(np.uint64, copy=False)
+    return keys
+
+
+def _mod_mersenne61(x: np.ndarray) -> np.ndarray:
+    """Reduce ``uint64`` values modulo 2^61 - 1 (exact)."""
+    x = (x >> _U64(61)) + (x & _MASK61)
+    x = (x >> _U64(61)) + (x & _MASK61)
+    return np.where(x >= _MASK61, x - _MASK61, x)
+
+
+def _mulmod_mersenne61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact ``(a * b) mod (2^61 - 1)`` for operands already ``< 2^61``.
+
+    Splits both operands into 32-bit limbs so that every partial product
+    fits in a ``uint64``, then folds using ``2^61 === 1 (mod P)``.
+    """
+    a = _as_u64(a)
+    b = _as_u64(b)
+    ah, al = a >> _U64(32), a & _MASK32
+    bh, bl = b >> _U64(32), b & _MASK32
+
+    high = ah * bh                      # < 2^58
+    mid = ah * bl + al * bh             # < 2^62
+    low = al * bl                       # < 2^64 (wraps are impossible)
+
+    # a*b = high*2^64 + mid*2^32 + low;  2^64 === 8, 2^61 === 1 (mod P).
+    total = high * _U64(8)
+    total = total + (mid >> _U64(29))
+    total = total + ((mid & _MASK29) << _U64(32))
+    total = total + (low >> _U64(61))
+    total = total + (low & _MASK61)
+    return _mod_mersenne61(total)
+
+
+class HashFamily(abc.ABC):
+    """A seeded hash function from ``uint64`` keys to ``[0, num_buckets)``."""
+
+    def __init__(self, num_buckets: int, seed: int):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = int(num_buckets)
+        self.seed = int(seed)
+        self._init_params(np.random.default_rng(self.seed))
+
+    @abc.abstractmethod
+    def _init_params(self, rng: np.random.Generator) -> None:
+        """Draw the family's random parameters from ``rng``."""
+
+    @abc.abstractmethod
+    def _hash_u64(self, keys: np.ndarray) -> np.ndarray:
+        """Map a ``uint64`` array to ``uint64`` hashes (full range)."""
+
+    def __call__(self, keys) -> np.ndarray:
+        """Bucket indices in ``[0, num_buckets)`` as ``int64``."""
+        hashed = self._hash_u64(_as_u64(keys))
+        return (hashed % _U64(self.num_buckets)).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(num_buckets={self.num_buckets}, "
+            f"seed={self.seed})"
+        )
+
+
+class MultiplyShiftHash(HashFamily):
+    """Dietzfelbinger multiply-shift hashing: ``((a*x + b) mod 2^64) >> 32``.
+
+    ``a`` is a random odd 64-bit multiplier.  The top 32 bits of the wrapped
+    product are close to uniform, and the final ``% R`` bias is ``O(R/2^32)``
+    — negligible for every sketch size used here.
+    """
+
+    def _init_params(self, rng: np.random.Generator) -> None:
+        self._a = _U64(rng.integers(1, 1 << 63, dtype=np.uint64) * 2 + 1)
+        self._b = _U64(rng.integers(0, 1 << 63, dtype=np.uint64))
+
+    def _hash_u64(self, keys: np.ndarray) -> np.ndarray:
+        return (keys * self._a + self._b) >> _U64(32)
+
+
+class PolynomialHash(HashFamily):
+    """k-wise independent polynomial hashing modulo the Mersenne prime 2^61-1.
+
+    ``h(x) = (a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod P mod R``.
+    ``degree=2`` yields the pairwise independence that the count-sketch
+    variance analysis (and the paper's Theorems 1-3) rely on.
+    """
+
+    def __init__(self, num_buckets: int, seed: int, degree: int = 2):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = int(degree)
+        super().__init__(num_buckets, seed)
+
+    def _init_params(self, rng: np.random.Generator) -> None:
+        coeffs = rng.integers(
+            0, MERSENNE_PRIME_61, size=self.degree, dtype=np.uint64
+        )
+        # Leading coefficient must be non-zero for true degree.
+        if self.degree > 1 and coeffs[-1] == 0:
+            coeffs[-1] = _U64(1)
+        self._coeffs = coeffs.astype(np.uint64)
+
+    def _hash_u64(self, keys: np.ndarray) -> np.ndarray:
+        x = _mod_mersenne61(keys)
+        # Horner evaluation, highest coefficient first.
+        acc = np.broadcast_to(self._coeffs[-1], x.shape).copy()
+        for m in range(self.degree - 2, -1, -1):
+            acc = _mulmod_mersenne61(acc, x)
+            acc = _mod_mersenne61(acc + self._coeffs[m])
+        return acc
+
+
+class TabulationHash(HashFamily):
+    """Simple tabulation hashing: XOR of 8 per-byte lookup tables.
+
+    3-independent, and by Patrascu-Thorup it behaves essentially like a
+    fully random function for hashing-based sketches.  Costs 8 gathers per
+    key, so it is the slowest family but the strongest.
+    """
+
+    def _init_params(self, rng: np.random.Generator) -> None:
+        self._tables = rng.integers(
+            0, np.iinfo(np.uint64).max, size=(8, 256), dtype=np.uint64
+        )
+
+    def _hash_u64(self, keys: np.ndarray) -> np.ndarray:
+        acc = np.zeros(keys.shape, dtype=np.uint64)
+        for byte in range(8):
+            chunk = ((keys >> _U64(8 * byte)) & _U64(0xFF)).astype(np.int64)
+            acc ^= self._tables[byte][chunk]
+        return acc
+
+
+class SignHash:
+    """Random sign function ``s: keys -> {+1.0, -1.0}``.
+
+    Wraps any :class:`HashFamily` with two buckets; returns ``float64``
+    signs so they can multiply update values without casting.
+    """
+
+    def __init__(self, seed: int, family: str = "multiply-shift"):
+        self.seed = int(seed)
+        self.family = family
+        self._hash = make_family(family, 2, seed)
+
+    def __call__(self, keys) -> np.ndarray:
+        bits = self._hash(keys)
+        return 1.0 - 2.0 * bits.astype(np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SignHash(seed={self.seed}, family={self.family!r})"
+
+
+FAMILY_NAMES = ("multiply-shift", "polynomial", "tabulation")
+
+
+def make_family(name: str, num_buckets: int, seed: int, **kwargs) -> HashFamily:
+    """Instantiate a hash family by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"multiply-shift"``, ``"polynomial"``, ``"tabulation"``.
+    num_buckets:
+        Output range ``R``.
+    seed:
+        Deterministic seed for the family parameters.
+    kwargs:
+        Extra family-specific options (e.g. ``degree`` for polynomial).
+    """
+    if name == "multiply-shift":
+        return MultiplyShiftHash(num_buckets, seed, **kwargs)
+    if name == "polynomial":
+        return PolynomialHash(num_buckets, seed, **kwargs)
+    if name == "tabulation":
+        return TabulationHash(num_buckets, seed, **kwargs)
+    raise ValueError(f"unknown hash family {name!r}; choose from {FAMILY_NAMES}")

@@ -1,0 +1,167 @@
+"""Bijection between feature pairs and flat covariance-entry indices.
+
+The paper (section 3) encodes the off-diagonal covariance entries of a
+``d``-dimensional random vector as a flat vector ``X`` of length
+``p = d * (d - 1) / 2``.  Every sketching structure in this library is keyed
+by that flat index, so the mapping must be
+
+* canonical — the flat index of ``(i, j)`` with ``i < j`` is its rank in the
+  row-major upper triangle (diagonal excluded), and
+* cheap in both directions for *vectors* of indices, because the sparse
+  streaming path expands each sample into thousands of pair keys.
+
+For a pair ``(i, j)`` with ``0 <= i < j < d`` the flat index is::
+
+    index(i, j) = i*d - i*(i+1)/2 + (j - i - 1)
+
+All arithmetic is performed in ``int64``.  The mapping is exact for
+``d <= 1_000_000_000`` (pair space ~5e17), comfortably covering the paper's
+trillion-entry matrices (``d = 1.7e7`` gives ``p = 1.4e14``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAX_DIMENSION",
+    "num_pairs",
+    "pair_to_index",
+    "index_to_pair",
+    "pairs_among",
+    "all_pair_indices",
+]
+
+#: Largest dimension for which the int64 index arithmetic is overflow-free.
+MAX_DIMENSION = 1_000_000_000
+
+
+def _check_dimension(d: int) -> None:
+    if d < 2:
+        raise ValueError(f"need at least 2 features to form a pair, got d={d}")
+    if d > MAX_DIMENSION:
+        raise ValueError(
+            f"d={d} exceeds MAX_DIMENSION={MAX_DIMENSION}; int64 pair "
+            "indices would overflow"
+        )
+
+
+def num_pairs(d: int) -> int:
+    """Number of unordered feature pairs, ``p = d*(d-1)/2``."""
+    _check_dimension(d)
+    return d * (d - 1) // 2
+
+
+def _row_offset(i: np.ndarray, d: int) -> np.ndarray:
+    """Flat index of pair ``(i, i+1)`` — the start of row ``i``."""
+    i = i.astype(np.int64, copy=False)
+    return i * (2 * d - i - 1) // 2
+
+
+def pair_to_index(i, j, d: int) -> np.ndarray:
+    """Map pairs ``(i, j)`` with ``i < j`` to flat indices in ``[0, p)``.
+
+    Parameters
+    ----------
+    i, j:
+        Scalars or arrays of feature indices.  Every element must satisfy
+        ``0 <= i < j < d``.
+    d:
+        Total number of features.
+
+    Returns
+    -------
+    ``int64`` array (or 0-d array for scalar input) of flat pair indices.
+    """
+    _check_dimension(d)
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    if i.shape != j.shape:
+        raise ValueError(f"i and j must have the same shape, got {i.shape} vs {j.shape}")
+    if i.size and (
+        (i < 0).any() or (j >= d).any() or (i >= j).any()
+    ):
+        raise ValueError("pair indices must satisfy 0 <= i < j < d")
+    return _row_offset(i, d) + (j - i - 1)
+
+
+def index_to_pair(index, d: int) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pair_to_index`.
+
+    Uses a float64 initial guess for the row ``i`` followed by an exact
+    integer correction, so the result is exact even where the float sqrt
+    loses precision (large ``d``).
+
+    Returns
+    -------
+    ``(i, j)`` — two ``int64`` arrays with ``i < j``.
+    """
+    _check_dimension(d)
+    index = np.asarray(index, dtype=np.int64)
+    p = num_pairs(d)
+    if index.size and ((index < 0).any() or (index >= p).any()):
+        raise ValueError(f"pair index out of range [0, {p})")
+
+    # Solve i*(2d - i - 1)/2 <= index for the largest integer i.
+    b = 2.0 * d - 1.0
+    disc = b * b - 8.0 * index.astype(np.float64)
+    i = np.floor((b - np.sqrt(np.maximum(disc, 0.0))) / 2.0).astype(np.int64)
+    i = np.clip(i, 0, d - 2)
+
+    # Exact correction for float rounding: enforce offset(i) <= index and
+    # offset(i + 1) > index.  Each loop moves every element at most a few
+    # steps, so this terminates immediately in practice.
+    offset = _row_offset(i, d)
+    while True:
+        too_high = offset > index
+        if not too_high.any():
+            break
+        i = np.where(too_high, i - 1, i)
+        offset = _row_offset(i, d)
+    while True:
+        nxt = _row_offset(np.minimum(i + 1, d - 1), d)
+        too_low = (nxt <= index) & (i < d - 2)
+        if not too_low.any():
+            break
+        i = np.where(too_low, i + 1, i)
+        offset = np.where(too_low, nxt, offset)
+
+    j = index - offset + i + 1
+    return i, j
+
+
+def pairs_among(features: np.ndarray, d: int) -> np.ndarray:
+    """Flat indices of all pairs among a set of active features.
+
+    This is the inner loop of the sparse streaming path: a sample with
+    non-zero features ``features`` touches exactly these covariance entries.
+
+    Parameters
+    ----------
+    features:
+        1-D array of distinct feature indices (any order).
+    d:
+        Total number of features.
+
+    Returns
+    -------
+    ``int64`` array of length ``m*(m-1)/2`` where ``m = len(features)``,
+    in the order produced by iterating the sorted feature list row-major.
+    """
+    feats = np.unique(np.asarray(features, dtype=np.int64))
+    m = feats.size
+    if m < 2:
+        return np.empty(0, dtype=np.int64)
+    rows, cols = np.triu_indices(m, k=1)
+    return pair_to_index(feats[rows], feats[cols], d)
+
+
+def all_pair_indices(d: int) -> np.ndarray:
+    """All flat pair indices ``[0, p)`` — only sensible for small ``d``."""
+    p = num_pairs(d)
+    if p > 50_000_000:
+        raise ValueError(
+            f"refusing to materialise {p} pair indices; "
+            "use chunked iteration for large d"
+        )
+    return np.arange(p, dtype=np.int64)

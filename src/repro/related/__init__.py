@@ -1,0 +1,5 @@
+"""Related-work baselines (section 2 of the paper) implemented for comparison."""
+
+from repro.related.pagh import CompressedCovarianceSketch
+
+__all__ = ["CompressedCovarianceSketch"]

@@ -1,0 +1,20 @@
+"""Sketch substrate: count sketch, count-min, baselines and top-k tracking."""
+
+from repro.sketch.augmented import AugmentedSketch
+from repro.sketch.base import ValueSketch
+from repro.sketch.cold_filter import ColdFilterSketch
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.serialization import load_sketch, save_sketch
+from repro.sketch.topk import TopKTracker
+
+__all__ = [
+    "AugmentedSketch",
+    "ColdFilterSketch",
+    "CountMinSketch",
+    "CountSketch",
+    "TopKTracker",
+    "ValueSketch",
+    "load_sketch",
+    "save_sketch",
+]

@@ -1,0 +1,59 @@
+"""Shared interface for value sketches keyed by 64-bit indices.
+
+Every sketch in this package accumulates *real-valued* updates — the paper
+stores (scaled) covariance increments ``X_i^(t)/T`` rather than unit counts —
+so the interface is ``insert(keys, values)`` / ``query(keys)``, both batched.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["ValueSketch", "validate_batch"]
+
+
+def validate_batch(keys, values) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and sanity-check a batch of (key, value) updates."""
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.ndim != 1 or values.ndim != 1:
+        raise ValueError("keys and values must be 1-D arrays")
+    if keys.shape != values.shape:
+        raise ValueError(
+            f"keys and values must align, got {keys.shape} vs {values.shape}"
+        )
+    if keys.size and keys.min() < 0:
+        raise ValueError("keys must be non-negative")
+    return keys, values
+
+
+class ValueSketch(abc.ABC):
+    """Abstract base class for mergeable real-valued sketches."""
+
+    @abc.abstractmethod
+    def insert(self, keys, values) -> None:
+        """Accumulate ``values[n]`` under ``keys[n]`` for every ``n``."""
+
+    @abc.abstractmethod
+    def query(self, keys) -> np.ndarray:
+        """Estimate the accumulated value for each key."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Zero the sketch contents, keeping the hash functions."""
+
+    @property
+    @abc.abstractmethod
+    def memory_floats(self) -> int:
+        """Number of float counters held — the paper's memory budget unit."""
+
+    def query_single(self, key: int) -> float:
+        """Estimate a single key (convenience wrapper)."""
+        return float(self.query(np.asarray([key], dtype=np.int64))[0])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the counter storage."""
+        return self.memory_floats * 8

@@ -1,0 +1,137 @@
+"""Count-Min sketch for non-negative mass accumulation.
+
+Used as the gating layer of the Cold Filter baseline (Zhou et al. 2018):
+cheap small counters decide whether a key has accumulated enough absolute
+mass to graduate to the main count sketch.  Supports the conservative-update
+optimisation, which Cold Filter relies on to keep layer-1 counters tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import make_family
+from repro.sketch.base import ValueSketch, validate_batch
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch(ValueSketch):
+    """A ``K x R`` count-min sketch over non-negative values.
+
+    Parameters
+    ----------
+    num_tables, num_buckets, seed, family:
+        As for :class:`repro.sketch.CountSketch`.
+    conservative:
+        If true, an update raises each of the key's ``K`` counters only up
+        to ``min_counter + value`` — never overshooting the true mass.
+        Conservative update is not mergeable; ``merge`` raises when enabled.
+    cap:
+        Optional saturation value for the counters (Cold Filter uses small
+        saturating counters in layer 1).  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        num_tables: int,
+        num_buckets: int,
+        *,
+        seed: int = 0,
+        family: str = "multiply-shift",
+        conservative: bool = False,
+        cap: float | None = None,
+        dtype=np.float64,
+    ):
+        if num_tables < 1:
+            raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_tables = int(num_tables)
+        self.num_buckets = int(num_buckets)
+        self.seed = int(seed)
+        self.family = family
+        self.conservative = bool(conservative)
+        self.cap = None if cap is None else float(cap)
+        self.table = np.zeros((self.num_tables, self.num_buckets), dtype=dtype)
+
+        seq = np.random.SeedSequence(self.seed)
+        children = seq.spawn(self.num_tables)
+        self._bucket_hashes = [
+            make_family(family, self.num_buckets, int(children[e].generate_state(1)[0]))
+            for e in range(self.num_tables)
+        ]
+
+    def _buckets(self, keys: np.ndarray) -> np.ndarray:
+        out = np.empty((self.num_tables, keys.size), dtype=np.int64)
+        for e in range(self.num_tables):
+            out[e] = self._bucket_hashes[e](keys)
+        return out
+
+    def insert(self, keys, values) -> None:
+        keys, values = validate_batch(keys, values)
+        if keys.size == 0:
+            return
+        if (values < 0).any():
+            raise ValueError("CountMinSketch accepts non-negative values only")
+        buckets = self._buckets(keys)
+        if self.conservative:
+            # Conservative update must be applied per distinct key; aggregate
+            # duplicate keys in the batch first so intra-batch order does not
+            # change the result.
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            sums = np.bincount(inverse, weights=values, minlength=uniq.size)
+            ub = self._buckets(uniq)
+            current = np.min(
+                self.table[np.arange(self.num_tables)[:, None], ub], axis=0
+            )
+            target = current + sums
+            for e in range(self.num_tables):
+                np.maximum.at(self.table[e], ub[e], target)
+        else:
+            for e in range(self.num_tables):
+                self.table[e] += np.bincount(
+                    buckets[e], weights=values, minlength=self.num_buckets
+                ).astype(self.table.dtype, copy=False)
+        if self.cap is not None:
+            np.minimum(self.table, self.cap, out=self.table)
+
+    def query(self, keys) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.float64)
+        buckets = self._buckets(keys)
+        gathered = self.table[np.arange(self.num_tables)[:, None], buckets]
+        return np.min(gathered, axis=0).astype(np.float64)
+
+    def reset(self) -> None:
+        self.table[:] = 0.0
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        if self.conservative or other.conservative:
+            raise ValueError("conservative-update count-min sketches cannot merge")
+        same = (
+            isinstance(other, CountMinSketch)
+            and other.num_tables == self.num_tables
+            and other.num_buckets == self.num_buckets
+            and other.seed == self.seed
+            and other.family == self.family
+        )
+        if not same:
+            raise ValueError(
+                "sketches are mergeable only with identical shape, seed and family"
+            )
+        self.table += other.table
+        if self.cap is not None:
+            np.minimum(self.table, self.cap, out=self.table)
+        return self
+
+    @property
+    def memory_floats(self) -> int:
+        return self.num_tables * self.num_buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountMinSketch(K={self.num_tables}, R={self.num_buckets}, "
+            f"conservative={self.conservative}, cap={self.cap})"
+        )

@@ -1,0 +1,82 @@
+"""Sketch serialisation — persist and restore sketch state.
+
+Linear sketches are the natural unit of distributed aggregation: workers
+sketch shards of a stream, persist, and a reducer merges.  This module
+round-trips :class:`CountSketch` and :class:`CountMinSketch` through
+``.npz`` files: the hash functions are reconstructed from the stored seed
+and family name, so a loaded sketch answers queries (and merges) exactly
+like the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.count_sketch import CountSketch
+
+__all__ = ["save_sketch", "load_sketch"]
+
+_KINDS = {"count-sketch": CountSketch, "count-min": CountMinSketch}
+
+
+def _kind_of(sketch) -> str:
+    if isinstance(sketch, CountSketch):
+        return "count-sketch"
+    if isinstance(sketch, CountMinSketch):
+        return "count-min"
+    raise TypeError(f"cannot serialise {type(sketch).__name__}")
+
+
+def save_sketch(sketch, path) -> None:
+    """Write a sketch's parameters and counters to ``path`` (``.npz``).
+
+    Parameters
+    ----------
+    sketch:
+        A :class:`CountSketch` or :class:`CountMinSketch`.
+    path:
+        Target file path (numpy appends ``.npz`` if missing).
+    """
+    kind = _kind_of(sketch)
+    extra = {}
+    if kind == "count-min":
+        extra["conservative"] = np.asarray(sketch.conservative)
+        extra["cap"] = np.asarray(
+            np.nan if sketch.cap is None else sketch.cap, dtype=np.float64
+        )
+    np.savez_compressed(
+        path,
+        kind=np.asarray(kind),
+        num_tables=np.asarray(sketch.num_tables),
+        num_buckets=np.asarray(sketch.num_buckets),
+        seed=np.asarray(sketch.seed),
+        family=np.asarray(sketch.family),
+        table=sketch.table,
+        **extra,
+    )
+
+
+def load_sketch(path):
+    """Restore a sketch written by :func:`save_sketch`.
+
+    The rebuilt sketch has identical hash functions (same seed/family), so
+    queries, further inserts and merges behave exactly as on the original.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        kind = str(data["kind"])
+        cls = _KINDS.get(kind)
+        if cls is None:
+            raise ValueError(f"unknown sketch kind {kind!r} in {path}")
+        kwargs = dict(
+            seed=int(data["seed"]),
+            family=str(data["family"]),
+            dtype=data["table"].dtype,
+        )
+        if kind == "count-min":
+            cap = float(data["cap"])
+            kwargs["conservative"] = bool(data["conservative"])
+            kwargs["cap"] = None if np.isnan(cap) else cap
+        sketch = cls(int(data["num_tables"]), int(data["num_buckets"]), **kwargs)
+        sketch.table[:] = data["table"]
+    return sketch

@@ -1,0 +1,105 @@
+"""Bounded candidate tracking for top-k retrieval at trillion scale.
+
+At small dimension the harness can scan every pair estimate and sort — the
+protocol of section 8.3.  At URL/DNA scale (``p`` up to ``1.4e14``) a full
+scan is impossible, so the tracker keeps a bounded pool of the keys that
+looked large while streaming (every key that survived ASCS sampling, or every
+inserted key for vanilla CS) together with their most recent estimates.  At
+the end the pool is *re-queried* against the final sketch so stale estimates
+cannot leak into the ranking.
+
+The pool is a dict plus periodic pruning: when the pool exceeds
+``capacity * slack`` it is cut back to the ``capacity`` entries with the
+largest current estimates.  The dict gives O(1) updates; pruning is O(pool)
+amortised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TopKTracker"]
+
+
+class TopKTracker:
+    """Track candidate heavy keys and their running estimates.
+
+    Parameters
+    ----------
+    capacity:
+        Number of candidates retained after each prune.  Retrieval quality
+        only needs ``capacity >> k`` (default harnesses use ``10x``).
+    slack:
+        Pool growth factor that triggers pruning.
+    two_sided:
+        Rank by ``|estimate|`` when true, by signed value otherwise —
+        matching the sidedness of the sampling rule that feeds the tracker.
+    """
+
+    def __init__(self, capacity: int, *, slack: float = 2.0, two_sided: bool = False):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if slack <= 1.0:
+            raise ValueError(f"slack must be > 1, got {slack}")
+        self.capacity = int(capacity)
+        self.slack = float(slack)
+        self.two_sided = bool(two_sided)
+        self._pool: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def _rank_value(self, estimates: np.ndarray) -> np.ndarray:
+        return np.abs(estimates) if self.two_sided else estimates
+
+    def offer(self, keys, estimates) -> None:
+        """Record (or refresh) candidates with their current estimates."""
+        keys = np.asarray(keys, dtype=np.int64)
+        estimates = np.asarray(estimates, dtype=np.float64)
+        if keys.shape != estimates.shape:
+            raise ValueError("keys and estimates must align")
+        pool = self._pool
+        for key, est in zip(keys.tolist(), estimates.tolist()):
+            pool[key] = est
+        if len(pool) > self.capacity * self.slack:
+            self._prune()
+
+    def _prune(self) -> None:
+        keys = np.fromiter(self._pool.keys(), dtype=np.int64, count=len(self._pool))
+        ests = np.fromiter(self._pool.values(), dtype=np.float64, count=len(self._pool))
+        order = np.argsort(-self._rank_value(ests), kind="stable")[: self.capacity]
+        self._pool = dict(zip(keys[order].tolist(), ests[order].tolist()))
+
+    def candidates(self) -> np.ndarray:
+        """Current candidate keys (unordered)."""
+        return np.fromiter(self._pool.keys(), dtype=np.int64, count=len(self._pool))
+
+    def top_k(self, k: int, sketch=None) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` candidates with the largest estimates.
+
+        Parameters
+        ----------
+        k:
+            Number of keys to return (fewer if the pool is smaller).
+        sketch:
+            Optional sketch with a ``query`` method; when given, candidates
+            are re-queried so the ranking reflects the *final* sketch state
+            rather than the estimates observed mid-stream.
+
+        Returns
+        -------
+        ``(keys, estimates)`` sorted by decreasing (two-sided: absolute)
+        estimate.
+        """
+        if not self._pool:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        keys = self.candidates()
+        if sketch is not None:
+            ests = np.asarray(sketch.query(keys), dtype=np.float64)
+        else:
+            ests = np.array([self._pool[key] for key in keys.tolist()])
+        order = np.argsort(-self._rank_value(ests), kind="stable")[: int(k)]
+        return keys[order], ests[order]
+
+    def reset(self) -> None:
+        self._pool.clear()

@@ -1,0 +1,41 @@
+"""Theory layer: the paper's bounds (Theorems 1-3) and Algorithm 3 planner."""
+
+from repro.theory.bounds import (
+    ProblemModel,
+    collision_free_probability,
+    collision_inflation,
+    omega_squared,
+    saturation_probability,
+    snr_count_sketch,
+    theorem1_miss_probability,
+    theorem2_escape_probability,
+    theorem3_snr_lower_bound,
+    theorem3_snr_ratio,
+)
+from repro.theory.planner import (
+    ASCSPlan,
+    find_exploration_length,
+    find_threshold_slope,
+    plan_hyperparameters,
+)
+from repro.theory.snr import SNRRecorder, estimate_sigma, estimate_sigma_sparse
+
+__all__ = [
+    "ASCSPlan",
+    "ProblemModel",
+    "SNRRecorder",
+    "collision_free_probability",
+    "collision_inflation",
+    "estimate_sigma",
+    "estimate_sigma_sparse",
+    "find_exploration_length",
+    "find_threshold_slope",
+    "omega_squared",
+    "plan_hyperparameters",
+    "saturation_probability",
+    "snr_count_sketch",
+    "theorem1_miss_probability",
+    "theorem2_escape_probability",
+    "theorem3_snr_lower_bound",
+    "theorem3_snr_ratio",
+]

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BlockCorrelationModel
+from repro.sketch.count_sketch import CountSketch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_sketch():
+    """A sketch wide enough that a handful of keys never collide."""
+    return CountSketch(num_tables=5, num_buckets=4096, seed=7)
+
+
+@pytest.fixture
+def block_model():
+    """A tiny block-correlation model with known signal pairs."""
+    return BlockCorrelationModel.from_alpha(60, alpha=0.02, seed=3)

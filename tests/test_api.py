@@ -1,0 +1,138 @@
+"""Tests for the high-level API (repro.core.api)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import METHODS, build_estimator, run_pilot, sketch_correlations
+from repro.core.ascs import ActiveSamplingCountSketch
+from repro.data.synthetic import BlockCorrelationModel
+from repro.theory.planner import ASCSPlan
+
+
+@pytest.fixture(scope="module")
+def planted_data():
+    model = BlockCorrelationModel.from_alpha(80, alpha=0.02, seed=11)
+    return model, model.sample(1500)
+
+
+def dummy_plan():
+    return ASCSPlan(
+        exploration_length=50, tau0=1e-4, theta=0.1, delta=0.05,
+        delta_star=0.2, saturation=0.01, used_fallback=False,
+    )
+
+
+class TestRunPilot:
+    def test_u_and_sigma_positive(self, planted_data):
+        _, data = planted_data
+        pilot = run_pilot(data, alpha=0.02, seed=0)
+        assert pilot.u > 0
+        assert pilot.sigma > 0
+        assert pilot.num_pilot_samples >= 30
+
+    def test_u_tracks_signal_strength(self, planted_data):
+        model, data = planted_data
+        pilot = run_pilot(data, alpha=model.alpha, pilot_fraction=0.3, seed=0)
+        # The (1-alpha) percentile sits at the signal/noise boundary, so u is
+        # a conservative signal-strength estimate: clearly above the noise
+        # bulk, at or below the planted strengths (0.5+).
+        assert 0.05 < pilot.u < 1.2
+        # Crucially, well above the typical noise estimate (bulk |est|).
+        pilot_median = run_pilot(
+            data, alpha=0.5, pilot_fraction=0.3, seed=0
+        )
+        assert pilot.u > 3 * abs(pilot_median.u)
+
+    def test_extra_percentiles(self, planted_data):
+        _, data = planted_data
+        pilot = run_pilot(data, alpha=0.02, extra_percentiles=(0.5, 0.9), seed=0)
+        assert set(pilot.percentiles) == {0.5, 0.9}
+        assert pilot.percentiles[0.5] <= pilot.percentiles[0.9]
+
+    def test_sigma_near_one_for_standardized_gaussians(self, rng):
+        data = rng.standard_normal((400, 40))
+        pilot = run_pilot(data, alpha=0.01, seed=1)
+        assert pilot.sigma == pytest.approx(1.0, rel=0.25)
+
+
+class TestBuildEstimator:
+    def test_all_methods_constructible(self):
+        for method in METHODS:
+            est = build_estimator(
+                method, 100, 5, 1000, plan=dummy_plan() if method == "ascs" else None
+            )
+            assert est.total_samples == 100
+
+    def test_ascs_requires_plan(self):
+        with pytest.raises(ValueError, match="plan"):
+            build_estimator("ascs", 100, 5, 1000)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            build_estimator("magic", 100, 5, 1000)
+
+    def test_ascs_type(self):
+        est = build_estimator("ascs", 100, 5, 1000, plan=dummy_plan())
+        assert isinstance(est, ActiveSamplingCountSketch)
+
+    def test_budget_parity(self):
+        # All methods must stay within ~12% of the same float budget.
+        budget = 5 * 1000
+        for method in METHODS:
+            est = build_estimator(
+                method, 100, 5, 1000,
+                plan=dummy_plan() if method == "ascs" else None,
+            )
+            assert est.sketch.memory_floats <= budget * 1.12
+
+
+class TestSketchCorrelations:
+    @pytest.mark.parametrize("method", ["ascs", "cs"])
+    def test_finds_planted_pairs(self, planted_data, method):
+        model, data = planted_data
+        result = sketch_correlations(
+            data, memory_floats=8000, method=method, alpha=model.alpha,
+            top_k=10, seed=2,
+        )
+        truth = model.true_correlation()
+        found = truth[result.pairs_i, result.pairs_j]
+        assert found.mean() > 0.4  # top-10 dominated by real signals
+
+    def test_ascs_attaches_plan_and_pilot(self, planted_data):
+        model, data = planted_data
+        result = sketch_correlations(
+            data, memory_floats=8000, method="ascs", alpha=model.alpha, seed=2
+        )
+        assert result.plan is not None
+        assert result.pilot is not None
+
+    def test_cs_has_no_plan(self, planted_data):
+        _, data = planted_data
+        result = sketch_correlations(
+            data, memory_floats=8000, method="cs", alpha=0.02, seed=2
+        )
+        assert result.plan is None
+
+    def test_explicit_u_sigma_skip_pilot(self, planted_data):
+        _, data = planted_data
+        result = sketch_correlations(
+            data, memory_floats=8000, method="ascs", alpha=0.02,
+            u=0.5, sigma=1.0, seed=2,
+        )
+        assert result.pilot is None
+        assert result.plan is not None
+
+    def test_result_sorted_descending(self, planted_data):
+        _, data = planted_data
+        result = sketch_correlations(
+            data, memory_floats=8000, method="cs", alpha=0.02, top_k=25, seed=2
+        )
+        assert (np.diff(result.estimates) <= 1e-12).all()
+        assert (result.pairs_i < result.pairs_j).all()
+
+    def test_estimator_property(self, planted_data):
+        _, data = planted_data
+        result = sketch_correlations(
+            data, memory_floats=8000, method="cs", alpha=0.02, seed=2
+        )
+        assert result.estimator is result.sketcher.estimator

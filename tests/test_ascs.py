@@ -1,0 +1,147 @@
+"""Tests for Active Sampling Count Sketch (repro.core.ascs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ascs import ActiveSamplingCountSketch
+from repro.core.schedule import ThresholdSchedule
+from repro.sketch.count_sketch import CountSketch
+from repro.theory.bounds import ProblemModel
+
+
+def make_ascs(
+    total=100, t0=20, tau0=1e-4, theta=0.3, *, two_sided=False, seed=0,
+    buckets=2048, observer=None, track=0,
+):
+    schedule = ThresholdSchedule(
+        exploration_length=t0, tau0=tau0, theta=theta, total_samples=total
+    )
+    sketch = CountSketch(5, buckets, seed=seed)
+    return ActiveSamplingCountSketch(
+        sketch, total, schedule, two_sided=two_sided, observer=observer,
+        track_top=track,
+    )
+
+
+class TestExplorationPhase:
+    def test_everything_accepted_during_exploration(self):
+        est = make_ascs(total=100, t0=50)
+        est.ingest(np.arange(10), np.full(10, -99.0), num_samples=10)
+        assert est.acceptance_rate == 1.0
+        assert est.in_exploration
+
+    def test_exploration_boundary(self):
+        est = make_ascs(total=100, t0=10)
+        est.ingest(np.array([1]), np.array([1.0]), num_samples=10)
+        assert not est.in_exploration
+
+
+class TestSamplingPhase:
+    def test_below_threshold_filtered(self):
+        est = make_ascs(total=100, t0=10, tau0=0.5, theta=0.0)
+        # exploration: build positive estimate for key 0 only
+        est.ingest(np.array([0]), np.array([100.0]), num_samples=10)
+        # sampling: key 0's estimate (1.0) clears tau=0.5; key 1's (0) does not
+        est.ingest(np.array([0, 1]), np.array([1.0, 1.0]), num_samples=1)
+        assert est.updates_accepted == 2  # 1 exploration + key 0
+        assert est.estimate(np.array([1]))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_estimates_filtered_one_sided(self):
+        est = make_ascs(total=100, t0=10, tau0=0.0, theta=0.0)
+        est.ingest(np.array([0]), np.array([-100.0]), num_samples=10)
+        before = est.updates_accepted
+        est.ingest(np.array([0]), np.array([-1.0]), num_samples=1)
+        assert est.updates_accepted == before  # estimate < 0 < tau: filtered
+
+    def test_negative_estimates_kept_two_sided(self):
+        est = make_ascs(total=100, t0=10, tau0=0.5, theta=0.0, two_sided=True)
+        est.ingest(np.array([0]), np.array([-100.0]), num_samples=10)
+        before = est.updates_accepted
+        est.ingest(np.array([0]), np.array([-1.0]), num_samples=1)
+        assert est.updates_accepted == before + 1  # |estimate| >= tau
+
+    def test_threshold_ramps(self):
+        est = make_ascs(total=100, t0=10, tau0=0.0, theta=1.0)
+        est.ingest(np.array([0]), np.array([10.0]), num_samples=10)
+        tau_start = est.current_threshold
+        est.ingest(np.array([0]), np.array([1.0]), num_samples=50)
+        assert est.current_threshold > tau_start
+
+    def test_acceptance_rate_drops_after_exploration(self, rng):
+        est = make_ascs(total=200, t0=20, tau0=0.05, theta=0.1, buckets=1 << 14)
+        signal = np.array([0])
+        noise = np.arange(1, 400)
+        for t in range(200):
+            keys = np.concatenate([signal, noise])
+            vals = np.concatenate([[1.0], rng.standard_normal(399) * 0.1])
+            est.ingest(keys, vals, num_samples=1)
+        # Most noise filtered during sampling; overall acceptance well below 1.
+        assert est.acceptance_rate < 0.7
+        # Signal keeps accumulating: final estimate near its mean.
+        assert est.estimate(signal)[0] == pytest.approx(1.0, abs=0.3)
+
+
+class TestConstruction:
+    def test_schedule_total_must_match(self):
+        schedule = ThresholdSchedule(10, 1e-4, 0.1, total_samples=50)
+        with pytest.raises(ValueError, match="total_samples"):
+            ActiveSamplingCountSketch(CountSketch(2, 64), 100, schedule)
+
+    def test_from_plan(self):
+        from repro.theory.planner import ASCSPlan
+
+        plan = ASCSPlan(
+            exploration_length=30, tau0=1e-4, theta=0.2, delta=0.05,
+            delta_star=0.2, saturation=0.01, used_fallback=False,
+        )
+        est = ActiveSamplingCountSketch.from_plan(plan, 500, 5, 1024, seed=3)
+        assert est.schedule.exploration_length == 30
+        assert est.total_samples == 500
+        assert est.sketch.num_buckets == 1024
+
+    def test_plan_and_build(self):
+        model = ProblemModel(
+            p=20_000, alpha=0.002, u=0.8, sigma=1.0, T=5000, num_tables=5,
+            num_buckets=8000,
+        )
+        est, plan = ActiveSamplingCountSketch.plan_and_build(model, seed=1)
+        assert est.schedule.exploration_length == plan.exploration_length
+        assert est.schedule.theta == plan.theta
+
+
+class TestObserverIntegration:
+    def test_observer_sees_masks(self):
+        masks = []
+        est = make_ascs(
+            total=100, t0=10, tau0=10.0, theta=0.0,
+            observer=lambda t, k, v, m: masks.append(m.copy()),
+        )
+        est.ingest(np.array([0]), np.array([1.0]), num_samples=10)  # explore
+        est.ingest(np.array([0]), np.array([1.0]), num_samples=1)   # filtered
+        assert masks[0].all()          # exploration batch: all accepted
+        assert not masks[1].any()      # sampling batch: below huge tau
+
+
+class TestSNRImprovement:
+    def test_ascs_noise_mass_lower_than_cs(self, rng):
+        """The mechanism of Theorem 3: after sampling starts, ASCS inserts
+        far less noise energy than CS while keeping the signals."""
+        from repro.core.estimator import SketchEstimator
+
+        total, t0 = 300, 30
+        signal_keys = np.arange(5)
+        noise_keys = np.arange(5, 1000)
+
+        ascs = make_ascs(total=total, t0=t0, tau0=0.05, theta=0.2, buckets=1 << 14, seed=2)
+        cs = SketchEstimator(CountSketch(5, 1 << 14, seed=2), total)
+        for _ in range(total):
+            keys = np.concatenate([signal_keys, noise_keys])
+            vals = np.concatenate(
+                [np.full(5, 0.8), rng.standard_normal(995) * 0.3]
+            )
+            ascs.ingest(keys, vals, num_samples=1)
+            cs.ingest(keys, vals, num_samples=1)
+
+        assert ascs.updates_accepted < 0.5 * cs.updates_accepted
+        sig_ascs = ascs.estimate(signal_keys)
+        assert (sig_ascs > 0.4).all()  # signals retained

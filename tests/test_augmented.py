@@ -1,0 +1,101 @@
+"""Tests for the Augmented Sketch baseline (repro.sketch.augmented)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.augmented import AugmentedSketch
+
+
+class TestConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AugmentedSketch(3, 100, filter_capacity=0)
+
+    def test_memory_includes_filter(self):
+        asx = AugmentedSketch(3, 100, filter_capacity=16)
+        assert asx.memory_floats == 300 + 32
+
+
+class TestHotKeyExactness:
+    def test_hot_key_promoted_and_exact(self):
+        asx = AugmentedSketch(3, 512, filter_capacity=4, seed=1)
+        hot = np.array([7])
+        for _ in range(10):
+            asx.insert(hot, np.array([5.0]))
+        assert 7 in asx.filter_keys.tolist()
+        assert asx.query(hot)[0] == pytest.approx(50.0)
+
+    def test_total_mass_conserved_across_promotion(self):
+        # Promoting moves mass from sketch to filter without double counting.
+        asx = AugmentedSketch(5, 1024, filter_capacity=2, seed=2)
+        for _ in range(5):
+            asx.insert(np.array([1, 2, 3]), np.array([10.0, 1.0, 0.5]))
+        np.testing.assert_allclose(
+            asx.query(np.array([1, 2, 3])), [50.0, 5.0, 2.5], atol=1e-6
+        )
+
+    def test_eviction_pushes_mass_back(self):
+        asx = AugmentedSketch(5, 2048, filter_capacity=1, seed=3)
+        # Key 1 becomes hot first, then key 2 overtakes it.
+        asx.insert(np.array([1]), np.array([5.0]))
+        asx.insert(np.array([2]), np.array([50.0]))
+        # Whatever ended up in the filter, both totals must still be right.
+        np.testing.assert_allclose(
+            asx.query(np.array([1, 2])), [5.0, 50.0], atol=1e-6
+        )
+
+    def test_filter_capacity_respected(self):
+        asx = AugmentedSketch(3, 512, filter_capacity=3, seed=4)
+        for key in range(20):
+            asx.insert(np.array([key]), np.array([float(key)]))
+        assert len(asx.filter_keys) <= 3
+
+
+class TestQueries:
+    def test_cold_keys_use_sketch(self):
+        asx = AugmentedSketch(5, 2048, filter_capacity=2, seed=5)
+        asx.insert(np.arange(10), np.ones(10))
+        est = asx.query(np.arange(10))
+        np.testing.assert_allclose(est, 1.0, atol=0.5)
+
+    def test_empty_operations(self):
+        asx = AugmentedSketch(3, 64, filter_capacity=2)
+        asx.insert(np.empty(0, dtype=np.int64), np.empty(0))
+        assert asx.query(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_reset(self):
+        asx = AugmentedSketch(3, 64, filter_capacity=2, seed=1)
+        asx.insert(np.array([1]), np.array([3.0]))
+        asx.reset()
+        assert asx.query_single(1) == 0.0
+        assert len(asx.filter_keys) == 0
+
+
+class TestTwoSided:
+    def test_negative_heavy_key_tracked(self):
+        asx = AugmentedSketch(5, 1024, filter_capacity=1, seed=6, two_sided=True)
+        for _ in range(5):
+            asx.insert(np.array([9]), np.array([-10.0]))
+        assert asx.query_single(9) == pytest.approx(-50.0)
+        assert 9 in asx.filter_keys.tolist()
+
+
+class TestAccuracyGain:
+    def test_beats_plain_sketch_on_heavy_keys_under_crowding(self):
+        # Crowded tables: the filter should protect the heavy keys.
+        rng = np.random.default_rng(7)
+        heavy_keys = np.arange(4)
+        asx = AugmentedSketch(3, 64, filter_capacity=8, seed=8, exchange_every=1)
+        from repro.sketch.count_sketch import CountSketch
+
+        cs = CountSketch(3, 64, seed=8)
+        for _ in range(30):
+            noise_k = rng.integers(10, 10**6, size=200)
+            noise_v = rng.standard_normal(200)
+            for sk in (asx, cs):
+                sk.insert(heavy_keys, np.full(4, 3.0))
+                sk.insert(noise_k, noise_v)
+        truth = 90.0
+        err_asx = np.abs(asx.query(heavy_keys) - truth).mean()
+        err_cs = np.abs(cs.query(heavy_keys) - truth).mean()
+        assert err_asx <= err_cs + 1e-9

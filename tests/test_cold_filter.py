@@ -1,0 +1,82 @@
+"""Tests for the Cold Filter baseline (repro.sketch.cold_filter)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.cold_filter import ColdFilterSketch
+
+
+class TestConstruction:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ColdFilterSketch(3, 100, threshold=0.0)
+
+    def test_memory_accounts_gate_at_quarter_width(self):
+        cf = ColdFilterSketch(3, 100, filter_buckets=100, filter_tables=4, threshold=1.0)
+        assert cf.memory_floats == 300 + 100  # 400 gate counters / 4
+
+
+class TestGating:
+    def test_cold_keys_stay_in_gate(self):
+        cf = ColdFilterSketch(5, 512, threshold=10.0, seed=1)
+        cf.insert(np.array([3]), np.array([2.0]))
+        # Main sketch untouched: everything below threshold.
+        assert cf.sketch.l2_norm() == 0.0
+        # Query falls back to the gate mass.
+        assert cf.query_single(3) == pytest.approx(2.0)
+
+    def test_hot_key_graduates(self):
+        cf = ColdFilterSketch(5, 512, threshold=5.0, seed=2)
+        for _ in range(10):
+            cf.insert(np.array([3]), np.array([2.0]))
+        # 20 total mass: gate holds 5, main sketch ~15.
+        assert cf.sketch.l2_norm() > 0.0
+        assert cf.query_single(3) == pytest.approx(20.0, rel=0.05)
+
+    def test_exact_crossing_accounting(self):
+        cf = ColdFilterSketch(5, 512, threshold=5.0, seed=3)
+        cf.insert(np.array([4]), np.array([3.0]))   # below
+        cf.insert(np.array([4]), np.array([4.0]))   # crosses: overflow 2
+        assert cf.query_single(4) == pytest.approx(7.0, rel=0.05)
+
+    def test_negative_values_graduate_by_magnitude(self):
+        cf = ColdFilterSketch(5, 512, threshold=5.0, seed=4)
+        for _ in range(10):
+            cf.insert(np.array([6]), np.array([-2.0]))
+        est = cf.query_single(6)
+        assert est == pytest.approx(-20.0, rel=0.1)
+
+
+class TestNoiseSuppression:
+    def test_one_shot_noise_never_reaches_main_sketch(self):
+        rng = np.random.default_rng(5)
+        cf = ColdFilterSketch(5, 256, threshold=3.0, seed=6)
+        keys = rng.integers(0, 10**8, size=5000)
+        vals = rng.uniform(-1, 1, size=5000)
+        cf.insert(keys, vals)
+        # Every |value| < 3 and keys are unique-ish: main sketch stays clean
+        # apart from rare gate collisions pushing keys over the cap.
+        assert cf.sketch.l2_norm() < np.abs(vals).sum() * 0.05
+
+    def test_heavy_key_recoverable_under_noise(self):
+        rng = np.random.default_rng(7)
+        cf = ColdFilterSketch(5, 1024, threshold=2.0, seed=8)
+        for _ in range(20):
+            noise_keys = rng.integers(100, 10**8, size=500)
+            cf.insert(noise_keys, rng.uniform(-0.5, 0.5, size=500))
+            cf.insert(np.array([42]), np.array([5.0]))
+        est = cf.query_single(42)
+        assert est == pytest.approx(100.0, rel=0.15)
+
+
+class TestHousekeeping:
+    def test_reset(self):
+        cf = ColdFilterSketch(3, 64, threshold=1.0, seed=9)
+        cf.insert(np.array([1]), np.array([5.0]))
+        cf.reset()
+        assert cf.query_single(1) == 0.0
+
+    def test_empty_insert(self):
+        cf = ColdFilterSketch(3, 64, threshold=1.0)
+        cf.insert(np.empty(0, dtype=np.int64), np.empty(0))
+        assert cf.query(np.empty(0, dtype=np.int64)).size == 0

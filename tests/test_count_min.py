@@ -1,0 +1,116 @@
+"""Tests for CountMinSketch (repro.sketch.count_min)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.count_min import CountMinSketch
+
+
+class TestBasics:
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountMinSketch(2, 0)
+
+    def test_rejects_negative_values(self):
+        cm = CountMinSketch(3, 100)
+        with pytest.raises(ValueError, match="non-negative"):
+            cm.insert(np.array([1]), np.array([-1.0]))
+
+    def test_memory(self):
+        assert CountMinSketch(3, 100).memory_floats == 300
+
+
+class TestOverestimateInvariant:
+    @given(st.lists(st.tuples(st.integers(0, 10**6), st.floats(0, 50)), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_never_underestimates(self, updates):
+        cm = CountMinSketch(3, 64, seed=1)
+        totals: dict[int, float] = {}
+        for key, val in updates:
+            cm.insert(np.array([key]), np.array([val]))
+            totals[key] = totals.get(key, 0.0) + val
+        keys = np.array(list(totals))
+        est = cm.query(keys)
+        truth = np.array([totals[k] for k in totals])
+        assert (est >= truth - 1e-9).all()
+
+    @given(st.lists(st.tuples(st.integers(0, 10**6), st.floats(0, 50)), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_never_underestimates(self, updates):
+        cm = CountMinSketch(3, 64, seed=1, conservative=True)
+        totals: dict[int, float] = {}
+        for key, val in updates:
+            cm.insert(np.array([key]), np.array([val]))
+            totals[key] = totals.get(key, 0.0) + val
+        keys = np.array(list(totals))
+        est = cm.query(keys)
+        truth = np.array([totals[k] for k in totals])
+        assert (est >= truth - 1e-9).all()
+
+
+class TestConservativeUpdate:
+    def test_tighter_than_plain(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 5000, size=20_000)
+        vals = rng.random(20_000)
+        plain = CountMinSketch(3, 128, seed=5)
+        cons = CountMinSketch(3, 128, seed=5, conservative=True)
+        for n in range(0, 20_000, 100):
+            plain.insert(keys[n : n + 100], vals[n : n + 100])
+            cons.insert(keys[n : n + 100], vals[n : n + 100])
+        probe = np.arange(5000)
+        assert cons.query(probe).sum() <= plain.query(probe).sum()
+
+    def test_duplicate_keys_in_batch(self):
+        cm = CountMinSketch(2, 64, seed=7, conservative=True)
+        cm.insert(np.array([9, 9, 9]), np.array([1.0, 1.0, 1.0]))
+        assert cm.query_single(9) >= 3.0 - 1e-9
+
+
+class TestCap:
+    def test_saturates(self):
+        cm = CountMinSketch(2, 64, seed=1, cap=5.0)
+        cm.insert(np.array([4]), np.array([10.0]))
+        assert cm.query_single(4) == pytest.approx(5.0)
+
+    def test_cap_with_accumulation(self):
+        cm = CountMinSketch(2, 64, seed=1, cap=5.0)
+        for _ in range(10):
+            cm.insert(np.array([4]), np.array([1.0]))
+        assert cm.query_single(4) == pytest.approx(5.0)
+
+
+class TestMerge:
+    def test_merge_matches_combined(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1000, size=500)
+        vals = rng.random(500)
+        full = CountMinSketch(3, 64, seed=2)
+        full.insert(keys, vals)
+        a = CountMinSketch(3, 64, seed=2)
+        b = CountMinSketch(3, 64, seed=2)
+        a.insert(keys[:250], vals[:250])
+        b.insert(keys[250:], vals[250:])
+        a.merge(b)
+        np.testing.assert_allclose(a.table, full.table, atol=1e-9)
+
+    def test_conservative_merge_rejected(self):
+        a = CountMinSketch(3, 64, seed=2, conservative=True)
+        b = CountMinSketch(3, 64, seed=2, conservative=True)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+    def test_incompatible_merge_rejected(self):
+        a = CountMinSketch(3, 64, seed=2)
+        with pytest.raises(ValueError, match="mergeable"):
+            a.merge(CountMinSketch(3, 65, seed=2))
+
+    def test_reset(self):
+        cm = CountMinSketch(2, 32, seed=0)
+        cm.insert(np.array([1]), np.array([2.0]))
+        cm.reset()
+        assert cm.query_single(1) == 0.0

@@ -1,0 +1,180 @@
+"""Tests for CountSketch (repro.sketch.count_sketch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.count_sketch import CountSketch
+
+
+class TestConstruction:
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountSketch(3, 0)
+
+    def test_memory_accounting(self):
+        cs = CountSketch(5, 1000)
+        assert cs.memory_floats == 5000
+        assert cs.memory_bytes == 40_000
+
+
+class TestExactRecovery:
+    def test_few_keys_wide_table(self, small_sketch):
+        # With R=4096 and 20 keys, collisions are essentially impossible in
+        # the median of 5 tables.
+        keys = np.arange(20)
+        values = np.linspace(-5, 5, 20)
+        small_sketch.insert(keys, values)
+        est = small_sketch.query(keys)
+        np.testing.assert_allclose(est, values, atol=1e-12)
+
+    def test_accumulation(self, small_sketch):
+        keys = np.arange(10)
+        values = np.ones(10)
+        for _ in range(7):
+            small_sketch.insert(keys, values)
+        np.testing.assert_allclose(small_sketch.query(keys), 7.0, atol=1e-12)
+
+    def test_duplicate_keys_in_batch_sum(self, small_sketch):
+        keys = np.array([3, 3, 3, 8])
+        values = np.array([1.0, 2.0, 4.0, 9.0])
+        small_sketch.insert(keys, values)
+        assert small_sketch.query_single(3) == pytest.approx(7.0)
+        assert small_sketch.query_single(8) == pytest.approx(9.0)
+
+    def test_negative_values(self, small_sketch):
+        small_sketch.insert(np.array([5]), np.array([-3.25]))
+        assert small_sketch.query_single(5) == pytest.approx(-3.25)
+
+
+class TestScatterPaths:
+    def test_small_and_large_batches_agree(self):
+        # The add.at path (tiny batch) and the bincount path (large batch)
+        # must produce identical tables.
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 10**9, size=3000)
+        values = rng.standard_normal(3000)
+
+        a = CountSketch(3, 512, seed=1)
+        a.insert(keys, values)  # large batch -> bincount
+
+        b = CountSketch(3, 512, seed=1)
+        for n in range(0, 3000, 5):
+            b.insert(keys[n : n + 5], values[n : n + 5])  # tiny -> add.at
+        np.testing.assert_allclose(a.table, b.table, atol=1e-9)
+
+    def test_empty_insert_is_noop(self, small_sketch):
+        before = small_sketch.table.copy()
+        small_sketch.insert(np.empty(0, dtype=np.int64), np.empty(0))
+        np.testing.assert_array_equal(small_sketch.table, before)
+
+    def test_empty_query(self, small_sketch):
+        assert small_sketch.query(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestValidation:
+    def test_mismatched_lengths(self, small_sketch):
+        with pytest.raises(ValueError, match="align"):
+            small_sketch.insert(np.array([1, 2]), np.array([1.0]))
+
+    def test_negative_keys(self, small_sketch):
+        with pytest.raises(ValueError, match="non-negative"):
+            small_sketch.insert(np.array([-1]), np.array([1.0]))
+
+    def test_2d_rejected(self, small_sketch):
+        with pytest.raises(ValueError, match="1-D"):
+            small_sketch.insert(np.ones((2, 2), dtype=np.int64), np.ones((2, 2)))
+
+
+class TestLinearity:
+    @given(st.integers(min_value=0, max_value=2**40), st.floats(-100, 100), st.floats(-100, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_additivity(self, key, v1, v2):
+        cs = CountSketch(3, 256, seed=2)
+        cs.insert(np.array([key]), np.array([v1]))
+        cs.insert(np.array([key]), np.array([v2]))
+        single = CountSketch(3, 256, seed=2)
+        single.insert(np.array([key]), np.array([v1 + v2]))
+        np.testing.assert_allclose(cs.table, single.table, atol=1e-9)
+
+    def test_merge_equals_combined_stream(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 10**6, size=2000)
+        values = rng.standard_normal(2000)
+
+        full = CountSketch(4, 300, seed=3)
+        full.insert(keys, values)
+
+        part1 = CountSketch(4, 300, seed=3)
+        part2 = CountSketch(4, 300, seed=3)
+        part1.insert(keys[:1000], values[:1000])
+        part2.insert(keys[1000:], values[1000:])
+        part1.merge(part2)
+        np.testing.assert_allclose(part1.table, full.table, atol=1e-9)
+
+    def test_merge_incompatible(self):
+        a = CountSketch(4, 300, seed=3)
+        with pytest.raises(ValueError, match="mergeable"):
+            a.merge(CountSketch(4, 300, seed=4))
+        with pytest.raises(ValueError, match="mergeable"):
+            a.merge(CountSketch(4, 301, seed=3))
+        with pytest.raises(ValueError, match="mergeable"):
+            a.merge(CountSketch(5, 300, seed=3))
+
+    def test_scale(self, small_sketch):
+        small_sketch.insert(np.array([1]), np.array([4.0]))
+        small_sketch.scale(0.25)
+        assert small_sketch.query_single(1) == pytest.approx(1.0)
+
+    def test_reset(self, small_sketch):
+        small_sketch.insert(np.array([1]), np.array([4.0]))
+        small_sketch.reset()
+        assert small_sketch.l2_norm() == 0.0
+
+    def test_copy_is_independent(self, small_sketch):
+        small_sketch.insert(np.array([1]), np.array([4.0]))
+        clone = small_sketch.copy()
+        clone.insert(np.array([1]), np.array([1.0]))
+        assert small_sketch.query_single(1) == pytest.approx(4.0)
+        assert clone.query_single(1) == pytest.approx(5.0)
+
+
+class TestMedianEstimate:
+    def test_median_robust_to_one_bad_table(self):
+        # Corrupt one table manually; the median over K=5 must not move.
+        cs = CountSketch(5, 1024, seed=9)
+        cs.insert(np.arange(10), np.full(10, 2.0))
+        cs.table[0] += 100.0
+        est = cs.query(np.arange(10))
+        np.testing.assert_allclose(est, 2.0, atol=1e-12)
+
+    def test_query_per_table_shape(self):
+        cs = CountSketch(4, 64, seed=1)
+        cs.insert(np.arange(5), np.ones(5))
+        per = cs.query_per_table(np.arange(5))
+        assert per.shape == (4, 5)
+        np.testing.assert_allclose(np.median(per, axis=0), cs.query(np.arange(5)))
+
+
+class TestStatisticalAccuracy:
+    def test_heavy_hitter_recovery_under_noise(self):
+        # One strong key among many weak ones: the estimate error should be
+        # much smaller than the heavy value.
+        rng = np.random.default_rng(11)
+        cs = CountSketch(5, 2000, seed=13)
+        noise_keys = rng.integers(10, 10**8, size=50_000)
+        noise_vals = rng.standard_normal(50_000) * 0.1
+        cs.insert(noise_keys, noise_vals)
+        cs.insert(np.array([3]), np.array([50.0]))
+        est = cs.query_single(3)
+        assert abs(est - 50.0) < 5.0
+
+    def test_unseen_keys_near_zero(self):
+        rng = np.random.default_rng(17)
+        cs = CountSketch(5, 4096, seed=19)
+        cs.insert(rng.integers(0, 10**6, size=1000), rng.standard_normal(1000))
+        unseen = cs.query(np.arange(10**7, 10**7 + 200))
+        assert np.median(np.abs(unseen)) < 0.5

@@ -1,0 +1,172 @@
+"""Tests for dataset stand-ins and stream generators (repro.data)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.covariance.ground_truth import flat_true_correlations, pair_correlations
+from repro.data.dna import DNAKmerStream
+from repro.data.registry import DATASET_SPECS, dataset_names, make_dataset
+from repro.data.url_like import URLLikeStream
+from repro.hashing.pairs import index_to_pair
+
+
+class TestRegistry:
+    def test_all_five_datasets_present(self):
+        assert set(dataset_names()) == {"gisette", "epsilon", "cifar10", "rcv1", "sector"}
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_make_dataset_shapes(self, name):
+        ds = make_dataset(name, d=120, n=300, seed=1)
+        assert ds.d == 120
+        assert ds.n == 300
+        assert ds.name == name
+        assert 0 < ds.alpha < 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("mnist")
+
+    def test_paper_metadata(self):
+        spec = DATASET_SPECS["gisette"]
+        assert spec.paper_dim == 5000
+        assert spec.paper_samples == 6000
+        assert spec.alpha == 0.02
+
+    def test_deterministic(self):
+        a = make_dataset("epsilon", d=50, n=100, seed=3).dense()
+        b = make_dataset("epsilon", d=50, n=100, seed=3).dense()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDatasetCharacter:
+    def test_sparse_datasets_are_sparse(self):
+        for name in ("rcv1", "sector"):
+            ds = make_dataset(name, d=200, n=500, seed=2)
+            assert ds.is_sparse
+            density = ds.X.nnz / (ds.n * ds.d)
+            assert density < 0.2
+
+    def test_dense_datasets_are_dense(self):
+        for name in ("gisette", "epsilon", "cifar10"):
+            ds = make_dataset(name, d=200, n=500, seed=2)
+            assert not ds.is_sparse
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_correlation_spectrum_is_sparse(self, name):
+        """Figure-1 character: most correlations near zero, a real tail."""
+        ds = make_dataset(name, d=150, n=1500, seed=4)
+        flat = np.abs(flat_true_correlations(ds.dense()))
+        assert np.mean(flat <= 0.15) > 0.75   # bulk near zero
+        assert flat.max() > 0.3               # but signals exist
+
+    def test_topic_datasets_have_strong_signals(self):
+        for name in ("rcv1", "sector"):
+            ds = make_dataset(name, d=200, n=2000, seed=5)
+            flat = flat_true_correlations(ds.dense())
+            assert np.sort(flat)[-20:].mean() > 0.6
+
+    def test_cifar_neighbour_decay(self):
+        ds = make_dataset("cifar10", d=100, n=4000, seed=6)
+        corr = np.corrcoef(ds.dense().T)
+        near = np.mean([corr[i, i + 1] for i in range(0, 80, 7)])
+        far = np.mean([abs(corr[i, i + 50]) for i in range(0, 40, 7)])
+        assert near > 0.4
+        assert far < 0.15
+
+
+class TestURLLikeStream:
+    def test_stream_matches_materialized(self):
+        stream = URLLikeStream(dim=500, num_samples=50, num_groups=5, group_size=4,
+                               background_nnz=10, seed=7)
+        mat = stream.materialize()
+        rows = list(iter(stream))
+        assert mat.shape == (50, 500)
+        assert len(rows) == 50
+        for r, sample in enumerate(rows):
+            np.testing.assert_array_equal(
+                np.sort(sample.indices), np.sort(mat[r].indices)
+            )
+
+    def test_planted_pairs_strongly_correlated(self):
+        stream = URLLikeStream(dim=2000, num_samples=4000, num_groups=10,
+                               group_size=5, group_prob=0.5, member_prob=0.95,
+                               background_nnz=20, seed=8)
+        mat = stream.materialize()
+        keys = stream.planted_pair_keys()
+        i, j = index_to_pair(keys, stream.dim)
+        corr = pair_correlations(mat, i, j)
+        assert corr.mean() > 0.6
+
+    def test_background_pairs_weak(self):
+        stream = URLLikeStream(dim=2000, num_samples=4000, num_groups=10,
+                               group_size=5, background_nnz=20, seed=8)
+        mat = stream.materialize()
+        rng = np.random.default_rng(0)
+        i = rng.integers(100, 2000, size=50)
+        j = rng.integers(100, 2000, size=50)
+        keep = i < j
+        corr = pair_correlations(mat, i[keep], j[keep])
+        assert np.abs(corr).mean() < 0.1
+
+    def test_average_nnz(self):
+        stream = URLLikeStream(dim=1000, num_samples=200, background_nnz=30, seed=9)
+        counts = [s.nnz for s in stream]
+        assert np.mean(counts) == pytest.approx(stream.average_nnz, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceed"):
+            URLLikeStream(dim=10, num_groups=5, group_size=6)
+
+
+class TestDNAKmerStream:
+    def test_kmer_encoding_is_base4(self):
+        stream = DNAKmerStream(genome_length=500, read_length=50, k=3, seed=1)
+        sample = stream._read_kmers(0)
+        # Recompute the first k-mer code by hand.
+        g = stream.genome[:3].astype(int)
+        code = g[0] * 16 + g[1] * 4 + g[2]
+        assert code in sample.indices.tolist()
+
+    def test_dim_is_4_to_k(self):
+        assert DNAKmerStream(genome_length=500, read_length=50, k=5).dim == 4**5
+
+    def test_num_reads_scales_with_coverage(self):
+        a = DNAKmerStream(genome_length=3000, read_length=100, coverage=1.0)
+        b = DNAKmerStream(genome_length=3000, read_length=100, coverage=4.0)
+        assert b.num_reads == 4 * a.num_reads
+
+    def test_nnz_close_to_read_length(self):
+        stream = DNAKmerStream(genome_length=5000, read_length=100, k=6, seed=2)
+        # ~95 distinct 6-mers per 100bp read (some repeats collapse).
+        assert 50 < stream.average_nnz() <= 95
+
+    def test_materialize_consistent_with_iteration(self):
+        stream = DNAKmerStream(genome_length=2000, read_length=80, k=4, seed=3)
+        mat = stream.materialize()
+        assert mat.shape == (stream.num_reads, 4**4)
+        total_counts = sum(s.values.sum() for s in stream)
+        assert mat.sum() == pytest.approx(total_counts)
+
+    def test_adjacent_kmers_highly_correlated(self):
+        stream = DNAKmerStream(genome_length=4000, read_length=100, coverage=6.0,
+                               k=6, seed=4)
+        mat = stream.materialize()
+        # Adjacent k-mers in the genome co-occur in nearly every read.
+        g = stream.genome.astype(np.int64)
+        powers = (4 ** np.arange(5, -1, -1)).astype(np.int64)
+        pos = 1000
+        code_a = int(g[pos : pos + 6] @ powers)
+        code_b = int(g[pos + 1 : pos + 7] @ powers)
+        if code_a != code_b:
+            i, j = min(code_a, code_b), max(code_a, code_b)
+            corr = pair_correlations(mat, np.array([i]), np.array([j]))
+            assert corr[0] > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            DNAKmerStream(k=20)
+        with pytest.raises(ValueError, match="read_length"):
+            DNAKmerStream(read_length=5, k=8)
+        with pytest.raises(ValueError, match="genome"):
+            DNAKmerStream(genome_length=10, read_length=100, k=8)

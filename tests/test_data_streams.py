@@ -1,0 +1,76 @@
+"""Tests for stream utilities (repro.data.streams)."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import ShuffleBuffer, SparseSample, batched, dense_rows, take
+
+
+class TestSparseSample:
+    def test_densify(self):
+        sample = SparseSample(np.array([1, 4]), np.array([2.0, 3.0]))
+        dense = sample.densify(6)
+        np.testing.assert_array_equal(dense, [0, 2, 0, 0, 3, 0])
+
+    def test_nnz(self):
+        assert SparseSample(np.array([1, 4]), np.array([2.0, 3.0])).nnz == 2
+
+
+class TestShuffleBuffer:
+    def test_preserves_multiset(self):
+        items = list(range(100))
+        shuffled = list(ShuffleBuffer(items, buffer_size=16, seed=1))
+        assert sorted(shuffled) == items
+
+    def test_actually_shuffles(self):
+        items = list(range(1000))
+        shuffled = list(ShuffleBuffer(items, buffer_size=128, seed=2))
+        assert shuffled != items
+
+    def test_deterministic(self):
+        items = list(range(50))
+        a = list(ShuffleBuffer(items, buffer_size=8, seed=3))
+        b = list(ShuffleBuffer(items, buffer_size=8, seed=3))
+        assert a == b
+
+    def test_short_stream(self):
+        assert sorted(ShuffleBuffer([1, 2], buffer_size=100, seed=0)) == [1, 2]
+
+    def test_breaks_local_correlation(self):
+        # A sorted stream should have its neighbours separated.
+        items = list(range(400))
+        shuffled = list(ShuffleBuffer(items, buffer_size=100, seed=4))
+        gaps = np.abs(np.diff(shuffled))
+        assert gaps.mean() > 5
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            ShuffleBuffer([], buffer_size=0)
+
+
+class TestTake:
+    def test_takes_n(self):
+        assert list(take(iter(range(100)), 5)) == [0, 1, 2, 3, 4]
+
+    def test_short_source(self):
+        assert list(take(iter(range(3)), 10)) == [0, 1, 2]
+
+
+class TestBatched:
+    def test_even_batches(self):
+        assert list(batched(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_tail(self):
+        assert list(batched(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(batched(range(5), 0))
+
+
+class TestDenseRows:
+    def test_yields_rows(self):
+        mat = np.arange(6).reshape(2, 3)
+        rows = list(dense_rows(mat))
+        assert len(rows) == 2
+        np.testing.assert_array_equal(rows[1], [3, 4, 5])

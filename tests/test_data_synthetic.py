@@ -1,0 +1,102 @@
+"""Tests for the simulation data model (repro.data.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BlockCorrelationModel, plan_group_layout
+from repro.hashing.pairs import index_to_pair, num_pairs
+
+
+class TestPlanGroupLayout:
+    def test_hits_target_roughly(self):
+        d, alpha = 500, 0.005
+        g, m = plan_group_layout(d, alpha)
+        achieved = m * g * (g - 1) / 2 / num_pairs(d)
+        assert achieved == pytest.approx(alpha, rel=0.5)
+
+    def test_respects_feature_budget(self):
+        for alpha in (0.001, 0.01, 0.05, 0.1):
+            g, m = plan_group_layout(400, alpha)
+            assert m * g <= 0.85 * 400
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            plan_group_layout(100, 0.0)
+        with pytest.raises(ValueError):
+            plan_group_layout(100, 1.0)
+
+
+class TestModelConstruction:
+    def test_from_alpha(self):
+        model = BlockCorrelationModel.from_alpha(200, alpha=0.01, seed=0)
+        assert model.alpha == pytest.approx(0.01, rel=0.5)
+        assert (model.rhos >= 0.5).all() and (model.rhos < 1.0).all()
+
+    def test_rho_range_respected(self):
+        model = BlockCorrelationModel.from_alpha(
+            200, alpha=0.01, rho_range=(0.2, 0.4), seed=0
+        )
+        assert (model.rhos >= 0.2).all() and (model.rhos <= 0.4).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            BlockCorrelationModel(10, 5, 3, np.full(3, 0.5))
+        with pytest.raises(ValueError, match="rhos"):
+            BlockCorrelationModel(100, 5, 3, np.full(2, 0.5))
+        with pytest.raises(ValueError, match="inside"):
+            BlockCorrelationModel(100, 5, 3, np.array([0.5, 1.0, 0.5]))
+
+
+class TestTrueCorrelation:
+    def test_structure(self):
+        model = BlockCorrelationModel(20, 4, 2, np.array([0.7, 0.9]), seed=1)
+        corr = model.true_correlation()
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+        assert corr[0, 1] == 0.7
+        assert corr[4, 7] == 0.9
+        assert corr[0, 4] == 0.0   # across blocks
+        assert corr[10, 11] == 0.0  # noise features
+
+    def test_signal_pairs_match_matrix(self):
+        model = BlockCorrelationModel(30, 3, 3, np.array([0.6, 0.7, 0.8]), seed=1)
+        corr = model.true_correlation()
+        keys = model.signal_pairs()
+        assert keys.size == model.num_signal_pairs == 9
+        i, j = index_to_pair(keys, 30)
+        assert (corr[i, j] >= 0.6).all()
+
+    def test_signal_strength_is_min_rho(self):
+        model = BlockCorrelationModel(30, 3, 2, np.array([0.62, 0.81]), seed=1)
+        assert model.signal_strength == pytest.approx(0.62)
+
+
+class TestSampling:
+    def test_shape_and_standardisation(self):
+        model = BlockCorrelationModel.from_alpha(100, alpha=0.01, seed=2)
+        data = model.sample(4000)
+        assert data.shape == (4000, 100)
+        np.testing.assert_allclose(data.mean(axis=0), 0.0, atol=0.1)
+        np.testing.assert_allclose(data.std(axis=0), 1.0, atol=0.1)
+
+    def test_empirical_matches_population_correlation(self):
+        model = BlockCorrelationModel(40, 4, 3, np.array([0.5, 0.7, 0.9]), seed=3)
+        data = model.sample(20_000)
+        emp = np.corrcoef(data.T)
+        truth = model.true_correlation()
+        # Planted blocks within sampling error
+        np.testing.assert_allclose(emp[0, 1], truth[0, 1], atol=0.05)
+        np.testing.assert_allclose(emp[4, 6], truth[4, 6], atol=0.05)
+        np.testing.assert_allclose(emp[8, 11], truth[8, 11], atol=0.05)
+        # Off-block near zero
+        assert abs(emp[0, 20]) < 0.05
+
+    def test_reproducible_with_seed(self):
+        a = BlockCorrelationModel.from_alpha(50, alpha=0.02, seed=9).sample(10)
+        b = BlockCorrelationModel.from_alpha(50, alpha=0.02, seed=9).sample(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_external_rng(self):
+        model = BlockCorrelationModel.from_alpha(50, alpha=0.02, seed=9)
+        rng = np.random.default_rng(4)
+        data = model.sample(10, rng)
+        assert data.shape == (10, 50)

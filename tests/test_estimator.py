@@ -1,0 +1,90 @@
+"""Tests for the streaming estimator base (repro.core.estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SketchEstimator, StreamingEstimator
+from repro.sketch.count_sketch import CountSketch
+
+
+def make(total=100, *, track=0, seed=0, observer=None):
+    return SketchEstimator(
+        CountSketch(5, 2048, seed=seed), total, track_top=track, observer=observer
+    )
+
+
+class TestScaling:
+    def test_one_over_t_scaling(self):
+        # Inserting the same value T times must estimate the mean = value.
+        est = make(total=50)
+        for _ in range(50):
+            est.ingest(np.array([7]), np.array([3.0]))
+        assert est.estimate(np.array([7]))[0] == pytest.approx(3.0)
+
+    def test_batch_sums_equivalent_to_singles(self):
+        a = make(total=10, seed=3)
+        for _ in range(10):
+            a.ingest(np.array([4]), np.array([2.0]), num_samples=1)
+        b = make(total=10, seed=3)
+        b.ingest(np.array([4]), np.array([20.0]), num_samples=10)
+        assert a.estimate(np.array([4]))[0] == pytest.approx(
+            b.estimate(np.array([4]))[0]
+        )
+
+    def test_validates_total(self):
+        with pytest.raises(ValueError):
+            make(total=0)
+
+
+class TestBookkeeping:
+    def test_samples_seen(self):
+        est = make()
+        est.ingest(np.array([1]), np.array([1.0]), num_samples=7)
+        est.ingest(np.array([1]), np.array([1.0]), num_samples=3)
+        assert est.samples_seen == 10
+
+    def test_acceptance_rate_all_accepted(self):
+        est = make()
+        est.ingest(np.arange(10), np.ones(10))
+        assert est.acceptance_rate == 1.0
+        assert est.updates_examined == 10
+        assert est.updates_accepted == 10
+
+    def test_acceptance_rate_empty(self):
+        assert make().acceptance_rate == 1.0
+
+    def test_memory_floats(self):
+        assert make().memory_floats == 5 * 2048
+
+
+class TestObserver:
+    def test_observer_receives_batches(self):
+        calls = []
+
+        def observer(t, keys, values, mask):
+            calls.append((t, keys.copy(), values.copy(), mask.copy()))
+
+        est = make(observer=observer)
+        est.ingest(np.array([1, 2]), np.array([1.0, 2.0]), num_samples=5)
+        assert len(calls) == 1
+        t, keys, values, mask = calls[0]
+        assert t == 5
+        assert keys.tolist() == [1, 2]
+        assert mask.all()
+
+
+class TestTopK:
+    def test_requires_tracker(self):
+        with pytest.raises(RuntimeError, match="track_top"):
+            make().top_k(3)
+
+    def test_tracks_heavy_keys(self):
+        est = make(total=10, track=20)
+        for _ in range(10):
+            est.ingest(np.arange(100), np.concatenate([[50.0], np.ones(99)]))
+        keys, vals = est.top_k(1)
+        assert keys[0] == 0
+        assert vals[0] == pytest.approx(50.0, rel=0.2)
+
+    def test_protocol_conformance(self):
+        assert isinstance(make(track=5), StreamingEstimator)

@@ -1,0 +1,260 @@
+"""Tests for the experiment modules — tiny configs, structural assertions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_correlation_cdf,
+    fig2_mean_std_cdf,
+    fig3_independence,
+    fig4_normality,
+    fig5_rosnr,
+    fig6_f1_curves,
+    table1_theorem_validation,
+    table2_large_scale,
+    table4_top_fraction,
+    table5_k_sensitivity,
+    table6_timing,
+)
+from repro.experiments.base import TableResult, format_cell, render_results
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestTableResult:
+    def test_add_row_validates_width(self):
+        table = TableResult("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = TableResult("My Title", ("col1", "col2"))
+        table.add_row("x", 1.5)
+        table.notes.append("a note")
+        text = table.render()
+        assert "My Title" in text
+        assert "col1" in text and "1.500" in text
+        assert "note: a note" in text
+
+    def test_column_extraction(self):
+        table = TableResult("t", ("a", "b"))
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(12345.0) == "1.23e+04"
+        assert format_cell("abc") == "abc"
+        assert format_cell(0.0) == "0"
+
+    def test_render_results_multiple(self):
+        a = TableResult("A", ("x",))
+        b = TableResult("B", ("y",))
+        out = render_results([a, b])
+        assert "A" in out and "B" in out
+
+
+class TestFig1:
+    def test_cdf_monotone_and_terminal(self):
+        config = fig1_correlation_cdf.Config(
+            datasets=("gisette", "rcv1"), dim=80, samples=400
+        )
+        table = fig1_correlation_cdf.run(config)
+        for name in config.datasets:
+            col = table.column(name)
+            assert all(a <= b + 1e-12 for a, b in zip(col, col[1:]))
+            assert col[-1] == pytest.approx(1.0)
+
+    def test_bulk_near_zero(self):
+        config = fig1_correlation_cdf.Config(datasets=("gisette",), dim=80, samples=600)
+        table = fig1_correlation_cdf.run(config)
+        # CDF at x=0.2 should already capture most of the mass (sparsity).
+        x = table.column("x")
+        col = table.column("gisette")
+        assert col[x.index(0.2)] > 0.8
+
+
+class TestFig2:
+    def test_runs_and_bounded(self):
+        config = fig2_mean_std_cdf.Config(datasets=("epsilon",), dim=60, samples=300)
+        table = fig2_mean_std_cdf.run(config)
+        col = table.column("epsilon")
+        assert all(0.0 <= v <= 1.0 for v in col)
+        assert col[-1] == pytest.approx(1.0)
+
+
+class TestFig3:
+    def test_independence_fractions(self):
+        config = fig3_independence.Config(
+            dim=30, num_replicates=300, t=60, num_entries=40, gisette_samples=400
+        )
+        table = fig3_independence.run(config)
+        assert len(table.rows) == 2
+        # At the loosest threshold everything should be uncorrelated.
+        last_col = table.column("x=0.2")
+        assert all(v > 0.9 for v in last_col)
+
+
+class TestFig4:
+    def test_normality_diagnostics(self):
+        config = fig4_normality.Config(
+            dim=30, num_replicates=250, t=60, num_entries=2, gisette_samples=400
+        )
+        table = fig4_normality.run(config)
+        assert len(table.rows) == 4  # 2 entries x 2 sources
+        for qq in table.column("qq_corr"):
+            assert qq > 0.97  # CLT: near-perfect normal QQ
+
+
+class TestFig5:
+    def test_rosnr_structure(self):
+        config = fig5_rosnr.Config(dim=50, samples=800, window=200)
+        table = fig5_rosnr.run(config)
+        assert len(table.rows) > 4
+        for theory, measured in zip(
+            table.column("theoretical_ratio"), table.column("measured_ratio")
+        ):
+            assert theory > 0 and measured > 0
+
+    def test_theory_curve_nondecreasing_per_source(self):
+        config = fig5_rosnr.Config(dim=50, samples=800, window=200)
+        table = fig5_rosnr.run(config)
+        for source in ("simulation", "gisette"):
+            series = [
+                row[2] for row in table.rows if row[0] == source
+            ]
+            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+
+
+class TestTable1:
+    def test_bounds_hold_within_sampling_noise(self):
+        # d=40 is too small for the multi-table median approximation, so the
+        # unit test uses d=60 with the looser targets; the full-size default
+        # config (d=80, 12 replicates) is exercised by the benchmark suite.
+        config = table1_theorem_validation.Config(
+            dim=60,
+            samples=600,
+            num_replicates=4,
+            delta_targets=(0.1,),
+            escape_targets=(0.15,),
+            sources=("simulation",),
+        )
+        table = table1_theorem_validation.run(config)
+        # ~60 Bernoulli trials per cell: allow two binomial stds of slack.
+        rows = [r for r in table.rows if r[3] == r[3]]  # drop nan rows
+        assert rows
+        for _, _, target, realised, _ in rows:
+            slack = 2.0 * (target * (1 - target) / 60) ** 0.5
+            assert realised <= target + slack
+
+
+class TestTable2:
+    def test_small_config_runs(self):
+        config = table2_large_scale.Config(
+            url_dim=2000,
+            url_samples=800,
+            url_buckets=(4000,),
+            dna_genome=4000,
+            dna_read_length=100,
+            dna_coverage=3.0,
+            dna_k=6,
+            dna_buckets=(4000,),
+            top_k=50,
+            track_top=500,
+        )
+        table = table2_large_scale.run(config)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            cs_score, ascs_score = row[5], row[6]
+            assert 0.0 <= cs_score <= 1.0 or cs_score != cs_score
+            assert 0.0 <= ascs_score <= 1.0 or ascs_score != ascs_score
+
+
+class TestTable4:
+    def test_structure_and_ranges(self):
+        config = table4_top_fraction.Config(
+            datasets=("gisette",), methods=("cs", "ascs"),
+            fractions=(0.1, 1.0), dim=60, samples=500,
+        )
+        table = table4_top_fraction.run(config)
+        assert len(table.rows) == 4
+        for row in table.rows:
+            assert -1.0 <= row[2] <= 1.0
+
+    def test_smaller_fraction_higher_mean(self):
+        config = table4_top_fraction.Config(
+            datasets=("gisette",), methods=("cs",),
+            fractions=(0.05, 1.0), dim=80, samples=1000,
+        )
+        table = table4_top_fraction.run(config)
+        small_frac = table.rows[0][2]
+        full_frac = table.rows[1][2]
+        assert small_frac >= full_frac - 0.05
+
+
+class TestTable5:
+    def test_structure(self):
+        config = table5_k_sensitivity.Config(
+            dim=60, samples=500, budget_fractions=(0.1, 1.0),
+            num_tables_sweep=(2, 4),
+        )
+        table = table5_k_sensitivity.run(config)
+        assert len(table.rows) == 2
+        assert len(table.columns) == 3
+
+    def test_bigger_budget_no_worse(self):
+        config = table5_k_sensitivity.Config(
+            dim=60, samples=800, budget_fractions=(0.04, 1.0),
+            num_tables_sweep=(4,),
+        )
+        table = table5_k_sensitivity.run(config)
+        small, big = table.rows[0][1], table.rows[1][1]
+        assert big >= small - 0.1
+
+
+class TestTable6:
+    def test_timing_positive_and_comparable(self):
+        config = table6_timing.Config(datasets=("gisette",), dim=60, samples=400)
+        table = table6_timing.run(config)
+        row = table.rows[0]
+        assert row[1] > 0 and row[2] > 0
+        assert row[3] < 10  # ASCS within an order of magnitude of CS
+
+
+class TestFig6:
+    def test_structure(self):
+        config = fig6_f1_curves.Config(
+            datasets=("gisette",), dim=60, samples=600,
+            u_percentiles=(0.95,), top_sizes=(10, 30),
+            alphas_panel_f=(0.02,),
+        )
+        main, panel_f = fig6_f1_curves.run(config)
+        assert len(main.rows) == 4   # (CS + 1 ASCS) x 2 sizes
+        assert len(panel_f.rows) == 2
+        for f1 in main.column("max_f1"):
+            assert 0.0 <= f1 <= 1.0
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "table1", "table2", "table4", "table5", "table6", "sweep",
+        }
+
+    def test_run_experiment_by_name(self):
+        config = fig1_correlation_cdf.Config(datasets=("gisette",), dim=40, samples=200)
+        table = run_experiment("fig1", config)
+        assert isinstance(table, TableResult)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_every_module_has_contract(self):
+        for module in EXPERIMENTS.values():
+            assert hasattr(module, "Config")
+            assert hasattr(module, "run")
+            assert isinstance(module.PAPER_REFERENCE, str)

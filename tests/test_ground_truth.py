@@ -1,0 +1,128 @@
+"""Tests for ground-truth utilities (repro.covariance.ground_truth)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.covariance.ground_truth import (
+    correlation_matrix,
+    flat_true_correlations,
+    pair_correlations,
+    signal_key_set,
+    signal_threshold,
+    top_true_pairs,
+)
+from repro.covariance.updates import triu_pair_values
+
+
+class TestCorrelationMatrix:
+    def test_matches_corrcoef(self, rng):
+        data = rng.standard_normal((200, 8)) * np.arange(1, 9)
+        np.testing.assert_allclose(
+            correlation_matrix(data), np.corrcoef(data.T), atol=1e-10
+        )
+
+    def test_dead_features_zeroed(self, rng):
+        data = rng.standard_normal((50, 4))
+        data[:, 2] = 3.14
+        corr = correlation_matrix(data)
+        assert np.isfinite(corr).all()
+        assert (corr[2] == 0).all()
+
+    def test_sparse_input(self, rng):
+        dense = (rng.random((100, 10)) < 0.3) * rng.standard_normal((100, 10))
+        got = correlation_matrix(sp.csr_matrix(dense))
+        np.testing.assert_allclose(got, correlation_matrix(dense), atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.ones(5))
+
+
+class TestFlatTrueCorrelations:
+    def test_alignment(self, rng):
+        data = rng.standard_normal((100, 6))
+        flat = flat_true_correlations(data)
+        np.testing.assert_allclose(
+            flat, triu_pair_values(np.corrcoef(data.T)), atol=1e-12
+        )
+
+
+class TestPairCorrelations:
+    def test_dense_matches_matrix(self, rng):
+        data = rng.standard_normal((300, 12)) + 2.0
+        corr = correlation_matrix(data)
+        i = np.array([0, 3, 5])
+        j = np.array([7, 4, 11])
+        got = pair_correlations(data, i, j)
+        np.testing.assert_allclose(got, corr[i, j], atol=1e-10)
+
+    def test_sparse_matches_dense(self, rng):
+        dense = (rng.random((200, 15)) < 0.25) * np.abs(rng.standard_normal((200, 15)))
+        csr = sp.csr_matrix(dense)
+        i = np.array([0, 2, 9])
+        j = np.array([5, 14, 13])
+        np.testing.assert_allclose(
+            pair_correlations(csr, i, j),
+            pair_correlations(dense, i, j),
+            atol=1e-10,
+        )
+
+    def test_zero_variance_pairs_zero(self, rng):
+        data = rng.standard_normal((50, 3))
+        data[:, 0] = 1.0
+        got = pair_correlations(data, np.array([0]), np.array([1]))
+        assert got[0] == 0.0
+
+    def test_empty(self, rng):
+        data = rng.standard_normal((10, 3))
+        out = pair_correlations(data, np.empty(0, dtype=int), np.empty(0, dtype=int))
+        assert out.size == 0
+
+    def test_misaligned(self, rng):
+        with pytest.raises(ValueError, match="align"):
+            pair_correlations(np.ones((5, 3)), np.array([0]), np.array([1, 2]))
+
+
+class TestTopTruePairs:
+    def test_picks_largest(self):
+        corr = np.eye(5)
+        corr[0, 3] = corr[3, 0] = 0.9
+        corr[1, 2] = corr[2, 1] = 0.7
+        corr[0, 4] = corr[4, 0] = -0.95
+        keys, vals = top_true_pairs(corr, 2)
+        assert vals.tolist() == [0.9, 0.7]
+        keys_abs, vals_abs = top_true_pairs(corr, 2, by_abs=True)
+        assert vals_abs[0] == -0.95
+
+    def test_k_larger_than_p(self):
+        corr = np.eye(3)
+        keys, vals = top_true_pairs(corr, 100)
+        assert keys.size == 3
+
+
+class TestSignalDefinitions:
+    def test_threshold_is_quantile(self, rng):
+        data = rng.standard_normal((500, 20))
+        corr = correlation_matrix(data)
+        u = signal_threshold(corr, 0.1)
+        flat = triu_pair_values(corr)
+        assert np.mean(flat >= u) == pytest.approx(0.1, abs=0.02)
+
+    def test_threshold_validates_alpha(self):
+        with pytest.raises(ValueError):
+            signal_threshold(np.eye(3), 1.5)
+
+    def test_signal_key_set_size(self, rng):
+        data = rng.standard_normal((100, 20))
+        corr = correlation_matrix(data)
+        keys = signal_key_set(corr, 0.05)
+        assert keys.size == round(0.05 * 190)
+
+    def test_signal_keys_are_the_largest(self, rng):
+        data = rng.standard_normal((100, 10))
+        corr = correlation_matrix(data)
+        keys = signal_key_set(corr, 0.1)
+        flat = triu_pair_values(corr)
+        cutoff = np.sort(flat)[-keys.size]
+        assert (flat[keys] >= cutoff - 1e-12).all()

@@ -1,0 +1,145 @@
+"""End-to-end integration tests: the paper's headline behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.covariance.ground_truth import flat_true_correlations
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.core.api import build_estimator
+from repro.data.synthetic import BlockCorrelationModel
+from repro.data.url_like import URLLikeStream
+from repro.evaluation.harness import run_method, run_sparse_method
+from repro.evaluation.metrics import mean_top_true_value
+from repro.hashing.pairs import num_pairs
+from repro.theory.bounds import ProblemModel
+from repro.theory.planner import plan_hyperparameters
+
+
+class TestDenseHeadline:
+    """Section 8.3 regime: moderate memory, ASCS >= CS on top correlations."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        model = BlockCorrelationModel.from_alpha(
+            120, alpha=0.01, rho_range=(0.6, 0.95), seed=31
+        )
+        data = model.sample(2500)
+        truth = flat_true_correlations(data)
+        out = {}
+        for method in ("cs", "ascs"):
+            out[method] = run_method(
+                data, method, 1400, alpha=0.01, seed=7, batch_size=50
+            )
+        return truth, out
+
+    def test_ascs_not_worse_on_top_50(self, runs):
+        truth, out = runs
+        cs = mean_top_true_value(out["cs"].ranked_keys, truth, 50)
+        ascs = mean_top_true_value(out["ascs"].ranked_keys, truth, 50)
+        assert ascs >= cs - 0.08  # parity or better under randomness
+
+    def test_ascs_filters_most_updates(self, runs):
+        _, out = runs
+        assert out["ascs"].acceptance_rate < 0.6
+        assert out["cs"].acceptance_rate == 1.0
+
+    def test_both_find_real_signal(self, runs):
+        truth, out = runs
+        for run in out.values():
+            assert mean_top_true_value(run.ranked_keys, truth, 20) > 0.3
+
+
+class TestSparseHeadline:
+    """Table 2 regime: huge key space, candidate-tracker retrieval,
+    ASCS beats CS at the stressed memory point."""
+
+    def test_ascs_beats_cs_at_tight_memory(self):
+        stream = URLLikeStream(
+            dim=4000, num_samples=3000, num_groups=20, group_size=5,
+            group_prob=0.5, member_prob=0.95, background_nnz=25, seed=17,
+        )
+        stored = stream.materialize()
+        from repro.covariance.ground_truth import pair_correlations
+        from repro.hashing.pairs import index_to_pair
+
+        scores = {}
+        for method in ("cs", "ascs"):
+            keys, _, _ = run_sparse_method(
+                lambda: iter(stream), 4000, 3000, method, 6000,
+                alpha=1e-4, u=0.5, top_k=150, track_top=2000, seed=3,
+            )
+            i, j = index_to_pair(keys, 4000)
+            scores[method] = pair_correlations(stored, i, j).mean()
+        assert scores["ascs"] >= scores["cs"]
+
+    def test_trillion_scale_keyspace_smoke(self):
+        """Keys near the top of a 10^14 pair space flow through the whole
+        stack without overflow (the paper's DNA dimensionality)."""
+        d = 17_000_000
+        p = num_pairs(d)
+        assert p > 10**14
+        model = ProblemModel(
+            p=p, alpha=1e-9, u=0.9, sigma=0.5, T=10_000, num_tables=5,
+            num_buckets=100_000,
+        )
+        plan = plan_hyperparameters(model, delta=0.05, delta_star=0.2)
+        est = build_estimator(
+            "ascs", 10_000, 5, 100_000, plan=plan, seed=1, track_top=100
+        )
+        rng = np.random.default_rng(5)
+        keys = rng.integers(p - 10**9, p, size=500)
+        for _ in range(5):
+            est.ingest(keys, rng.standard_normal(500), num_samples=100)
+        top_keys, _ = est.top_k(10)
+        assert (top_keys >= 0).all() and (top_keys < p).all()
+
+
+class TestPlannerIntegration:
+    def test_planned_ascs_keeps_signals_and_drops_noise(self):
+        """Full loop: Algorithm 3 plan -> Algorithm 2 run -> signals retained
+        within the planned miss budget."""
+        model = BlockCorrelationModel.from_alpha(
+            100, alpha=0.005, rho_range=(0.7, 0.95), seed=41
+        )
+        n = 3000
+        data = model.sample(n)
+        p = num_pairs(100)
+        pm = ProblemModel(
+            p=p, alpha=model.alpha, u=model.signal_strength, sigma=1.0,
+            T=n, num_tables=5, num_buckets=p // 10,
+        )
+        plan = plan_hyperparameters(pm, delta=0.1, delta_star=0.3)
+        est = build_estimator("ascs", n, 5, p // 10, plan=plan, seed=9)
+        sk = CovarianceSketcher(100, est, mode="correlation", batch_size=50)
+        sk.fit_dense(data)
+
+        signals = model.signal_pairs()
+        estimates = est.estimate(signals)
+        final_tau = plan.threshold_at(n, n)
+        retained = float(np.mean(estimates >= final_tau))
+        assert retained >= 1.0 - plan.delta_star - 0.15
+
+    def test_mergeable_sketches_across_shards(self):
+        """Distributed aggregation: two half-stream sketches merged equal the
+        full-stream sketch (linear-sketch property end to end)."""
+        from repro.sketch.count_sketch import CountSketch
+        from repro.core.estimator import SketchEstimator
+
+        model = BlockCorrelationModel.from_alpha(40, alpha=0.02, seed=43)
+        data = model.sample(400)
+
+        # covariance mode: no per-shard std normalisation, so the linear
+        # merge is exactly the full-stream sketch.
+        full_est = SketchEstimator(CountSketch(3, 1024, seed=5), 400)
+        CovarianceSketcher(40, full_est, mode="covariance", batch_size=40).fit_dense(data)
+
+        half_a = SketchEstimator(CountSketch(3, 1024, seed=5), 400)
+        half_b = SketchEstimator(CountSketch(3, 1024, seed=5), 400)
+        CovarianceSketcher(40, half_a, mode="covariance", batch_size=40).fit_dense(data[:200])
+        CovarianceSketcher(40, half_b, mode="covariance", batch_size=40).fit_dense(data[200:])
+        half_a.sketch.merge(half_b.sketch)
+
+        keys = np.arange(num_pairs(40))
+        np.testing.assert_allclose(
+            half_a.estimate(keys), full_est.estimate(keys), atol=1e-9
+        )

@@ -1,0 +1,110 @@
+"""Tests for evaluation metrics (repro.evaluation.metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    max_f1_score,
+    mean_top_true_value,
+    precision_at_k,
+    precision_recall_curve,
+    recall_at_k,
+)
+
+
+class TestMeanTopTrueValue:
+    def test_basic(self):
+        truth = np.array([0.1, 0.9, 0.5, 0.2])
+        ranked = np.array([1, 2, 0, 3])
+        assert mean_top_true_value(ranked, truth, 2) == pytest.approx(0.7)
+
+    def test_k_one(self):
+        truth = np.array([0.1, 0.9])
+        assert mean_top_true_value(np.array([1, 0]), truth, 1) == pytest.approx(0.9)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            mean_top_true_value(np.array([0]), np.array([1.0]), 0)
+
+    def test_short_ranking_nan(self):
+        assert np.isnan(mean_top_true_value(np.empty(0, dtype=int), np.array([1.0]), 3))
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        signal = np.array([5, 6, 7])
+        ranked = np.array([7, 5, 6, 1, 2])
+        precision, recall = precision_recall_curve(ranked, signal)
+        np.testing.assert_allclose(precision[:3], 1.0)
+        np.testing.assert_allclose(recall[:3], [1 / 3, 2 / 3, 1.0])
+
+    def test_worst_ranking(self):
+        signal = np.array([9])
+        ranked = np.array([1, 2, 3])
+        precision, recall = precision_recall_curve(ranked, signal)
+        assert precision.max() == 0.0
+        assert recall.max() == 0.0
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([1]), np.array([], dtype=int))
+
+    def test_precision_at_k(self):
+        signal = np.array([1, 2])
+        ranked = np.array([1, 5, 2, 7])
+        assert precision_at_k(ranked, signal, 2) == pytest.approx(0.5)
+        assert precision_at_k(ranked, signal, 4) == pytest.approx(0.5)
+
+    def test_recall_at_k(self):
+        signal = np.array([1, 2])
+        ranked = np.array([1, 5, 2, 7])
+        assert recall_at_k(ranked, signal, 1) == pytest.approx(0.5)
+        assert recall_at_k(ranked, signal, 3) == pytest.approx(1.0)
+
+    def test_recall_empty_ranking(self):
+        assert recall_at_k(np.empty(0, dtype=int), np.array([1]), 5) == 0.0
+
+
+class TestMaxF1:
+    def test_perfect(self):
+        signal = np.array([3, 4])
+        assert max_f1_score(np.array([3, 4, 9]), signal) == pytest.approx(1.0)
+
+    def test_half_interleaved(self):
+        # ranking: S N S N -> best prefix is [S N S]: P=2/3, R=1 -> F1=0.8
+        signal = np.array([0, 2])
+        ranked = np.array([0, 9, 2, 8])
+        assert max_f1_score(ranked, signal) == pytest.approx(0.8)
+
+    def test_no_signals_found(self):
+        assert max_f1_score(np.array([5, 6]), np.array([1])) == 0.0
+
+    def test_monotone_in_ranking_quality(self):
+        signal = np.arange(10)
+        good = np.arange(20)          # signals first
+        bad = np.arange(20)[::-1]     # signals last
+        assert max_f1_score(good, signal) > max_f1_score(bad, signal)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_in_unit_interval(self, num_signals, seed):
+        rng = np.random.default_rng(seed)
+        universe = rng.permutation(200)
+        signal = universe[:num_signals]
+        ranked = rng.permutation(200)
+        f1 = max_f1_score(ranked, signal)
+        assert 0.0 <= f1 <= 1.0
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_f1_at_least_prefix_f1(self, seed):
+        """max-F1 dominates the F1 of the |S|-prefix by construction."""
+        rng = np.random.default_rng(seed)
+        signal = rng.choice(100, size=10, replace=False)
+        ranked = rng.permutation(100)
+        k = 10
+        hits = np.isin(ranked[:k], signal).sum()
+        prefix_f1 = 2 * hits / (k + 10) if hits else 0.0
+        assert max_f1_score(ranked, signal) >= prefix_f1 - 1e-12

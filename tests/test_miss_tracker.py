@@ -1,0 +1,65 @@
+"""Tests for the Table-1 instrumentation (SignalMissTracker)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1_theorem_validation import SignalMissTracker
+
+
+def make_tracker(signals=(2, 5), t0=10):
+    return SignalMissTracker(np.asarray(signals), t0)
+
+
+class TestPhases:
+    def test_exploration_batches_ignored(self):
+        tracker = make_tracker()
+        keys = np.arange(8)
+        tracker(5, keys, np.ones(8), np.ones(8, dtype=bool))
+        assert tracker.first_decision_pass is None
+        assert np.isnan(tracker.miss_at_t0_rate)
+
+    def test_first_sampling_decision_recorded(self):
+        tracker = make_tracker(signals=(2, 5), t0=10)
+        keys = np.arange(8)
+        tracker(10, keys, np.ones(8), np.ones(8, dtype=bool))  # explore up to 10
+        mask = np.ones(8, dtype=bool)
+        mask[5] = False  # signal 5 filtered at the first decision
+        tracker(11, keys, np.ones(8), mask)
+        assert tracker.first_decision_pass.tolist() == [True, False]
+        assert tracker.miss_at_t0_rate == pytest.approx(0.5)
+
+    def test_later_filtering_tracked(self):
+        tracker = make_tracker(signals=(2, 5), t0=10)
+        keys = np.arange(8)
+        tracker(10, keys, np.ones(8), np.ones(8, dtype=bool))
+        tracker(11, keys, np.ones(8), np.ones(8, dtype=bool))  # both pass
+        mask = np.ones(8, dtype=bool)
+        mask[2] = False  # signal 2 filtered later
+        tracker(12, keys, np.ones(8), mask)
+        assert tracker.miss_during_sampling_rate == pytest.approx(0.5)
+
+    def test_miss_at_t0_not_double_counted_later(self):
+        tracker = make_tracker(signals=(2,), t0=10)
+        keys = np.arange(8)
+        tracker(10, keys, np.ones(8), np.ones(8, dtype=bool))
+        mask = np.ones(8, dtype=bool)
+        mask[2] = False
+        tracker(11, keys, np.ones(8), mask)  # missed at T0
+        tracker(12, keys, np.ones(8), mask)  # still below: not an "escape"
+        assert tracker.miss_at_t0_rate == 1.0
+        assert tracker.miss_during_sampling_rate == 0.0
+
+    def test_signals_absent_from_batch_count_as_filtered(self):
+        # Sparse batches may not carry every signal key; absent means the
+        # update was not inserted, which for the bound's purposes is a pass
+        # on a zero update — tracked as not-passing only if masked out.
+        tracker = make_tracker(signals=(2, 100), t0=10)
+        keys = np.arange(8)  # key 100 absent
+        tracker(10, keys, np.ones(8), np.ones(8, dtype=bool))
+        tracker(11, keys, np.ones(8), np.ones(8, dtype=bool))
+        assert tracker.first_decision_pass.tolist() == [True, False]
+
+    def test_no_sampling_batches_all_nan(self):
+        tracker = make_tracker()
+        assert np.isnan(tracker.miss_at_t0_rate)
+        assert np.isnan(tracker.miss_during_sampling_rate)

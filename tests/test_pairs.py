@@ -1,0 +1,151 @@
+"""Tests for the pair-index bijection (repro.hashing.pairs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.pairs import (
+    MAX_DIMENSION,
+    all_pair_indices,
+    index_to_pair,
+    num_pairs,
+    pair_to_index,
+    pairs_among,
+)
+
+
+class TestNumPairs:
+    def test_small_values(self):
+        assert num_pairs(2) == 1
+        assert num_pairs(3) == 3
+        assert num_pairs(4) == 6
+        assert num_pairs(1000) == 499_500
+
+    def test_paper_dna_scale(self):
+        # The DNA dataset: 17M features -> ~144 trillion entries.
+        assert num_pairs(17_000_000) == 144_499_991_500_000
+
+    def test_dimension_too_small(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            num_pairs(1)
+
+    def test_dimension_too_large(self):
+        with pytest.raises(ValueError, match="MAX_DIMENSION"):
+            num_pairs(MAX_DIMENSION + 1)
+
+
+class TestPairToIndex:
+    def test_canonical_order_small(self):
+        # d=4: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5
+        d = 4
+        expected = {(0, 1): 0, (0, 2): 1, (0, 3): 2, (1, 2): 3, (1, 3): 4, (2, 3): 5}
+        for (i, j), idx in expected.items():
+            assert pair_to_index(i, j, d) == idx
+
+    def test_vectorised_matches_scalar(self):
+        d = 37
+        i, j = np.triu_indices(d, k=1)
+        vec = pair_to_index(i, j, d)
+        for n in range(0, i.size, 7):
+            assert vec[n] == pair_to_index(int(i[n]), int(j[n]), d)
+
+    def test_full_range_is_permutation(self):
+        d = 50
+        i, j = np.triu_indices(d, k=1)
+        idx = pair_to_index(i, j, d)
+        assert sorted(idx.tolist()) == list(range(num_pairs(d)))
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            pair_to_index(3, 3, 10)
+
+    def test_rejects_swapped(self):
+        with pytest.raises(ValueError):
+            pair_to_index(5, 2, 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pair_to_index(0, 10, 10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pair_to_index(-1, 3, 10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            pair_to_index(np.array([1, 2]), np.array([3]), 10)
+
+
+class TestIndexToPair:
+    def test_round_trip_exhaustive_small(self):
+        d = 23
+        idx = np.arange(num_pairs(d))
+        i, j = index_to_pair(idx, d)
+        assert (i < j).all()
+        assert (pair_to_index(i, j, d) == idx).all()
+
+    @pytest.mark.parametrize("d", [2, 3, 10, 1000, 10**6, 17_000_000, 10**9])
+    def test_round_trip_random(self, d):
+        rng = np.random.default_rng(d)
+        idx = rng.integers(0, num_pairs(d), size=500)
+        i, j = index_to_pair(idx, d)
+        assert (i >= 0).all() and (j < d).all() and (i < j).all()
+        assert (pair_to_index(i, j, d) == idx).all()
+
+    def test_boundary_indices(self):
+        d = 12345
+        p = num_pairs(d)
+        idx = np.array([0, 1, p - 2, p - 1])
+        i, j = index_to_pair(idx, d)
+        assert (i[0], j[0]) == (0, 1)
+        assert (i[-1], j[-1]) == (d - 2, d - 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_pair(num_pairs(10), 10)
+        with pytest.raises(ValueError):
+            index_to_pair(-1, 10)
+
+    @given(st.integers(min_value=2, max_value=10**8), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_property(self, d, data):
+        idx = data.draw(st.integers(min_value=0, max_value=num_pairs(d) - 1))
+        i, j = index_to_pair(np.asarray([idx]), d)
+        assert 0 <= i[0] < j[0] < d
+        assert pair_to_index(i, j, d)[0] == idx
+
+
+class TestPairsAmong:
+    def test_matches_manual_combinations(self):
+        d = 30
+        feats = np.array([3, 17, 8, 25])
+        keys = pairs_among(feats, d)
+        expected = sorted(
+            pair_to_index(min(a, b), max(a, b), d)
+            for n, a in enumerate([3, 8, 17, 25])
+            for b in [3, 8, 17, 25][n + 1 :]
+        )
+        assert sorted(keys.tolist()) == expected
+
+    def test_deduplicates(self):
+        keys = pairs_among(np.array([5, 5, 9]), 20)
+        assert keys.size == 1
+
+    def test_degenerate_inputs(self):
+        assert pairs_among(np.array([7]), 20).size == 0
+        assert pairs_among(np.array([], dtype=np.int64), 20).size == 0
+
+    def test_count(self):
+        feats = np.arange(0, 40, 3)
+        m = feats.size
+        assert pairs_among(feats, 100).size == m * (m - 1) // 2
+
+
+class TestAllPairIndices:
+    def test_small(self):
+        assert all_pair_indices(5).tolist() == list(range(10))
+
+    def test_refuses_huge(self):
+        with pytest.raises(ValueError, match="refusing"):
+            all_pair_indices(100_000)

@@ -1,0 +1,175 @@
+"""Tests for the streaming pipeline (repro.covariance.pipeline)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.estimator import SketchEstimator
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.covariance.running import ExactCovariance
+from repro.covariance.updates import triu_pair_values
+from repro.sketch.count_sketch import CountSketch
+
+
+def make_estimator(total, *, tables=5, buckets=8192, seed=0, track=0):
+    return SketchEstimator(
+        CountSketch(tables, buckets, seed=seed), total, track_top=track
+    )
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            CovarianceSketcher(10, None, mode="magic")
+
+    def test_bad_centering(self):
+        with pytest.raises(ValueError, match="centering"):
+            CovarianceSketcher(10, None, centering="magic")
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            CovarianceSketcher(10, None, batch_size=0)
+
+    def test_wrong_shape(self):
+        sk = CovarianceSketcher(10, make_estimator(5))
+        with pytest.raises(ValueError, match="expected shape"):
+            sk.fit_dense(np.ones((5, 9)))
+
+    def test_sparse_rejects_centering(self):
+        sk = CovarianceSketcher(10, make_estimator(5), centering="running")
+        with pytest.raises(ValueError, match="centering"):
+            sk.fit_sparse(iter([]))
+
+
+class TestDenseCovarianceAccuracy:
+    def test_uncentered_estimates_match_second_moments(self, rng):
+        # Zero-mean data: E[YaYb] == Cov(Ya, Yb); wide sketch -> near-exact.
+        d, n = 12, 600
+        data = rng.standard_normal((n, d))
+        est = make_estimator(n)
+        sk = CovarianceSketcher(d, est, mode="covariance", centering="none", batch_size=50)
+        sk.fit_dense(data)
+        truth = triu_pair_values(data.T @ data / n)
+        got = sk.estimate_keys(np.arange(truth.size))
+        np.testing.assert_allclose(got, truth, atol=1e-8)
+
+    def test_running_centering_approximates_covariance(self, rng):
+        d, n = 10, 2000
+        data = rng.standard_normal((n, d)) + 5.0  # large mean: centering matters
+        est = make_estimator(n)
+        sk = CovarianceSketcher(d, est, mode="covariance", centering="running", batch_size=50)
+        sk.fit_dense(data)
+        truth = triu_pair_values(np.cov(data.T, bias=True))
+        got = sk.estimate_keys(np.arange(truth.size))
+        # Early batches are centered with immature means; tolerance is loose.
+        assert np.abs(got - truth).max() < 0.2
+
+    def test_exact_centering_matches_exact_covariance(self, rng):
+        d, n = 8, 60
+        data = rng.standard_normal((n, d)) + 3.0
+        est = make_estimator(n)
+        sk = CovarianceSketcher(d, est, mode="covariance", centering="exact", batch_size=16)
+        sk.fit_dense(data)
+        exact = ExactCovariance(d)
+        exact.update(data)
+        truth = triu_pair_values(exact.covariance())
+        got = sk.estimate_keys(np.arange(truth.size))
+        np.testing.assert_allclose(got, truth, atol=1e-8)
+
+    def test_correlation_mode_estimates_correlations(self, rng):
+        d, n = 10, 4000
+        scales = np.linspace(1, 10, d)
+        data = rng.standard_normal((n, d)) * scales
+        data[:, 1] = data[:, 0] * 0.8 + data[:, 1] * 0.6  # plant corr ~0.8
+        est = make_estimator(n)
+        sk = CovarianceSketcher(d, est, mode="correlation", centering="none", batch_size=100)
+        sk.fit_dense(data)
+        truth = triu_pair_values(np.corrcoef(data.T))
+        got = sk.estimate_keys(np.arange(truth.size))
+        assert np.abs(got - truth).max() < 0.1
+        # the planted pair is clearly the top estimate
+        assert np.argmax(got) == np.argmax(truth)
+
+
+class TestSparsePath:
+    def test_sparse_equals_dense_on_same_data(self, rng):
+        d, n = 15, 200
+        dense = np.zeros((n, d))
+        samples = []
+        for row in range(n):
+            nnz = rng.integers(2, 6)
+            idx = np.sort(rng.choice(d, size=nnz, replace=False))
+            vals = rng.standard_normal(nnz)
+            dense[row, idx] = vals
+            samples.append((idx, vals))
+
+        est_a = make_estimator(n, seed=3)
+        sk_a = CovarianceSketcher(d, est_a, mode="covariance", batch_size=16)
+        sk_a.fit_dense(dense)
+
+        est_b = make_estimator(n, seed=3)
+        sk_b = CovarianceSketcher(d, est_b, mode="covariance", batch_size=16)
+        sk_b.fit_sparse(iter(samples))
+
+        keys = np.arange(d * (d - 1) // 2)
+        np.testing.assert_allclose(
+            sk_a.estimate_keys(keys), sk_b.estimate_keys(keys), atol=1e-8
+        )
+
+    def test_csr_dispatch(self, rng):
+        d, n = 15, 100
+        dense = (rng.random((n, d)) < 0.2) * rng.standard_normal((n, d))
+        csr = sp.csr_matrix(dense)
+
+        est_a = make_estimator(n, seed=4)
+        CovarianceSketcher(d, est_a, mode="covariance", batch_size=8).fit(csr)
+        est_b = make_estimator(n, seed=4)
+        CovarianceSketcher(d, est_b, mode="covariance", batch_size=8).fit_dense(dense)
+
+        keys = np.arange(d * (d - 1) // 2)
+        np.testing.assert_allclose(
+            est_a.estimate(keys), est_b.estimate(keys), atol=1e-8
+        )
+
+    def test_fit_dispatch_rejects_unknown(self):
+        sk = CovarianceSketcher(10, make_estimator(5))
+        with pytest.raises(TypeError):
+            sk.fit(42)
+
+    def test_samples_seen_tracked(self, rng):
+        d, n = 8, 37
+        sk = CovarianceSketcher(d, make_estimator(n), batch_size=10)
+        sk.fit_dense(rng.standard_normal((n, d)))
+        assert sk.samples_seen == n
+
+
+class TestRetrieval:
+    def test_top_pairs_scan(self, rng):
+        d, n = 20, 2000
+        data = rng.standard_normal((n, d))
+        data[:, 3] = data[:, 7] * 0.9 + 0.436 * data[:, 3]
+        est = make_estimator(n)
+        sk = CovarianceSketcher(d, est, mode="correlation", batch_size=100)
+        sk.fit_dense(data)
+        i, j, vals = sk.top_pairs(1, scan=True)
+        assert (int(i[0]), int(j[0])) == (3, 7)
+        assert vals[0] == pytest.approx(0.9, abs=0.1)
+
+    def test_top_pairs_tracker(self, rng):
+        d, n = 20, 2000
+        data = rng.standard_normal((n, d))
+        data[:, 3] = data[:, 7] * 0.9 + 0.436 * data[:, 3]
+        est = make_estimator(n, track=50)
+        sk = CovarianceSketcher(d, est, mode="correlation", batch_size=100)
+        sk.fit_dense(data)
+        i, j, _ = sk.top_pairs(1, scan=False)
+        assert (int(i[0]), int(j[0])) == (3, 7)
+
+    def test_estimate_pairs(self, rng):
+        d, n = 10, 500
+        data = rng.standard_normal((n, d))
+        est = make_estimator(n)
+        sk = CovarianceSketcher(d, est, mode="covariance", batch_size=50)
+        sk.fit_dense(data)
+        vals = sk.estimate_pairs(np.array([0, 1]), np.array([5, 2]))
+        assert vals.shape == (2,)

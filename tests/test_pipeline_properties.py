@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for pipeline-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import SketchEstimator
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.covariance.updates import dense_batch_products, triu_pair_values
+from repro.sketch.count_sketch import CountSketch
+
+
+def _estimator(total, seed=0):
+    return SketchEstimator(CountSketch(3, 4096, seed=seed), total)
+
+
+class TestSparseDenseEquivalence:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(5, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_paths_agree_on_random_data(self, seed, d):
+        """For any dataset, streaming it sparse or dense yields the same
+        sketch content (covariance mode)."""
+        rng = np.random.default_rng(seed)
+        n = 30
+        dense = np.where(
+            rng.random((n, d)) < 0.4, rng.standard_normal((n, d)), 0.0
+        )
+        samples = []
+        for row in dense:
+            idx = np.nonzero(row)[0]
+            samples.append((idx, row[idx]))
+
+        est_a = _estimator(n, seed=1)
+        CovarianceSketcher(d, est_a, mode="covariance", batch_size=7).fit_dense(dense)
+        est_b = _estimator(n, seed=1)
+        CovarianceSketcher(d, est_b, mode="covariance", batch_size=7).fit_sparse(
+            iter(samples)
+        )
+        np.testing.assert_allclose(est_a.sketch.table, est_b.sketch.table, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.sampled_from([1, 3, 8, 25]))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_size_invariance_for_cs(self, seed, batch_size):
+        """Vanilla CS content is exactly batch-size invariant (linearity)."""
+        rng = np.random.default_rng(seed)
+        n, d = 25, 8
+        dense = rng.standard_normal((n, d))
+
+        est_a = _estimator(n, seed=2)
+        CovarianceSketcher(d, est_a, mode="covariance", batch_size=batch_size).fit_dense(dense)
+        est_b = _estimator(n, seed=2)
+        CovarianceSketcher(d, est_b, mode="covariance", batch_size=n).fit_dense(dense)
+        np.testing.assert_allclose(est_a.sketch.table, est_b.sketch.table, atol=1e-9)
+
+
+class TestUpdateAlgebra:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_products_additive(self, seed):
+        """Pair products over a concatenated batch = sum over sub-batches."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((3, 6))
+        combined = dense_batch_products(np.vstack([a, b]))
+        np.testing.assert_allclose(
+            combined,
+            dense_batch_products(a) + dense_batch_products(b),
+            atol=1e-10,
+        )
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_products_symmetric_under_feature_scaling_sign(self, seed):
+        """Negating a feature negates exactly its pairs' products."""
+        rng = np.random.default_rng(seed)
+        batch = rng.standard_normal((5, 6))
+        flipped = batch.copy()
+        flipped[:, 2] *= -1
+        base = dense_batch_products(batch)
+        neg = dense_batch_products(flipped)
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2, :] = True
+        mask[:, 2] = True
+        flat_mask = triu_pair_values(mask.astype(float)) > 0
+        np.testing.assert_allclose(neg[flat_mask], -base[flat_mask], atol=1e-10)
+        np.testing.assert_allclose(neg[~flat_mask], base[~flat_mask], atol=1e-10)
+
+
+class TestEstimateUnbiasedness:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_mean_estimate_over_seeds_tracks_truth(self, seed):
+        """Averaged over hash seeds, the CS estimate of a planted pair's
+        covariance is close to the truth (unbiasedness of count sketch)."""
+        rng = np.random.default_rng(seed)
+        n, d = 200, 10
+        dense = rng.standard_normal((n, d))
+        dense[:, 1] = 0.7 * dense[:, 0] + np.sqrt(1 - 0.49) * dense[:, 1]
+        truth = float(dense[:, 0] @ dense[:, 1] / n)
+
+        estimates = []
+        for hash_seed in range(8):
+            est = SketchEstimator(CountSketch(1, 16, seed=hash_seed), n)
+            CovarianceSketcher(d, est, mode="covariance", batch_size=50).fit_dense(dense)
+            estimates.append(est.estimate(np.asarray([0]))[0])
+        # Single-table, tiny R: individual estimates are noisy but the mean
+        # over independent hash draws concentrates near the truth.
+        assert abs(np.mean(estimates) - truth) < 1.0

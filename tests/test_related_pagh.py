@@ -1,0 +1,105 @@
+"""Tests for the Pagh compressed-product baseline (repro.related.pagh)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.pairs import pair_to_index
+from repro.related.pagh import CompressedCovarianceSketch
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompressedCovarianceSketch(1, 3, 64)
+        with pytest.raises(ValueError):
+            CompressedCovarianceSketch(10, 0, 64)
+        with pytest.raises(ValueError):
+            CompressedCovarianceSketch(10, 3, 1)
+
+    def test_memory_accounting(self):
+        sk = CompressedCovarianceSketch(10, 4, 256)
+        assert sk.memory_floats == 4 * 258
+
+
+class TestConvolutionIdentity:
+    """The FFT path must equal the direct pair count sketch it encodes."""
+
+    def test_single_sample_exact_reconstruction(self, rng):
+        d, b = 12, 4096  # b >> d^2: collisions essentially impossible
+        sk = CompressedCovarianceSketch(d, 5, b, seed=3)
+        y = rng.standard_normal(d)
+        sk.insert_sample(y)
+        i, j = np.triu_indices(d, k=1)
+        est = sk.query_pairs(i, j)
+        np.testing.assert_allclose(est, y[i] * y[j], atol=1e-8)
+
+    def test_accumulation_over_samples(self, rng):
+        d, b = 10, 4096
+        sk = CompressedCovarianceSketch(d, 5, b, seed=4)
+        data = rng.standard_normal((30, d))
+        for row in data:
+            sk.insert_sample(row)
+        i, j = np.triu_indices(d, k=1)
+        truth = np.einsum("ti,tj->ij", data, data)[i, j]
+        np.testing.assert_allclose(sk.query_pairs(i, j), truth, atol=1e-7)
+
+    def test_sparse_insert_matches_dense(self, rng):
+        d, b = 20, 2048
+        a = CompressedCovarianceSketch(d, 3, b, seed=5)
+        c = CompressedCovarianceSketch(d, 3, b, seed=5)
+        y = np.zeros(d)
+        idx = np.array([2, 7, 13])
+        y[idx] = [1.0, -2.0, 0.5]
+        a.insert_sample(y)
+        c.insert_sparse(idx, y[idx])
+        i, j = np.triu_indices(d, k=1)
+        np.testing.assert_allclose(a.query_pairs(i, j), c.query_pairs(i, j), atol=1e-10)
+
+    def test_query_keys_matches_query_pairs(self, rng):
+        d, b = 15, 1024
+        sk = CompressedCovarianceSketch(d, 3, b, seed=6)
+        sk.insert_sample(rng.standard_normal(d))
+        i = np.array([0, 3, 7])
+        j = np.array([5, 9, 14])
+        keys = pair_to_index(i, j, d)
+        np.testing.assert_allclose(sk.query_keys(keys), sk.query_pairs(i, j))
+
+
+class TestStatisticalBehaviour:
+    def test_recovers_planted_covariance_under_compression(self, rng):
+        # b << p: real compression; the planted heavy pair must still
+        # dominate the noise.
+        d, n, b = 60, 2000, 1024  # p = 1770 pairs -> ~1.7 pairs/bucket
+        data = rng.standard_normal((n, d))
+        data[:, 7] = 0.9 * data[:, 3] + np.sqrt(1 - 0.81) * data[:, 7]
+        sk = CompressedCovarianceSketch(d, 5, b, seed=7)
+        for row in data:
+            sk.insert_sample(row)
+        i, j = np.triu_indices(d, k=1)
+        est = sk.query_pairs(i, j) / n
+        top = np.argmax(est)
+        assert (i[top], j[top]) == (3, 7)
+        assert est[top] == pytest.approx(0.9, abs=0.15)
+
+    def test_mean_scaling(self, rng):
+        d = 10
+        sk = CompressedCovarianceSketch(d, 3, 512, seed=8)
+        y = np.ones(d)
+        for _ in range(50):
+            sk.insert_sample(y)
+        keys = np.array([0])
+        assert sk.query_mean_keys(keys)[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_sketch_queries_zero(self):
+        sk = CompressedCovarianceSketch(10, 3, 128, seed=9)
+        assert sk.query_mean_keys(np.array([0, 1]))[0] == 0.0
+
+    def test_misaligned_pairs_rejected(self):
+        sk = CompressedCovarianceSketch(10, 3, 128)
+        with pytest.raises(ValueError, match="align"):
+            sk.query_pairs(np.array([1]), np.array([2, 3]))
+
+    def test_wrong_sample_shape_rejected(self):
+        sk = CompressedCovarianceSketch(10, 3, 128)
+        with pytest.raises(ValueError, match="expected shape"):
+            sk.insert_sample(np.ones(11))

@@ -1,0 +1,65 @@
+"""Tests for the replicate machinery (repro.experiments.replicates)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BlockCorrelationModel
+from repro.experiments.replicates import replicate_covariances, simulation_model
+
+
+class TestSimulationModel:
+    def test_matches_paper_recipe(self):
+        model = simulation_model(dim=60, alpha=0.005, seed=0)
+        assert isinstance(model, BlockCorrelationModel)
+        # Strengths uniform in (0.5, 1) per section 6.2.
+        assert (model.rhos >= 0.5).all() and (model.rhos < 1.0).all()
+        assert model.alpha == pytest.approx(0.005, rel=1.0)
+
+
+class TestReplicateCovariances:
+    def test_shape_model_source(self):
+        model = simulation_model(dim=20, seed=1)
+        out = replicate_covariances(model, num_replicates=10, t=50, seed=2)
+        assert out.shape == (10, 190)
+
+    def test_shape_with_pair_keys(self):
+        model = simulation_model(dim=20, seed=1)
+        keys = np.array([0, 5, 100])
+        out = replicate_covariances(model, 8, 50, seed=2, pair_keys=keys)
+        assert out.shape == (8, 3)
+
+    def test_bootstrap_source(self, rng):
+        data = rng.standard_normal((200, 15))
+        out = replicate_covariances(data, num_replicates=12, t=40, seed=3)
+        assert out.shape == (12, 105)
+        assert np.isfinite(out).all()
+
+    def test_standardized_entries_bounded(self):
+        model = simulation_model(dim=16, seed=4)
+        out = replicate_covariances(model, 20, 100, seed=5, standardize=True)
+        # correlation-scale entries live in [-1, 1]
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+    def test_unstandardized_differs(self):
+        model = simulation_model(dim=16, seed=4)
+        a = replicate_covariances(model, 5, 60, seed=6, standardize=True)
+        b = replicate_covariances(model, 5, 60, seed=6, standardize=False)
+        assert not np.allclose(a, b)
+
+    def test_signal_entries_concentrate_near_rho(self):
+        model = BlockCorrelationModel(20, 4, 1, np.array([0.8]), seed=7)
+        keys = model.signal_pairs()
+        out = replicate_covariances(model, 60, 200, seed=8, pair_keys=keys)
+        assert out.mean() == pytest.approx(0.8, abs=0.08)
+
+    def test_noise_entries_centered_at_zero(self):
+        model = BlockCorrelationModel(20, 4, 1, np.array([0.8]), seed=9)
+        noise_keys = np.array([150, 170, 188])  # outside the single block
+        out = replicate_covariances(model, 80, 200, seed=10, pair_keys=noise_keys)
+        assert abs(out.mean()) < 0.05
+
+    def test_deterministic_given_seed(self):
+        model = simulation_model(dim=12, seed=11)
+        a = replicate_covariances(model, 4, 30, seed=12)
+        b = replicate_covariances(model, 4, 30, seed=12)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,54 @@
+"""Tests for the experiments CLI (repro.experiments.runner)."""
+
+import pytest
+
+from repro.experiments import sweep_sketch_size
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_name_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_named_experiment(self, capsys, monkeypatch):
+        # Patch in a tiny config so the CLI test stays fast.
+        import dataclasses
+
+        import repro.experiments.fig2_mean_std_cdf as fig2
+
+        tiny = dataclasses.replace(fig2.Config(), dim=40, samples=150)
+        monkeypatch.setattr(fig2, "Config", lambda: tiny)
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "paper reference" in out
+        assert "completed in" in out
+
+
+class TestSweepExperiment:
+    def test_small_sweep_runs(self):
+        config = sweep_sketch_size.Config(
+            dim=80, samples=800, bucket_fractions=(0.01, 0.2),
+            signal_set_size=40,
+        )
+        table = run_experiment("sweep", config)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            cs, ascs = row[2], row[3]
+            assert 0.0 <= cs <= 1.0
+            assert 0.0 <= ascs <= 1.0
+
+    def test_more_memory_helps_cs(self):
+        config = sweep_sketch_size.Config(
+            dim=80, samples=1000, bucket_fractions=(0.005, 0.3),
+            signal_set_size=40,
+        )
+        table = run_experiment("sweep", config)
+        assert table.rows[1][2] >= table.rows[0][2] - 0.05

@@ -1,0 +1,78 @@
+"""Tests for the threshold schedule (repro.core.schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ThresholdSchedule
+from repro.theory.planner import ASCSPlan
+
+
+def make_schedule(**overrides):
+    base = dict(exploration_length=100, tau0=1e-4, theta=0.3, total_samples=1000)
+    base.update(overrides)
+    return ThresholdSchedule(**base)
+
+
+class TestValidation:
+    def test_negative_exploration(self):
+        with pytest.raises(ValueError):
+            make_schedule(exploration_length=-1)
+
+    def test_zero_total(self):
+        with pytest.raises(ValueError):
+            make_schedule(total_samples=0)
+
+    def test_negative_theta(self):
+        with pytest.raises(ValueError):
+            make_schedule(theta=-0.1)
+
+
+class TestRamp:
+    def test_linear_values(self):
+        sched = make_schedule()
+        assert sched.threshold(100) == pytest.approx(1e-4)
+        assert sched.threshold(550) == pytest.approx(1e-4 + 0.3 * 450 / 1000)
+        assert sched.threshold(1000) == pytest.approx(1e-4 + 0.3 * 900 / 1000)
+
+    def test_clamps_before_t0(self):
+        sched = make_schedule()
+        assert sched.threshold(0) == pytest.approx(sched.tau0)
+
+    def test_in_exploration(self):
+        sched = make_schedule()
+        assert sched.in_exploration(0)
+        assert sched.in_exploration(99)
+        assert not sched.in_exploration(100)
+
+    def test_vectorised_matches_scalar(self):
+        sched = make_schedule()
+        t = np.array([0, 50, 100, 400, 1000])
+        vec = sched.thresholds(t)
+        for n, tv in enumerate(t):
+            assert vec[n] == pytest.approx(sched.threshold(int(tv)))
+
+    def test_final_threshold(self):
+        sched = make_schedule()
+        assert sched.final_threshold == pytest.approx(sched.threshold(1000))
+
+    def test_zero_theta_is_flat(self):
+        sched = make_schedule(theta=0.0)
+        assert sched.threshold(999) == pytest.approx(sched.tau0)
+
+
+class TestFromPlan:
+    def test_carries_plan_values(self):
+        plan = ASCSPlan(
+            exploration_length=77,
+            tau0=2e-4,
+            theta=0.11,
+            delta=0.05,
+            delta_star=0.2,
+            saturation=0.01,
+            used_fallback=False,
+        )
+        sched = ThresholdSchedule.from_plan(plan, 5000)
+        assert sched.exploration_length == 77
+        assert sched.tau0 == 2e-4
+        assert sched.theta == 0.11
+        assert sched.total_samples == 5000

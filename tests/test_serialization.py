@@ -1,0 +1,99 @@
+"""Tests for sketch serialisation (repro.sketch.serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.serialization import load_sketch, save_sketch
+
+
+@pytest.fixture
+def tmp_sketch_path(tmp_path):
+    return str(tmp_path / "sketch.npz")
+
+
+class TestCountSketchRoundTrip:
+    def test_queries_identical(self, tmp_sketch_path, rng):
+        sketch = CountSketch(4, 512, seed=7, family="polynomial")
+        keys = rng.integers(0, 10**9, size=2000)
+        sketch.insert(keys, rng.standard_normal(2000))
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        probe = rng.integers(0, 10**9, size=500)
+        np.testing.assert_array_equal(loaded.query(probe), sketch.query(probe))
+
+    def test_further_inserts_consistent(self, tmp_sketch_path, rng):
+        sketch = CountSketch(3, 256, seed=1)
+        sketch.insert(np.arange(50), np.ones(50))
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        more_keys = np.arange(50)
+        sketch.insert(more_keys, np.ones(50))
+        loaded.insert(more_keys, np.ones(50))
+        np.testing.assert_allclose(loaded.table, sketch.table, atol=1e-12)
+
+    def test_loaded_merges_with_original_lineage(self, tmp_sketch_path):
+        sketch = CountSketch(3, 256, seed=2)
+        sketch.insert(np.array([5]), np.array([1.0]))
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        loaded.merge(sketch)
+        assert loaded.query_single(5) == pytest.approx(2.0)
+
+    def test_parameters_preserved(self, tmp_sketch_path):
+        sketch = CountSketch(6, 123, seed=99, family="tabulation")
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        assert loaded.num_tables == 6
+        assert loaded.num_buckets == 123
+        assert loaded.seed == 99
+        assert loaded.family == "tabulation"
+
+
+class TestCountMinRoundTrip:
+    def test_round_trip_with_cap(self, tmp_sketch_path):
+        sketch = CountMinSketch(3, 128, seed=3, conservative=True, cap=7.5)
+        sketch.insert(np.array([1, 2]), np.array([5.0, 9.0]))
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        assert loaded.conservative is True
+        assert loaded.cap == 7.5
+        np.testing.assert_array_equal(
+            loaded.query(np.array([1, 2])), sketch.query(np.array([1, 2]))
+        )
+
+    def test_round_trip_without_cap(self, tmp_sketch_path):
+        sketch = CountMinSketch(2, 64, seed=4)
+        sketch.insert(np.array([9]), np.array([2.0]))
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        assert loaded.cap is None
+        assert loaded.query_single(9) == sketch.query_single(9)
+
+
+class TestErrors:
+    def test_unsupported_type(self, tmp_sketch_path):
+        with pytest.raises(TypeError):
+            save_sketch(object(), tmp_sketch_path)
+
+    def test_distributed_aggregation_scenario(self, tmp_path, rng):
+        """Workers sketch shards, persist, reducer loads and merges."""
+        keys = rng.integers(0, 10**6, size=4000)
+        values = rng.standard_normal(4000)
+
+        paths = []
+        for shard in range(4):
+            worker = CountSketch(3, 512, seed=42)
+            worker.insert(keys[shard::4], values[shard::4])
+            path = str(tmp_path / f"shard{shard}.npz")
+            save_sketch(worker, path)
+            paths.append(path)
+
+        merged = load_sketch(paths[0])
+        for path in paths[1:]:
+            merged.merge(load_sketch(path))
+
+        reference = CountSketch(3, 512, seed=42)
+        reference.insert(keys, values)
+        np.testing.assert_allclose(merged.table, reference.table, atol=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for SNR instrumentation (repro.theory.snr)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.snr import SNRRecorder, estimate_sigma, estimate_sigma_sparse
+
+
+class TestSNRRecorder:
+    def test_separates_signal_and_noise_energy(self):
+        rec = SNRRecorder(signal_keys=np.array([1, 2]), window=10)
+        keys = np.array([1, 2, 3, 4])
+        values = np.array([2.0, 2.0, 1.0, 1.0])
+        mask = np.ones(4, dtype=bool)
+        rec(10, keys, values, mask)
+        rec.flush()
+        assert len(rec.points) == 1
+        pt = rec.points[0]
+        assert pt.signal_energy == pytest.approx(8.0)
+        assert pt.noise_energy == pytest.approx(2.0)
+        assert pt.snr == pytest.approx(4.0)
+
+    def test_mask_excludes_filtered_updates(self):
+        rec = SNRRecorder(signal_keys=np.array([1]), window=10)
+        keys = np.array([1, 2])
+        values = np.array([3.0, 5.0])
+        rec(10, keys, values, np.array([True, False]))
+        rec.flush()
+        assert rec.points[0].signal_energy == pytest.approx(9.0)
+        assert rec.points[0].noise_energy == 0.0
+
+    def test_windows_emitted_at_boundaries(self):
+        rec = SNRRecorder(signal_keys=np.array([0]), window=5)
+        for t in range(1, 21):
+            rec(t, np.array([0]), np.array([1.0]), np.array([True]))
+        assert len(rec.points) == 4
+
+    def test_curve_shape(self):
+        rec = SNRRecorder(signal_keys=np.array([0]), window=5)
+        for t in range(1, 11):
+            rec(t, np.array([0, 1]), np.array([1.0, 1.0]), np.array([True, True]))
+        t_arr, snr_arr = rec.curve()
+        assert t_arr.shape == snr_arr.shape
+        assert (snr_arr > 0).all()
+
+    def test_infinite_snr_when_no_noise(self):
+        rec = SNRRecorder(signal_keys=np.array([0]), window=1)
+        rec(1, np.array([0]), np.array([1.0]), np.array([True]))
+        rec.flush()
+        assert rec.points[0].snr == float("inf")
+
+
+class TestEstimateSigma:
+    def test_standard_normal_products(self, rng):
+        samples = rng.standard_normal((200, 500))
+        assert estimate_sigma(samples) == pytest.approx(1.0, rel=0.05)
+
+    def test_scaling(self, rng):
+        samples = 3.0 * rng.standard_normal((200, 500))
+        assert estimate_sigma(samples) == pytest.approx(3.0, rel=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sigma(np.empty((0, 5)))
+
+
+class TestEstimateSigmaSparse:
+    def test_formula(self):
+        assert estimate_sigma_sparse(100.0, 25, 4) == pytest.approx(1.0)
+
+    def test_matches_dense_version(self, rng):
+        samples = rng.standard_normal((50, 40))
+        dense = estimate_sigma(samples)
+        sparse = estimate_sigma_sparse(float((samples**2).sum()), 40, 50)
+        assert sparse == pytest.approx(dense)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_sigma_sparse(1.0, 0, 5)
+        with pytest.raises(ValueError):
+            estimate_sigma_sparse(-1.0, 5, 5)

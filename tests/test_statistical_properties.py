@@ -1,0 +1,73 @@
+"""Statistical sanity tests for the count-sketch error model.
+
+These verify the scaling laws the paper's analysis builds on: collision
+noise shrinks like ``1/sqrt(R)`` in the table width and like the stream's
+noise energy; the median over ``K`` tables is what rescues single-table
+outliers.  Seeds are fixed, sample sizes chosen so the assertions have wide
+margins — these are deterministic regression tests of statistical facts,
+not flaky Monte-Carlo checks.
+"""
+
+import numpy as np
+
+from repro.sketch.count_sketch import CountSketch
+
+
+def _collision_noise_rms(num_buckets: int, num_tables: int = 5, seed: int = 0) -> float:
+    """RMS estimation error for absent keys after inserting pure noise."""
+    rng = np.random.default_rng(seed)
+    sketch = CountSketch(num_tables, num_buckets, seed=seed + 1)
+    for _ in range(10):
+        keys = rng.integers(0, 10**8, size=20_000)
+        sketch.insert(keys, rng.standard_normal(20_000))
+    probe = np.arange(10**9, 10**9 + 2_000)
+    return float(np.sqrt(np.mean(sketch.query(probe) ** 2)))
+
+
+class TestErrorScaling:
+    def test_error_shrinks_with_buckets(self):
+        errs = [_collision_noise_rms(r) for r in (256, 1024, 4096)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_inverse_sqrt_r_law(self):
+        # Quadrupling R should halve the RMS error, within a loose factor.
+        e1 = _collision_noise_rms(512, seed=3)
+        e2 = _collision_noise_rms(2048, seed=3)
+        ratio = e1 / e2
+        assert 1.4 < ratio < 2.9
+
+    def test_median_tables_beat_single_table_on_heavy_tails(self):
+        # The median's advantage is robustness to *heavy* collisions: a few
+        # huge items corrupt ~50/R of single-table estimates outright, while
+        # the median of K tables needs a majority of tables corrupted.
+        # (Against purely Gaussian collision noise a single wide table wins
+        # — that is why the comparison uses a heavy-tailed stream.)
+        rng = np.random.default_rng(7)
+        heavy_keys = rng.integers(0, 10**8, size=50)
+        heavy_vals = np.full(50, 100.0)
+
+        single = CountSketch(1, 5 * 1024, seed=11)
+        multi = CountSketch(5, 1024, seed=11)
+        for sketch in (single, multi):
+            sketch.insert(heavy_keys, heavy_vals)
+
+        probe = np.arange(10**9, 10**9 + 20_000)
+        q995_single = np.quantile(np.abs(single.query(probe)), 0.995)
+        q995_multi = np.quantile(np.abs(multi.query(probe)), 0.995)
+        assert q995_multi < q995_single
+
+    def test_heavy_key_signal_preserved_at_all_widths(self):
+        # The planted key's estimate is unbiased regardless of R; only the
+        # spread changes.
+        for num_buckets in (256, 2048):
+            estimates = []
+            for seed in range(10):
+                sketch = CountSketch(5, num_buckets, seed=seed)
+                rng = np.random.default_rng(seed)
+                sketch.insert(
+                    rng.integers(10, 10**8, size=30_000),
+                    rng.standard_normal(30_000),
+                )
+                sketch.insert(np.array([3]), np.array([25.0]))
+                estimates.append(sketch.query_single(3))
+            assert abs(np.mean(estimates) - 25.0) < 3.0

@@ -1,0 +1,87 @@
+"""Tests for TopKTracker (repro.sketch.topk)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.topk import TopKTracker
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TopKTracker(0)
+        with pytest.raises(ValueError):
+            TopKTracker(10, slack=1.0)
+
+
+class TestOfferAndRank:
+    def test_basic_ranking(self):
+        tracker = TopKTracker(10)
+        tracker.offer(np.arange(5), np.array([1.0, 5.0, 3.0, 2.0, 4.0]))
+        keys, ests = tracker.top_k(3)
+        assert keys.tolist() == [1, 4, 2]
+        assert ests.tolist() == [5.0, 4.0, 3.0]
+
+    def test_refresh_overwrites(self):
+        tracker = TopKTracker(10)
+        tracker.offer(np.array([7]), np.array([1.0]))
+        tracker.offer(np.array([7]), np.array([9.0]))
+        keys, ests = tracker.top_k(1)
+        assert keys.tolist() == [7] and ests[0] == 9.0
+
+    def test_two_sided_ranking(self):
+        tracker = TopKTracker(10, two_sided=True)
+        tracker.offer(np.arange(3), np.array([-8.0, 2.0, 5.0]))
+        keys, _ = tracker.top_k(2)
+        assert keys.tolist() == [0, 2]
+
+    def test_one_sided_ignores_negative(self):
+        tracker = TopKTracker(10, two_sided=False)
+        tracker.offer(np.arange(3), np.array([-8.0, 2.0, 5.0]))
+        keys, _ = tracker.top_k(2)
+        assert keys.tolist() == [2, 1]
+
+    def test_mismatched_shapes(self):
+        tracker = TopKTracker(5)
+        with pytest.raises(ValueError, match="align"):
+            tracker.offer(np.array([1, 2]), np.array([1.0]))
+
+    def test_empty_pool(self):
+        keys, ests = TopKTracker(5).top_k(3)
+        assert keys.size == 0 and ests.size == 0
+
+
+class TestPruning:
+    def test_capacity_enforced(self):
+        tracker = TopKTracker(100, slack=1.5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            keys = rng.integers(0, 10**9, size=50)
+            tracker.offer(keys, rng.random(50))
+        assert len(tracker) <= 150
+
+    def test_prune_keeps_largest(self):
+        tracker = TopKTracker(5, slack=1.2)
+        tracker.offer(np.arange(100), np.arange(100, dtype=np.float64))
+        keys, _ = tracker.top_k(5)
+        # the largest estimates (95..99) must have survived pruning
+        assert set(keys.tolist()) == {95, 96, 97, 98, 99}
+
+
+class TestRequery:
+    def test_final_requery_fixes_stale_estimates(self):
+        sketch = CountSketch(5, 4096, seed=1)
+        tracker = TopKTracker(10)
+        # Offer key 3 with a stale (low) estimate, then make it heavy.
+        tracker.offer(np.array([3, 4]), np.array([0.1, 0.2]))
+        sketch.insert(np.array([3]), np.array([100.0]))
+        keys, ests = tracker.top_k(1, sketch=sketch)
+        assert keys[0] == 3
+        assert ests[0] == pytest.approx(100.0)
+
+    def test_reset(self):
+        tracker = TopKTracker(5)
+        tracker.offer(np.array([1]), np.array([1.0]))
+        tracker.reset()
+        assert len(tracker) == 0

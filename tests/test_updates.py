@@ -1,0 +1,158 @@
+"""Tests for pair-product updates and the section-4 adjustment term."""
+
+import numpy as np
+import pytest
+
+from repro.covariance.running import ExactCovariance, RunningMoments
+from repro.covariance.updates import (
+    adjustment_matrix,
+    aggregate_pair_updates,
+    dense_batch_products,
+    sparse_sample_pairs,
+    triu_pair_values,
+)
+from repro.hashing.pairs import pair_to_index
+
+
+class TestTriuPairValues:
+    def test_alignment_with_pair_keys(self):
+        # triu extraction must match the canonical flat pair ordering.
+        d = 6
+        mat = np.arange(d * d, dtype=float).reshape(d, d)
+        flat = triu_pair_values(mat)
+        for i in range(d):
+            for j in range(i + 1, d):
+                key = int(pair_to_index(i, j, d))
+                assert flat[key] == mat[i, j]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            triu_pair_values(np.ones((2, 3)))
+
+    def test_length(self):
+        assert triu_pair_values(np.eye(10)).size == 45
+
+
+class TestDenseBatchProducts:
+    def test_matches_manual_sum(self, rng):
+        batch = rng.standard_normal((7, 5))
+        got = dense_batch_products(batch)
+        manual = np.zeros(10)
+        for row in batch:
+            manual += triu_pair_values(np.outer(row, row))
+        np.testing.assert_allclose(got, manual, atol=1e-10)
+
+    def test_centering(self, rng):
+        batch = rng.standard_normal((7, 5)) + 10
+        center = np.full(5, 10.0)
+        got = dense_batch_products(batch, center=center)
+        manual = dense_batch_products(batch - center)
+        np.testing.assert_allclose(got, manual, atol=1e-10)
+
+    def test_single_row(self, rng):
+        row = rng.standard_normal(4)
+        got = dense_batch_products(row)
+        np.testing.assert_allclose(got, triu_pair_values(np.outer(row, row)))
+
+
+class TestAdjustmentTerm:
+    def test_keeps_exact_centered_sums(self, rng):
+        """The core claim of section 4: per-sample centered products plus
+        the adjustment equal the exactly centered co-moment at every t."""
+        d = 6
+        data = rng.standard_normal((40, d)) + rng.standard_normal(d)
+        moments = RunningMoments(d)
+        exact = ExactCovariance(d)
+        accumulated = np.zeros(d * (d - 1) // 2)
+        for t, row in enumerate(data, start=1):
+            mean_old = moments.mean
+            moments.update(row[None, :])
+            mean_new = moments.mean
+            centered = row - mean_new
+            accumulated += triu_pair_values(np.outer(centered, centered))
+            accumulated += adjustment_matrix(mean_old, mean_new, t - 1)
+            exact.update(row[None, :])
+            expected = triu_pair_values(exact.covariance() * t)
+            np.testing.assert_allclose(accumulated, expected, atol=1e-8)
+
+    def test_adjustment_vanishes_for_stable_mean(self):
+        d = 4
+        mean = np.ones(d)
+        adj = adjustment_matrix(mean, mean, 10)
+        np.testing.assert_allclose(adj, 0.0, atol=1e-15)
+
+    def test_adjustment_shrinks_with_t(self, rng):
+        """Section 4: 'when t is large enough, the adjustment is very small'."""
+        d = 5
+        data = rng.standard_normal((3000, d))
+        moments = RunningMoments(d)
+        norms = []
+        for t, row in enumerate(data, start=1):
+            mean_old = moments.mean
+            moments.update(row[None, :])
+            if t in (10, 3000):
+                adj = adjustment_matrix(mean_old, moments.mean, t - 1)
+                norms.append(np.abs(adj).max())
+        assert norms[1] < norms[0]
+
+
+class TestSparseSamplePairs:
+    def test_matches_dense_products(self, rng):
+        d = 30
+        idx = np.array([3, 11, 27, 8])
+        vals = rng.standard_normal(4)
+        keys, products = sparse_sample_pairs(idx, vals, d)
+        dense = np.zeros(d)
+        dense[idx] = vals
+        full = dense_batch_products(dense)
+        expected_keys = np.nonzero(full)[0]
+        assert sorted(keys.tolist()) == sorted(expected_keys.tolist())
+        lookup = dict(zip(keys.tolist(), products.tolist()))
+        for key in expected_keys:
+            assert lookup[int(key)] == pytest.approx(full[key])
+
+    def test_unsorted_input_handled(self):
+        keys1, vals1 = sparse_sample_pairs(np.array([9, 2, 5]), np.array([1.0, 2.0, 3.0]), 20)
+        keys2, vals2 = sparse_sample_pairs(np.array([2, 5, 9]), np.array([2.0, 3.0, 1.0]), 20)
+        order1, order2 = np.argsort(keys1), np.argsort(keys2)
+        np.testing.assert_array_equal(keys1[order1], keys2[order2])
+        np.testing.assert_allclose(vals1[order1], vals2[order2])
+
+    def test_fewer_than_two_nonzeros(self):
+        keys, vals = sparse_sample_pairs(np.array([5]), np.array([1.0]), 10)
+        assert keys.size == 0 and vals.size == 0
+
+    def test_pair_count(self):
+        m = 9
+        keys, _ = sparse_sample_pairs(
+            np.arange(m) * 3, np.ones(m), 100
+        )
+        assert keys.size == m * (m - 1) // 2
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            sparse_sample_pairs(np.array([1, 2]), np.array([1.0]), 10)
+
+
+class TestAggregatePairUpdates:
+    def test_sums_duplicates(self):
+        keys, sums = aggregate_pair_updates(
+            [np.array([5, 9]), np.array([9, 2])],
+            [np.array([1.0, 2.0]), np.array([3.0, 4.0])],
+        )
+        lookup = dict(zip(keys.tolist(), sums.tolist()))
+        assert lookup == {2: 4.0, 5: 1.0, 9: 5.0}
+
+    def test_keys_sorted_unique(self, rng):
+        lists = [rng.integers(0, 50, size=30) for _ in range(4)]
+        vals = [rng.standard_normal(30) for _ in range(4)]
+        keys, _ = aggregate_pair_updates(lists, vals)
+        assert (np.diff(keys) > 0).all()
+
+    def test_empty_inputs(self):
+        keys, sums = aggregate_pair_updates([], [])
+        assert keys.size == 0 and sums.size == 0
+        keys, sums = aggregate_pair_updates(
+            [np.empty(0, dtype=np.int64)], [np.empty(0)]
+        )
+        assert keys.size == 0 and sums.size == 0
