@@ -1,0 +1,61 @@
+"""CI entry point for the kernel microbenchmarks.
+
+Runs :mod:`benchmarks.bench_kernels` and writes the machine-readable
+``BENCH_kernels.json`` (op, batch size, seconds, updates/sec, speedup) so
+future PRs can diff perf trajectories.  Smoke mode shrinks workloads and
+repetitions to keep CI wall-clock small::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke
+    PYTHONPATH=src python benchmarks/run_bench.py            # full workloads
+    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_kernels import REPO_ROOT, main as run_kernels  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workloads / few repetitions (CI-friendly)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=(
+            "output JSON path (default: repo-root BENCH_kernels.json, or "
+            "BENCH_kernels.smoke.json in smoke mode so quick runs never "
+            "clobber the committed full-workload record)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    out = args.out or REPO_ROOT / (
+        "BENCH_kernels.smoke.json" if args.smoke else "BENCH_kernels.json"
+    )
+    report = run_kernels(smoke=args.smoke, out=out)
+    print(f"wrote {out}")
+    # Non-zero exit if any fused kernel regressed below parity, so CI can
+    # flag perf regressions without parsing the JSON.
+    regressions = [
+        rec["op"]
+        for rec in report["results"]
+        if rec["speedup"] < 0.5
+    ]
+    if regressions:
+        print("severe regressions:", ", ".join(regressions))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

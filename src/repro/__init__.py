@@ -10,7 +10,17 @@ matrices.  The package layers:
 * :mod:`repro.core` — ASCS itself and the high-level API;
 * :mod:`repro.data` — synthetic datasets and stream generators;
 * :mod:`repro.evaluation` — paper metrics and the comparison harness;
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.experiments` — one module per paper table/figure;
+* :mod:`repro.reference` — pre-fusion reference implementations used by
+  the equivalence tests and kernel benchmarks.
+
+Performance architecture: every per-update hot path is a fused vectorised
+pass over all ``K`` hash tables at once — stacked hash parameters produce
+``(K, n)`` bucket/sign matrices in one broadcast, counters live in a flat
+``(K*R,)`` array scattered/gathered through single numpy kernels, and the
+tracker and sparse pair expansion are loop-free.  See ``PERF.md`` for the
+layout, the fused hash contract, measured throughput, and
+``benchmarks/bench_kernels.py`` / ``benchmarks/run_bench.py`` usage.
 
 Quick start::
 

@@ -123,16 +123,20 @@ class ActiveSamplingCountSketch(SketchEstimator):
     # ------------------------------------------------------------------
     # The sampling rule
     # ------------------------------------------------------------------
-    def _accept(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray | None:
+    def _accept(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
         if self.schedule.in_exploration(self.samples_seen):
-            return None
+            return None, None
         # Algorithm 2 line 10-11: gate on the estimate as of the *previous*
         # step; with batching, samples_seen is exactly the pre-batch t-1.
+        # The estimates are returned so ingest's tracker refresh can reuse
+        # them instead of querying the same buckets a second time.
         tau = self.schedule.threshold(self.samples_seen)
         estimates = self.sketch.query(keys)
         if self.two_sided:
-            return np.abs(estimates) >= tau
-        return estimates >= tau
+            return np.abs(estimates) >= tau, estimates
+        return estimates >= tau, estimates
 
     # ------------------------------------------------------------------
     # Introspection

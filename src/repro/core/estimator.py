@@ -84,30 +84,53 @@ class SketchEstimator:
         )
 
     # ------------------------------------------------------------------
-    def _accept(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray | None:
-        """Acceptance mask for a batch; ``None`` means accept everything.
+    def _accept(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """``(mask, estimates)`` for a batch; a ``None`` mask accepts everything.
 
-        Subclasses (ASCS) override this with the active-sampling rule.
+        Subclasses (ASCS) override this with the active-sampling rule and
+        return the sketch estimates the rule already computed, so the
+        tracker refresh below does not re-gather the same buckets.
         """
-        return None
+        return None, None
 
     def ingest(self, keys, values, num_samples: int = 1) -> None:
         """Consume a batch of per-key *summed* updates covering
         ``num_samples`` stream samples."""
         keys, values = validate_batch(keys, values)
-        mask = self._accept(keys, values)
+        mask, gate_estimates = self._accept(keys, values)
         if mask is None:
             accepted_keys, accepted_values = keys, values
             mask_out = np.ones(keys.size, dtype=bool)
         else:
             accepted_keys, accepted_values = keys[mask], values[mask]
             mask_out = mask
-        self.sketch.insert(accepted_keys, accepted_values / self.total_samples)
+        scaled = accepted_values / self.total_samples
+        track = self.tracker is not None and accepted_keys.size > 0
+        if track and gate_estimates is None and hasattr(self.sketch, "insert_and_query"):
+            # Fused insert + post-insert estimate: one hashing pass instead
+            # of two, identical results.
+            estimates = self.sketch.insert_and_query(accepted_keys, scaled)
+        else:
+            self.sketch.insert(accepted_keys, scaled)
+            if not track:
+                estimates = None
+            elif gate_estimates is not None:
+                # Reuse the estimates the acceptance rule already gathered.
+                # They are pre-insert (one batch staler than the query the
+                # pre-fusion code issued), which can shift tracker prune
+                # decisions near the pool boundary — an accepted trade for
+                # halving the gate's query cost; the final top_k re-queries
+                # the finished sketch either way.
+                estimates = gate_estimates[mask]
+            else:
+                estimates = self.sketch.query(accepted_keys)
         self.samples_seen += int(num_samples)
         self.updates_examined += keys.size
         self.updates_accepted += int(mask_out.sum())
-        if self.tracker is not None and accepted_keys.size:
-            self.tracker.offer(accepted_keys, self.sketch.query(accepted_keys))
+        if track:
+            self.tracker.offer(accepted_keys, estimates)
         if self.observer is not None:
             self.observer(self.samples_seen, keys, values, mask_out)
 

@@ -14,6 +14,7 @@ from repro.covariance.updates import (
     adjustment_matrix,
     aggregate_pair_updates,
     dense_batch_products,
+    sparse_batch_pairs,
     sparse_sample_pairs,
     triu_pair_values,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "pair_correlations",
     "signal_key_set",
     "signal_threshold",
+    "sparse_batch_pairs",
     "sparse_sample_pairs",
     "top_true_pairs",
     "triu_pair_values",

@@ -28,7 +28,7 @@ from repro.covariance.updates import (
     adjustment_matrix,
     aggregate_pair_updates,
     dense_batch_products,
-    sparse_sample_pairs,
+    sparse_batch_pairs,
     triu_pair_values,
 )
 from repro.hashing.pairs import index_to_pair, num_pairs
@@ -193,27 +193,22 @@ class CovarianceSketcher:
 
     def _ingest_sparse_batch(self, batch: list[tuple[np.ndarray, np.ndarray]]) -> None:
         b = len(batch)
-        all_idx = np.concatenate([np.asarray(s[0], dtype=np.int64) for s in batch])
-        all_val = np.concatenate([np.asarray(s[1], dtype=np.float64) for s in batch])
+        idx_arrays = [np.asarray(s[0], dtype=np.int64) for s in batch]
+        val_arrays = [np.asarray(s[1], dtype=np.float64) for s in batch]
+        if any(i.size != v.size for i, v in zip(idx_arrays, val_arrays)):
+            raise ValueError("indices and values must align")
+        lengths = np.asarray([a.size for a in idx_arrays], dtype=np.int64)
+        all_idx = np.concatenate(idx_arrays)
+        all_val = np.concatenate(val_arrays)
         self.sparse_moments.update_batch(all_idx, all_val, num_samples=b)
 
-        if self.mode == "correlation":
-            std = self.sparse_moments.std(floor=self.std_floor)
-        else:
-            std = None
+        if self.mode == "correlation" and all_idx.size:
+            all_val = all_val / self.sparse_moments.std(floor=self.std_floor)[all_idx]
 
-        keys_list: list[np.ndarray] = []
-        values_list: list[np.ndarray] = []
-        for indices, values in batch:
-            indices = np.asarray(indices, dtype=np.int64)
-            values = np.asarray(values, dtype=np.float64)
-            if std is not None and indices.size:
-                values = values / std[indices]
-            keys, products = sparse_sample_pairs(indices, values, self.dim)
-            if keys.size:
-                keys_list.append(keys)
-                values_list.append(products)
-        keys, sums = aggregate_pair_updates(keys_list, values_list)
+        # One fused kernel expands every sample's m*(m-1)/2 pairs at once —
+        # identical output to looping sparse_sample_pairs per sample.
+        keys, products = sparse_batch_pairs(all_idx, all_val, lengths, self.dim)
+        keys, sums = aggregate_pair_updates([keys], [products])
         self.estimator.ingest(keys, sums, num_samples=b)
         self.samples_seen += b
 
@@ -263,19 +258,31 @@ class CovarianceSketcher:
         return i, j, estimates
 
     def _scan_top_keys(self, k: int, chunk: int) -> tuple[np.ndarray, np.ndarray]:
-        best_keys = np.empty(0, dtype=np.int64)
-        best_est = np.empty(0, dtype=np.float64)
+        # Fixed-size running top-k buffer: the current best k entries live
+        # in the buffer prefix and each chunk is scanned into the tail, so
+        # no per-chunk concatenation or reallocation happens.
+        k = int(k)
+        chunk = max(1, min(int(chunk), self.num_pairs))
+        buf_keys = np.empty(min(k, self.num_pairs) + chunk, dtype=np.int64)
+        buf_est = np.empty(buf_keys.size, dtype=np.float64)
+        n_best = 0
         for start in range(0, self.num_pairs, chunk):
-            keys = np.arange(start, min(start + chunk, self.num_pairs), dtype=np.int64)
-            est = self.estimate_keys(keys)
-            keys = np.concatenate([best_keys, keys])
-            est = np.concatenate([best_est, est])
-            if keys.size > k:
-                top = np.argpartition(-est, k - 1)[:k]
-                keys, est = keys[top], est[top]
-            best_keys, best_est = keys, est
-        order = np.argsort(-best_est, kind="stable")
-        return best_keys[order], best_est[order]
+            stop = min(start + chunk, self.num_pairs)
+            m = stop - start
+            buf_keys[n_best : n_best + m] = np.arange(start, stop, dtype=np.int64)
+            buf_est[n_best : n_best + m] = self.estimate_keys(
+                buf_keys[n_best : n_best + m]
+            )
+            total = n_best + m
+            if total > k:
+                top = np.argpartition(-buf_est[:total], k - 1)[:k]
+                buf_keys[:k] = buf_keys[top]
+                buf_est[:k] = buf_est[top]
+                n_best = k
+            else:
+                n_best = total
+        order = np.argsort(-buf_est[:n_best], kind="stable")
+        return buf_keys[order], buf_est[order]
 
 
 def _iter_csr_rows(matrix) -> Iterator[tuple[np.ndarray, np.ndarray]]:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sketch.base import scatter_add_flat
+
 __all__ = ["RunningMoments", "SparseMoments", "ExactCovariance"]
 
 
@@ -116,9 +118,18 @@ class SparseMoments:
         if num_samples < 0:
             raise ValueError("num_samples must be non-negative")
         if indices.size:
-            self._sum += np.bincount(indices, weights=values, minlength=self.dim)
-            self._sumsq += np.bincount(
-                indices, weights=values * values, minlength=self.dim
+            # Touch only the hit accumulator slots when the batch is small
+            # relative to dim — at URL/DNA scale a dense length-d bincount
+            # per batch would dominate the whole ingest path.  The add.at
+            # branch folds duplicate indices into the accumulators in a
+            # different order than the old always-bincount code, so moments
+            # (hence correlation-mode stds) can differ from the pre-fusion
+            # pipeline at the last ulp; estimates are unaffected beyond
+            # that rounding.
+            use_bincount = indices.size * 16 >= self.dim
+            scatter_add_flat(self._sum, indices, values, use_bincount=use_bincount)
+            scatter_add_flat(
+                self._sumsq, indices, values * values, use_bincount=use_bincount
             )
         self.count += int(num_samples)
 

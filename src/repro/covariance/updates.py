@@ -29,6 +29,7 @@ __all__ = [
     "dense_batch_products",
     "adjustment_matrix",
     "sparse_sample_pairs",
+    "sparse_batch_pairs",
     "aggregate_pair_updates",
 ]
 
@@ -117,6 +118,64 @@ def sparse_sample_pairs(
     rows, cols = _triu_indices(m)
     keys = pair_to_index(indices[rows], indices[cols], dim)
     return keys, values[rows] * values[cols]
+
+
+def sparse_batch_pairs(
+    indices: np.ndarray,
+    values: np.ndarray,
+    lengths: np.ndarray,
+    dim: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair keys and products for a whole batch of sparse samples at once.
+
+    ``indices``/``values`` are the concatenated non-zeros of every sample
+    and ``lengths`` gives each sample's non-zero count, so sample ``s``
+    owns the slice ``[sum(lengths[:s]), sum(lengths[:s+1]))``.  The output
+    equals concatenating :func:`sparse_sample_pairs` over the samples in
+    order (same keys, same products, same ordering), but the whole batch is
+    expanded with one ``lexsort`` plus a handful of ``repeat``/``cumsum``
+    kernels instead of a Python loop over samples.
+
+    The expansion works on the per-sample-sorted arrays: the element at
+    local position ``a`` of a sample with ``m`` non-zeros is the row of
+    ``m - 1 - a`` upper-triangle pairs, so ``np.repeat`` with those counts
+    lays out all rows, and a cumulative block-offset subtraction yields the
+    matching column positions.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if indices.shape != values.shape or indices.ndim != 1:
+        raise ValueError("indices and values must be aligned 1-D arrays")
+    total = int(lengths.sum()) if lengths.size else 0
+    if total != indices.size:
+        raise ValueError(
+            f"lengths sum to {total} but {indices.size} non-zeros were given"
+        )
+    if indices.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+
+    # Sort indices *within* each sample (stable, matching the per-sample
+    # argsort of sparse_sample_pairs).
+    sample_id = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    order = np.lexsort((indices, sample_id))
+    idx = indices[order]
+    val = values[order]
+
+    starts = np.cumsum(lengths) - lengths          # first slot of each sample
+    m_of = np.repeat(lengths, lengths)             # sample size, per element
+    local = np.arange(idx.size, dtype=np.int64) - np.repeat(starts, lengths)
+    reps = m_of - 1 - local                        # pairs rowed by this element
+    num_out = int(reps.sum())
+    if num_out == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+
+    rows = np.repeat(np.arange(idx.size, dtype=np.int64), reps)
+    block_starts = np.cumsum(reps) - reps
+    cols = np.arange(num_out, dtype=np.int64) - np.repeat(block_starts, reps)
+    cols += rows + 1
+    keys = pair_to_index(idx[rows], idx[cols], dim)
+    return keys, val[rows] * val[cols]
 
 
 def aggregate_pair_updates(

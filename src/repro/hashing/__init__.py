@@ -5,6 +5,7 @@ from repro.hashing.families import (
     MERSENNE_PRIME_61,
     HashFamily,
     MultiplyShiftHash,
+    MultiTableHasher,
     PolynomialHash,
     SignHash,
     TabulationHash,
@@ -24,6 +25,7 @@ __all__ = [
     "MERSENNE_PRIME_61",
     "HashFamily",
     "MultiplyShiftHash",
+    "MultiTableHasher",
     "PolynomialHash",
     "SignHash",
     "TabulationHash",

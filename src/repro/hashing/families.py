@@ -31,6 +31,7 @@ __all__ = [
     "PolynomialHash",
     "TabulationHash",
     "SignHash",
+    "MultiTableHasher",
     "make_family",
     "FAMILY_NAMES",
 ]
@@ -200,6 +201,266 @@ class SignHash:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SignHash(seed={self.seed}, family={self.family!r})"
+
+
+# ----------------------------------------------------------------------
+# Stacked (multi-table) hashing
+# ----------------------------------------------------------------------
+#
+# A K-table sketch needs K independent hashes of the *same* key batch.
+# Evaluating K separate HashFamily objects costs K Python round-trips per
+# operation; stacking the per-table parameters as ``(K, ...)`` arrays lets
+# one broadcast produce the full ``(K, n)`` hash matrix.  Each stacked
+# family performs exactly the same elementwise arithmetic as its scalar
+# counterpart, so the results are bit-identical for the same seeds.
+
+
+class _StackedMultiplyShift:
+    """``(K, n)`` multiply-shift hashing from stacked ``a``/``b`` columns."""
+
+    def __init__(self, families: list[MultiplyShiftHash]):
+        self._a = np.array([f._a for f in families], dtype=np.uint64)[:, None]
+        self._b = np.array([f._b for f in families], dtype=np.uint64)[:, None]
+
+    def hash_u64(self, keys_u64: np.ndarray) -> np.ndarray:
+        w = np.multiply(keys_u64, self._a)
+        np.add(w, self._b, out=w)
+        np.right_shift(w, _U64(32), out=w)
+        return w
+
+
+class _StackedPolynomial:
+    """``(K, n)`` Mersenne-prime polynomial hashing from a ``(K, deg)``
+    coefficient matrix (all tables must share the same degree).
+
+    Large batches are processed in column blocks: the limb-split modular
+    multiply materialises ~10 temporaries per step, and blocking keeps all
+    of them cache-resident instead of streaming ``(K, n)`` arrays through
+    memory once per op.
+    """
+
+    #: Columns per block; 2048 keeps a (K, block) mulmod working set in L2.
+    BLOCK = 2048
+
+    def __init__(self, families: list[PolynomialHash]):
+        degrees = {f.degree for f in families}
+        if len(degrees) != 1:
+            raise ValueError("stacked polynomial tables must share one degree")
+        self.degree = degrees.pop()
+        self._coeffs = np.stack([f._coeffs for f in families]).astype(np.uint64)
+
+    def _hash_block(self, x: np.ndarray) -> np.ndarray:
+        acc = np.broadcast_to(
+            self._coeffs[:, -1:], (self._coeffs.shape[0], x.shape[1])
+        ).copy()
+        for m in range(self.degree - 2, -1, -1):
+            acc = _mulmod_mersenne61(acc, x)
+            acc = _mod_mersenne61(acc + self._coeffs[:, m : m + 1])
+        return acc
+
+    def hash_u64(self, keys_u64: np.ndarray) -> np.ndarray:
+        x = _mod_mersenne61(keys_u64)[None, :]
+        n = x.shape[1]
+        if n <= self.BLOCK:
+            return self._hash_block(x)
+        out = np.empty((self._coeffs.shape[0], n), dtype=np.uint64)
+        for start in range(0, n, self.BLOCK):
+            stop = min(start + self.BLOCK, n)
+            out[:, start:stop] = self._hash_block(x[:, start:stop])
+        return out
+
+
+class _StackedTabulation:
+    """``(K, n)`` tabulation hashing from a ``(K, 8, 256)`` table stack.
+
+    The per-byte chunk extraction is shared across tables (the legacy loop
+    recomputed it ``K`` times); the lookups stay per-table 1-D gathers,
+    which numpy executes much faster than one strided 2-D fancy index.
+    """
+
+    def __init__(self, families: list[TabulationHash]):
+        self._tables = np.stack([f._tables for f in families]).astype(np.uint64)
+
+    def hash_u64(self, keys_u64: np.ndarray) -> np.ndarray:
+        num_tables = self._tables.shape[0]
+        acc = np.zeros((num_tables, keys_u64.size), dtype=np.uint64)
+        for byte in range(8):
+            chunk = ((keys_u64 >> _U64(8 * byte)) & _U64(0xFF)).astype(np.int64)
+            for k in range(num_tables):
+                acc[k] ^= self._tables[k, byte][chunk]
+        return acc
+
+
+_STACKERS = {
+    MultiplyShiftHash: _StackedMultiplyShift,
+    PolynomialHash: _StackedPolynomial,
+    TabulationHash: _StackedTabulation,
+}
+
+
+def _stack_families(families: list[HashFamily]):
+    kinds = {type(f) for f in families}
+    if len(kinds) != 1:
+        raise ValueError("all stacked tables must use the same hash family")
+    kind = kinds.pop()
+    stacker = _STACKERS.get(kind)
+    if stacker is None:
+        raise TypeError(f"no stacked implementation for {kind.__name__}")
+    return stacker(families)
+
+
+def _keys_as_u64(keys) -> np.ndarray:
+    """Zero-copy reinterpretation of contiguous int64 keys as uint64.
+
+    ``astype`` and ``view`` agree bit-for-bit on two's-complement ints, so
+    this matches :func:`_as_u64` exactly while avoiding the copy on the
+    common (validated int64 batch) path.
+    """
+    keys = np.asarray(keys)
+    if keys.dtype == np.uint64:
+        return keys
+    if keys.dtype == np.int64 and keys.flags.c_contiguous:
+        return keys.view(np.uint64)
+    return keys.astype(np.uint64)
+
+
+class MultiTableHasher:
+    """Fused bucket (and optional sign) hashing for ``K`` sketch tables.
+
+    One call computes the full ``(K, n)`` bucket matrix — and, when sign
+    seeds are given, the ``(K, n)`` sign matrix — via a single broadcast
+    over stacked per-table parameters.  Output is bit-identical to
+    evaluating ``K`` independent :class:`HashFamily` / :class:`SignHash`
+    objects built from the same seeds.
+
+    Parameters
+    ----------
+    family:
+        Bucket hash family name (see :func:`make_family`).
+    num_buckets:
+        Output range ``R`` shared by every table.  Power-of-two ranges use
+        a bitmask instead of the modulo (identical results, much faster).
+    seeds:
+        Per-table bucket-hash seeds (length ``K``).
+    sign_seeds:
+        Optional per-table sign-hash seeds; enables :meth:`signs`.
+    sign_family:
+        Family used for the sign hashes (matches :class:`SignHash`).
+    kwargs:
+        Extra family options (e.g. ``degree`` for polynomial).
+    """
+
+    def __init__(
+        self,
+        family: str,
+        num_buckets: int,
+        seeds,
+        *,
+        sign_seeds=None,
+        sign_family: str = "multiply-shift",
+        **kwargs,
+    ):
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("need at least one table seed")
+        self.family = family
+        self.num_tables = len(seeds)
+        self.num_buckets = int(num_buckets)
+        self._bucket = _stack_families(
+            [make_family(family, self.num_buckets, s, **kwargs) for s in seeds]
+        )
+        r = self.num_buckets
+        self._bucket_mask = _U64(r - 1) if r & (r - 1) == 0 else None
+        self._sign = None
+        self._combined_a = None
+        self._combined_b = None
+        self._combined_mask = None
+        if sign_seeds is not None:
+            sign_seeds = [int(s) for s in sign_seeds]
+            if len(sign_seeds) != self.num_tables:
+                raise ValueError("sign_seeds must have one entry per table")
+            self._sign = _stack_families(
+                [make_family(sign_family, 2, s) for s in sign_seeds]
+            )
+            if isinstance(self._bucket, _StackedMultiplyShift) and isinstance(
+                self._sign, _StackedMultiplyShift
+            ):
+                # Both hashes are (a*x + b) >> 32: stack their parameters
+                # vertically so one (2K, n) broadcast evaluates bucket and
+                # sign hashes together (rows 0..K-1 buckets, K..2K-1 signs).
+                self._combined_a = np.vstack([self._bucket._a, self._sign._a])
+                self._combined_b = np.vstack([self._bucket._b, self._sign._b])
+                if self._bucket_mask is not None:
+                    # Power-of-two R: one masked AND finishes both halves.
+                    self._combined_mask = np.vstack(
+                        [
+                            np.full((self.num_tables, 1), self._bucket_mask),
+                            np.full((self.num_tables, 1), _U64(1)),
+                        ]
+                    )
+                else:
+                    self._combined_mask = None
+
+    # -- raw kernels (uint64 in, uint64 out) ---------------------------
+    def bucket_u64(self, keys) -> np.ndarray:
+        """``(K, n)`` bucket indices in ``[0, R)`` as ``uint64``."""
+        w = self._bucket.hash_u64(_keys_as_u64(keys))
+        if self._bucket_mask is not None:
+            np.bitwise_and(w, self._bucket_mask, out=w)
+        else:
+            np.mod(w, _U64(self.num_buckets), out=w)
+        return w
+
+    def sign_bits_u64(self, keys) -> np.ndarray:
+        """``(K, n)`` sign bits (0 => +1, 1 => -1) as ``uint64``."""
+        if self._sign is None:
+            raise RuntimeError("this hasher was built without sign seeds")
+        s = self._sign.hash_u64(_keys_as_u64(keys))
+        np.bitwise_and(s, _U64(1), out=s)
+        return s
+
+    def bucket_sign_u64(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """``(buckets, sign_bits)`` in one fused pass where possible.
+
+        With the default multiply-shift bucket *and* sign hashes, a single
+        ``(2K, n)`` broadcast evaluates both; the result is identical to
+        calling :meth:`bucket_u64` and :meth:`sign_bits_u64` separately.
+        """
+        if self._combined_a is None:
+            return self.bucket_u64(keys), self.sign_bits_u64(keys)
+        w = np.multiply(_keys_as_u64(keys), self._combined_a)
+        np.add(w, self._combined_b, out=w)
+        np.right_shift(w, _U64(32), out=w)
+        buckets, bits = w[: self.num_tables], w[self.num_tables :]
+        if self._combined_mask is not None:
+            np.bitwise_and(w, self._combined_mask, out=w)
+        else:
+            np.mod(buckets, _U64(self.num_buckets), out=buckets)
+            np.bitwise_and(bits, _U64(1), out=bits)
+        return buckets, bits
+
+    # -- legacy-typed views --------------------------------------------
+    def buckets(self, keys) -> np.ndarray:
+        """``(K, n)`` bucket indices as ``int64`` (values ``< R < 2^63``)."""
+        return self.bucket_u64(keys).view(np.int64)
+
+    def signs(self, keys) -> np.ndarray:
+        """``(K, n)`` signs as ``float64`` in ``{+1.0, -1.0}``."""
+        return _sign_bits_to_float(self.sign_bits_u64(keys))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiTableHasher(family={self.family!r}, K={self.num_tables}, "
+            f"R={self.num_buckets}, signs={self._sign is not None})"
+        )
+
+
+def _sign_bits_to_float(bits: np.ndarray) -> np.ndarray:
+    """Map sign bits to ``{+1.0, -1.0}`` via ``1 - 2*b`` (exact)."""
+    out = bits.astype(np.float64)
+    np.multiply(out, -2.0, out=out)
+    np.add(out, 1.0, out=out)
+    return out
 
 
 FAMILY_NAMES = ("multiply-shift", "polynomial", "tabulation")

@@ -11,7 +11,35 @@ import abc
 
 import numpy as np
 
-__all__ = ["ValueSketch", "validate_batch"]
+__all__ = ["ValueSketch", "validate_batch", "scatter_add_flat"]
+
+
+def scatter_add_flat(
+    flat: np.ndarray,
+    flat_indices: np.ndarray,
+    weights: np.ndarray,
+    *,
+    use_bincount: bool,
+) -> None:
+    """Accumulate ``weights`` into ``flat`` at ``flat_indices`` in one pass.
+
+    The two strategies have different rounding *order*, so callers that
+    promise bit-identical results with a pre-fusion formulation must mirror
+    its strategy choice (the sketches do); callers free to trade ulp-level
+    rounding for speed may pick per batch:
+
+    * ``bincount`` sums all duplicate hits in a fresh float64 accumulator
+      and adds it to the table once — fastest when the batch is a
+      reasonable fraction of the table size;
+    * ``np.add.at`` applies each hit to the table in input order —
+      cheapest for tiny batches where allocating a dense accumulator
+      dominates.
+    """
+    if use_bincount:
+        acc = np.bincount(flat_indices, weights=weights, minlength=flat.size)
+        flat += acc.astype(flat.dtype, copy=False)
+    else:
+        np.add.at(flat, flat_indices, weights)
 
 
 def validate_batch(keys, values) -> tuple[np.ndarray, np.ndarray]:

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.families import make_family
-from repro.sketch.base import ValueSketch, validate_batch
+from repro.hashing.families import MultiTableHasher
+from repro.sketch.base import ValueSketch, scatter_add_flat, validate_batch
 
 __all__ = ["CountMinSketch"]
 
@@ -54,19 +54,26 @@ class CountMinSketch(ValueSketch):
         self.conservative = bool(conservative)
         self.cap = None if cap is None else float(cap)
         self.table = np.zeros((self.num_tables, self.num_buckets), dtype=dtype)
+        # Flat view sharing the table's memory — the fused kernels address
+        # counter (e, b) as flat[e * R + b].
+        self._flat = self.table.reshape(-1)
+        self._offsets_u64 = (
+            np.arange(self.num_tables, dtype=np.uint64) * np.uint64(self.num_buckets)
+        )[:, None]
 
         seq = np.random.SeedSequence(self.seed)
         children = seq.spawn(self.num_tables)
-        self._bucket_hashes = [
-            make_family(family, self.num_buckets, int(children[e].generate_state(1)[0]))
-            for e in range(self.num_tables)
-        ]
+        self._hasher = MultiTableHasher(
+            family,
+            self.num_buckets,
+            [int(children[e].generate_state(1)[0]) for e in range(self.num_tables)],
+        )
 
-    def _buckets(self, keys: np.ndarray) -> np.ndarray:
-        out = np.empty((self.num_tables, keys.size), dtype=np.int64)
-        for e in range(self.num_tables):
-            out[e] = self._bucket_hashes[e](keys)
-        return out
+    def _flat_indices(self, keys: np.ndarray) -> np.ndarray:
+        """Fused ``(K, n)`` flat counter indices ``e*R + h_e(key)``."""
+        w = self._hasher.bucket_u64(keys)
+        np.add(w, self._offsets_u64, out=w)
+        return w.view(np.int64)
 
     def insert(self, keys, values) -> None:
         keys, values = validate_batch(keys, values)
@@ -74,25 +81,29 @@ class CountMinSketch(ValueSketch):
             return
         if (values < 0).any():
             raise ValueError("CountMinSketch accepts non-negative values only")
-        buckets = self._buckets(keys)
         if self.conservative:
             # Conservative update must be applied per distinct key; aggregate
             # duplicate keys in the batch first so intra-batch order does not
             # change the result.
             uniq, inverse = np.unique(keys, return_inverse=True)
             sums = np.bincount(inverse, weights=values, minlength=uniq.size)
-            ub = self._buckets(uniq)
-            current = np.min(
-                self.table[np.arange(self.num_tables)[:, None], ub], axis=0
-            )
+            fi = self._flat_indices(uniq)
+            current = np.min(self._flat[fi], axis=0)
             target = current + sums
-            for e in range(self.num_tables):
-                np.maximum.at(self.table[e], ub[e], target)
+            np.maximum.at(
+                self._flat,
+                fi.ravel(),
+                np.broadcast_to(target, fi.shape).ravel(),
+            )
         else:
-            for e in range(self.num_tables):
-                self.table[e] += np.bincount(
-                    buckets[e], weights=values, minlength=self.num_buckets
-                ).astype(self.table.dtype, copy=False)
+            fi = self._flat_indices(keys)
+            # Always bincount, matching the legacy per-table path exactly.
+            scatter_add_flat(
+                self._flat,
+                fi.ravel(),
+                np.broadcast_to(values, fi.shape).ravel(),
+                use_bincount=True,
+            )
         if self.cap is not None:
             np.minimum(self.table, self.cap, out=self.table)
 
@@ -100,12 +111,22 @@ class CountMinSketch(ValueSketch):
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
-        buckets = self._buckets(keys)
-        gathered = self.table[np.arange(self.num_tables)[:, None], buckets]
+        gathered = self._flat[self._flat_indices(keys)]
         return np.min(gathered, axis=0).astype(np.float64)
 
     def reset(self) -> None:
         self.table[:] = 0.0
+
+    def __getstate__(self):
+        # _flat is a view of table; pickling would serialise it as an
+        # independent array and silently decouple the two.
+        state = self.__dict__.copy()
+        del state["_flat"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._flat = self.table.reshape(-1)
 
     def merge(self, other: "CountMinSketch") -> "CountMinSketch":
         if self.conservative or other.conservative:

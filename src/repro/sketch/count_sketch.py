@@ -5,21 +5,71 @@ This is the data structure of Algorithm 1 in the paper: ``K`` hash tables of
 ``s_e``.  An update ``(i, v)`` adds ``v * s_e(i)`` to ``W[e, h_e(i)]``; the
 estimate of key ``i`` is ``median_e W[e, h_e(i)] * s_e(i)``.
 
-The implementation is fully batched: inserts scatter whole arrays via
-``np.bincount`` (large batches) or ``np.add.at`` (small batches), and queries
-gather ``K x n`` candidate estimates and take the median along the table
-axis.  On a laptop this sustains tens of millions of updates per second,
-which is what makes the trillion-entry experiments runnable.
+The implementation is fully batched *and fused across tables* (see PERF.md):
+a single :class:`repro.hashing.MultiTableHasher` broadcast computes the
+``(K, n)`` bucket and sign matrices for all tables at once, the counters
+live in one flat ``(K*R,)`` array addressed as ``offset[e] + bucket``, and
+inserts scatter through one ``np.bincount`` (large batches) or one
+``np.add.at`` (small batches) over the flattened indices.  Queries gather
+all ``K x n`` candidate estimates with one fancy index and take the median
+along the table axis (a min/max network for the common small odd ``K``).
+On a laptop this sustains tens of millions of updates per second, which is
+what makes the trillion-entry experiments runnable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.families import SignHash, make_family
-from repro.sketch.base import ValueSketch, validate_batch
+from repro.hashing.families import MultiTableHasher, _sign_bits_to_float
+from repro.sketch.base import ValueSketch, scatter_add_flat, validate_batch
 
 __all__ = ["CountSketch"]
+
+#: Crossover (elements per table) between `np.where`-based sign application
+#: (fewer kernel launches — wins on small batches) and the float-conversion
+#: chain (fewer memory passes — wins on large ones).  Both are exact:
+#: multiplying by ±1.0 and selecting a negation produce identical floats.
+_WHERE_SIGN_MAX = 8192
+
+
+def _apply_sign(bits: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``(K, n)`` float64 of ``x`` with signs applied from raw sign bits.
+
+    ``x`` is either the value row ``(n,)`` (insert) or the gathered
+    estimate matrix ``(K, n)`` (query); ``bits`` is the uint64 bit matrix
+    from :meth:`repro.hashing.MultiTableHasher.sign_bits_u64`.
+    """
+    if bits.shape[-1] <= _WHERE_SIGN_MAX:
+        return np.where(bits, -x, x)
+    return _sign_bits_to_float(bits) * x
+
+
+def _median_axis0(est: np.ndarray) -> np.ndarray:
+    """Median along axis 0, specialised for the tiny odd ``K`` sketches use.
+
+    For ``K`` in {1, 3, 5} the median of each column is selected with a
+    min/max network — a handful of full-width vector ops instead of the
+    per-column partition ``np.median`` runs.  Selection returns exactly the
+    middle element, so the result is bit-identical to ``np.median`` (which
+    for odd ``K`` also returns an element, not an average).  Even ``K``
+    (mean of two middle elements) falls back to ``np.median``.
+    """
+    k = est.shape[0]
+    if k == 1:
+        return est[0]
+    if k == 3:
+        e0, e1, e2 = est
+        return np.maximum(np.minimum(e0, e1), np.minimum(np.maximum(e0, e1), e2))
+    if k == 5:
+        e0, e1, e2, e3, e4 = est
+        lo01, hi01 = np.minimum(e0, e1), np.maximum(e0, e1)
+        lo23, hi23 = np.minimum(e2, e3), np.maximum(e2, e3)
+        lo = np.maximum(lo01, lo23)   # 3rd-smallest candidate from below
+        hi = np.minimum(hi01, hi23)   # 3rd-smallest candidate from above
+        m1, m2 = np.minimum(lo, hi), np.maximum(lo, hi)
+        return np.minimum(np.maximum(e4, m1), m2)
+    return np.median(est, axis=0)
 
 
 class CountSketch(ValueSketch):
@@ -59,28 +109,50 @@ class CountSketch(ValueSketch):
         self.seed = int(seed)
         self.family = family
         self.table = np.zeros((self.num_tables, self.num_buckets), dtype=dtype)
+        # Flat view sharing the table's memory — the fused insert/query
+        # kernels address counter (e, b) as flat[e * R + b].
+        self._flat = self.table.reshape(-1)
+        self._offsets_u64 = (
+            np.arange(self.num_tables, dtype=np.uint64) * np.uint64(self.num_buckets)
+        )[:, None]
 
         # Derive one independent (bucket, sign) hash pair per table from the
-        # master seed.  SeedSequence spawning guarantees independence.
+        # master seed.  SeedSequence spawning guarantees independence; the
+        # per-table parameters are stacked so one broadcast hashes all K
+        # tables (bit-identical to K separate families with these seeds).
         seq = np.random.SeedSequence(self.seed)
         children = seq.spawn(2 * self.num_tables)
-        self._bucket_hashes = [
-            make_family(family, self.num_buckets, int(children[2 * e].generate_state(1)[0]))
-            for e in range(self.num_tables)
-        ]
-        self._sign_hashes = [
-            SignHash(int(children[2 * e + 1].generate_state(1)[0]), family="multiply-shift")
-            for e in range(self.num_tables)
-        ]
+        self._hasher = MultiTableHasher(
+            family,
+            self.num_buckets,
+            [int(children[2 * e].generate_state(1)[0]) for e in range(self.num_tables)],
+            sign_seeds=[
+                int(children[2 * e + 1].generate_state(1)[0])
+                for e in range(self.num_tables)
+            ],
+            sign_family="multiply-shift",
+        )
         # Optional hash cache for a canonical key array (dense streaming
         # passes the same arange(p) object every batch — see cache_keys).
         self._cached_keys: np.ndarray | None = None
-        self._cached_buckets: np.ndarray | None = None
+        self._cached_flat_indices: np.ndarray | None = None
         self._cached_signs: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Hash caching
     # ------------------------------------------------------------------
+    def _hash_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fused ``(flat_indices, sign_bits)`` for all tables in one broadcast.
+
+        ``flat_indices`` is the ``(K, n)`` int64 matrix ``e*R + h_e(key)``
+        addressing :attr:`_flat`; ``sign_bits`` is the raw ``(K, n)`` uint64
+        bit matrix (0 => +1, 1 => -1), converted to floats only where a
+        caller actually needs them (see :func:`_apply_sign`).
+        """
+        w, bits = self._hasher.bucket_sign_u64(keys)
+        np.add(w, self._offsets_u64, out=w)
+        return w.view(np.int64), bits
+
     def cache_keys(self, keys: np.ndarray) -> None:
         """Precompute buckets/signs for a canonical key array.
 
@@ -91,20 +163,23 @@ class CountSketch(ValueSketch):
         back to the normal path.
         """
         keys = np.asarray(keys, dtype=np.int64)
-        buckets = np.empty((self.num_tables, keys.size), dtype=np.int64)
-        signs = np.empty((self.num_tables, keys.size), dtype=np.float64)
-        for e in range(self.num_tables):
-            buckets[e] = self._bucket_hashes[e](keys)
-            signs[e] = self._sign_hashes[e](keys)
+        flat_indices, bits = self._hash_batch(keys)
         self._cached_keys = keys
-        self._cached_buckets = buckets
-        self._cached_signs = signs
+        self._cached_flat_indices = flat_indices
+        self._cached_signs = _sign_bits_to_float(bits)
 
-    def _lookup(self, e: int, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """(buckets, signs) for table ``e``, using the cache when possible."""
+    def _lookup(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """``(flat_indices, sign_bits, signs)`` using the cache when possible.
+
+        Exactly one of ``sign_bits`` (fresh hash) and ``signs`` (cache hit,
+        already converted to float) is non-None.
+        """
         if keys is self._cached_keys:
-            return self._cached_buckets[e], self._cached_signs[e]
-        return self._bucket_hashes[e](keys), self._sign_hashes[e](keys)
+            return self._cached_flat_indices, None, self._cached_signs
+        flat_indices, bits = self._hash_batch(keys)
+        return flat_indices, bits, None
 
     # ------------------------------------------------------------------
     # Core operations
@@ -115,18 +190,22 @@ class CountSketch(ValueSketch):
         keys, values = validate_batch(keys, values)
         if keys.size == 0:
             return
-        # bincount beats add.at once the batch is a reasonable fraction of R;
-        # for tiny batches the dense bincount allocation dominates.
-        use_bincount = keys.size * 16 >= self.num_buckets
-        for e in range(self.num_tables):
-            buckets, signs = self._lookup(e, keys)
-            signed = values * signs
-            if use_bincount:
-                self.table[e] += np.bincount(
-                    buckets, weights=signed, minlength=self.num_buckets
-                ).astype(self.table.dtype, copy=False)
-            else:
-                np.add.at(self.table[e], buckets, signed)
+        self._scatter(self._lookup(keys), values)
+
+    def insert_and_query(self, keys, values) -> np.ndarray:
+        """Insert a batch and return its post-insert estimates in one pass.
+
+        Bit-identical to ``insert(keys, values)`` followed by
+        ``query(keys)``, but the buckets and signs are hashed once instead
+        of twice — the streaming estimators use this for their candidate
+        tracker refresh.
+        """
+        keys, values = validate_batch(keys, values)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.float64)
+        hashed = self._lookup(keys)
+        self._scatter(hashed, values)
+        return _median_axis0(self._estimates(hashed))
 
     def query(self, keys) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.int64)
@@ -134,20 +213,41 @@ class CountSketch(ValueSketch):
             raise ValueError("keys must be a 1-D array")
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
-        estimates = np.empty((self.num_tables, keys.size), dtype=np.float64)
-        for e in range(self.num_tables):
-            buckets, signs = self._lookup(e, keys)
-            estimates[e] = self.table[e, buckets] * signs
-        return np.median(estimates, axis=0)
+        return _median_axis0(self._estimates(self._lookup(keys)))
 
     def query_per_table(self, keys) -> np.ndarray:
         """All ``K`` per-table estimates (rows) for diagnostic use."""
         keys = np.asarray(keys, dtype=np.int64)
-        estimates = np.empty((self.num_tables, keys.size), dtype=np.float64)
-        for e in range(self.num_tables):
-            buckets = self._bucket_hashes[e](keys)
-            estimates[e] = self.table[e, buckets] * self._sign_hashes[e](keys)
-        return estimates
+        if keys.size == 0:
+            return np.empty((self.num_tables, 0), dtype=np.float64)
+        return self._estimates(self._lookup(keys))
+
+    def _scatter(self, hashed, values: np.ndarray) -> None:
+        """Accumulate signed ``values`` through precomputed hashes."""
+        flat_indices, bits, signs = hashed
+        signed = signs * values if signs is not None else _apply_sign(bits, values)
+        # bincount beats add.at once the batch is a reasonable fraction of R;
+        # for tiny batches the dense bincount allocation dominates.  The
+        # threshold matches the pre-fusion per-table rule so the float
+        # accumulation order (hence the result) is unchanged.
+        scatter_add_flat(
+            self._flat,
+            flat_indices.ravel(),
+            signed.ravel(),
+            use_bincount=flat_indices.shape[1] * 16 >= self.num_buckets,
+        )
+
+    def _estimates(self, hashed) -> np.ndarray:
+        """Per-table signed estimates ``(K, n)`` via one fancy-index gather."""
+        flat_indices, bits, signs = hashed
+        gathered = self._flat[flat_indices]
+        if gathered.dtype != np.float64:
+            # float32 tables: estimates stay float64, as the per-table
+            # legacy loop produced (f32 counters upcast exactly).
+            gathered = gathered.astype(np.float64)
+        if signs is not None:
+            return gathered * signs
+        return _apply_sign(bits, gathered)
 
     def reset(self) -> None:
         self.table[:] = 0.0
@@ -189,6 +289,20 @@ class CountSketch(ValueSketch):
         )
         clone.table[:] = self.table
         return clone
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # _flat is a view of table; pickling would serialise it as an
+        # independent array and silently decouple the two.
+        state = self.__dict__.copy()
+        del state["_flat"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._flat = self.table.reshape(-1)
 
     # ------------------------------------------------------------------
     # Introspection

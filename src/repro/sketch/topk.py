@@ -8,10 +8,15 @@ inserted key for vanilla CS) together with their most recent estimates.  At
 the end the pool is *re-queried* against the final sketch so stale estimates
 cannot leak into the ranking.
 
-The pool is a dict plus periodic pruning: when the pool exceeds
-``capacity * slack`` it is cut back to the ``capacity`` entries with the
-largest current estimates.  The dict gives O(1) updates; pruning is O(pool)
-amortised.
+The pool is array-backed: ``offer`` appends whole batches into preallocated
+key/estimate buffers with two slice assignments (no per-key Python loop).
+Duplicates are tolerated in the buffer and resolved lazily by a *compaction*
+pass — ``np.unique`` keyed dedup that keeps each key's **latest** estimate
+while preserving first-insertion order, which reproduces dict-update
+semantics exactly.  When the compacted pool exceeds ``capacity * slack`` it
+is cut back to the ``capacity`` entries with the largest current estimates.
+Amortised cost is O(batch) numpy work per offer, with no Python-level
+iteration anywhere.
 """
 
 from __future__ import annotations
@@ -44,35 +49,124 @@ class TopKTracker:
         self.capacity = int(capacity)
         self.slack = float(slack)
         self.two_sided = bool(two_sided)
-        self._pool: dict[int, float] = {}
+        size = max(64, int(self.capacity * self.slack) + 1)
+        self._keys = np.empty(size, dtype=np.int64)
+        self._ests = np.empty(size, dtype=np.float64)
+        self._size = 0          # occupied prefix of the buffers
+        self._has_dups = False  # whether entries past the last compaction exist
 
     def __len__(self) -> int:
-        return len(self._pool)
+        self._compact()
+        return self._size
 
     def _rank_value(self, estimates: np.ndarray) -> np.ndarray:
         return np.abs(estimates) if self.two_sided else estimates
 
+    # ------------------------------------------------------------------
+    # Buffer maintenance
+    # ------------------------------------------------------------------
+    def _grow(self, needed: int) -> None:
+        size = len(self._keys)
+        while size < needed:
+            size *= 2
+        keys = np.empty(size, dtype=np.int64)
+        ests = np.empty(size, dtype=np.float64)
+        keys[: self._size] = self._keys[: self._size]
+        ests[: self._size] = self._ests[: self._size]
+        self._keys, self._ests = keys, ests
+
+    def _compact(self) -> None:
+        """Dedup the buffer, keeping each key's latest estimate.
+
+        Entries keep their first-insertion order so ranking ties resolve
+        exactly as they did with the dict-backed pool.
+        """
+        if not self._has_dups:
+            return
+        n = self._size
+        keys = self._keys[:n]
+        # One stable key-sort yields everything: group boundaries mark the
+        # distinct keys, the first slot of each group is its first-insertion
+        # position (stable sort keeps equal keys in buffer order) and the
+        # last slot its most recent estimate.
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        self._has_dups = False
+        first_flag = np.empty(n, dtype=bool)
+        first_flag[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first_flag[1:])
+        num_unique = int(np.count_nonzero(first_flag))
+        if num_unique == n:
+            return
+        last_flag = np.empty(n, dtype=bool)
+        last_flag[-1] = True
+        last_flag[:-1] = first_flag[1:]
+        first_idx = order[first_flag]
+        last_idx = order[last_flag]
+        insertion_order = np.argsort(first_idx, kind="stable")
+        self._keys[:num_unique] = keys[first_idx[insertion_order]]
+        self._ests[:num_unique] = self._ests[:n][last_idx[insertion_order]]
+        self._size = num_unique
+
+    def _prune(self) -> None:
+        """Cut the (compacted) pool to the ``capacity`` best-ranked entries.
+
+        Equivalent to ``argsort(-rank, stable)[:capacity]`` — every entry
+        ranked strictly above the capacity-th value survives, ties at the
+        boundary resolve by insertion order, and survivors end up in
+        descending rank order — but selection is O(n) via ``np.partition``
+        with only the ``capacity`` survivors sorted.
+        """
+        n = self._size
+        cap = self.capacity
+        rank = self._rank_value(self._ests[:n])
+        if np.isnan(rank).any():
+            # NaN poisons the partition threshold comparisons; the stable
+            # argsort ranks NaN worst, exactly as the dict-era prune did.
+            survivors = np.argsort(-rank, kind="stable")[:cap]
+        else:
+            threshold = np.partition(rank, n - cap)[n - cap]
+            above = np.flatnonzero(rank > threshold)
+            at = np.flatnonzero(rank == threshold)[: cap - above.size]
+            survivors = np.concatenate([above, at])
+            # Primary: descending rank; secondary: insertion position — the
+            # exact order a stable descending argsort would produce.
+            survivors = survivors[np.lexsort((survivors, -rank[survivors]))]
+        self._keys[: survivors.size] = self._keys[survivors]
+        self._ests[: survivors.size] = self._ests[survivors]
+        self._size = survivors.size
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
     def offer(self, keys, estimates) -> None:
         """Record (or refresh) candidates with their current estimates."""
         keys = np.asarray(keys, dtype=np.int64)
         estimates = np.asarray(estimates, dtype=np.float64)
         if keys.shape != estimates.shape:
             raise ValueError("keys and estimates must align")
-        pool = self._pool
-        for key, est in zip(keys.tolist(), estimates.tolist()):
-            pool[key] = est
-        if len(pool) > self.capacity * self.slack:
-            self._prune()
-
-    def _prune(self) -> None:
-        keys = np.fromiter(self._pool.keys(), dtype=np.int64, count=len(self._pool))
-        ests = np.fromiter(self._pool.values(), dtype=np.float64, count=len(self._pool))
-        order = np.argsort(-self._rank_value(ests), kind="stable")[: self.capacity]
-        self._pool = dict(zip(keys[order].tolist(), ests[order].tolist()))
+        n = keys.size
+        if n == 0:
+            return
+        if self._size + n > len(self._keys):
+            self._compact()
+            if self._size + n > len(self._keys):
+                self._grow(self._size + n)
+        self._keys[self._size : self._size + n] = keys
+        self._ests[self._size : self._size + n] = estimates
+        self._size += n
+        self._has_dups = True
+        # self._size bounds the distinct-key count from above, so the pool
+        # can only exceed the prune trigger if this check fires.
+        if self._size > self.capacity * self.slack:
+            self._compact()
+            if self._size > self.capacity * self.slack:
+                self._prune()
 
     def candidates(self) -> np.ndarray:
         """Current candidate keys (unordered)."""
-        return np.fromiter(self._pool.keys(), dtype=np.int64, count=len(self._pool))
+        self._compact()
+        return self._keys[: self._size].copy()
 
     def top_k(self, k: int, sketch=None) -> tuple[np.ndarray, np.ndarray]:
         """The ``k`` candidates with the largest estimates.
@@ -91,15 +185,18 @@ class TopKTracker:
         ``(keys, estimates)`` sorted by decreasing (two-sided: absolute)
         estimate.
         """
-        if not self._pool:
+        self._compact()
+        if self._size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-        keys = self.candidates()
+        keys = self._keys[: self._size]
         if sketch is not None:
-            ests = np.asarray(sketch.query(keys), dtype=np.float64)
+            ests = np.asarray(sketch.query(keys.copy()), dtype=np.float64)
         else:
-            ests = np.array([self._pool[key] for key in keys.tolist()])
+            ests = self._ests[: self._size]
         order = np.argsort(-self._rank_value(ests), kind="stable")[: int(k)]
+        # Fancy indexing materialises fresh arrays, so no buffer views leak.
         return keys[order], ests[order]
 
     def reset(self) -> None:
-        self._pool.clear()
+        self._size = 0
+        self._has_dups = False

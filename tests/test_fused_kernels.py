@@ -1,0 +1,424 @@
+"""Equivalence tests: fused kernels vs. the legacy per-table/per-sample
+reference implementations (repro.reference).
+
+The fused layer promises *bit-identical* results for identical seeds, so
+every assertion here is exact equality — no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ascs import ActiveSamplingCountSketch
+from repro.core.estimator import SketchEstimator
+from repro.core.schedule import ThresholdSchedule
+from repro.covariance.updates import (
+    aggregate_pair_updates,
+    sparse_batch_pairs,
+    sparse_sample_pairs,
+)
+from repro.hashing.families import MultiTableHasher, SignHash, make_family
+from repro.reference import (
+    LegacyCountMinSketch,
+    LegacyCountSketch,
+    LegacyTopKTracker,
+    legacy_sparse_batch_pairs,
+)
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.count_sketch import CountSketch, _median_axis0
+from repro.sketch.topk import TopKTracker
+
+FAMILIES = ["multiply-shift", "polynomial", "tabulation"]
+
+
+def _key_batches(rng, num_batches=4):
+    """Mixed batches: empty, tiny (add.at path), large (bincount path)."""
+    batches = [
+        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)),
+        (rng.integers(0, 10**12, size=7), rng.standard_normal(7)),
+        (rng.integers(0, 10**12, size=300), rng.standard_normal(300)),
+        (rng.integers(0, 10**12, size=9000), rng.standard_normal(9000)),
+    ]
+    return batches[:num_batches]
+
+
+# ----------------------------------------------------------------------
+# Hash layer
+# ----------------------------------------------------------------------
+class TestMultiTableHasher:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("num_buckets", [1024, 1000])  # pow2 and not
+    def test_buckets_match_per_table_families(self, family, num_buckets, rng):
+        seeds = [11, 22, 33]
+        hasher = MultiTableHasher(family, num_buckets, seeds)
+        keys = rng.integers(0, 2**63 - 1, size=500).astype(np.int64)
+        fused = hasher.buckets(keys)
+        for e, seed in enumerate(seeds):
+            ref = make_family(family, num_buckets, seed)(keys)
+            np.testing.assert_array_equal(fused[e], ref)
+
+    def test_signs_match_sign_hash(self, rng):
+        seeds = [1, 2, 3, 4]
+        hasher = MultiTableHasher(
+            "multiply-shift", 64, seeds, sign_seeds=[9, 8, 7, 6]
+        )
+        keys = rng.integers(0, 10**15, size=256).astype(np.int64)
+        fused = hasher.signs(keys)
+        for e, seed in enumerate([9, 8, 7, 6]):
+            ref = SignHash(seed, family="multiply-shift")(keys)
+            np.testing.assert_array_equal(fused[e], ref)
+
+    def test_single_table(self, rng):
+        hasher = MultiTableHasher("multiply-shift", 128, [5])
+        keys = rng.integers(0, 10**12, size=64).astype(np.int64)
+        assert hasher.buckets(keys).shape == (1, 64)
+        np.testing.assert_array_equal(
+            hasher.buckets(keys)[0], make_family("multiply-shift", 128, 5)(keys)
+        )
+
+    def test_polynomial_degree_passthrough(self, rng):
+        hasher = MultiTableHasher("polynomial", 512, [3, 4], degree=3)
+        keys = rng.integers(0, 10**12, size=128).astype(np.int64)
+        for e, seed in enumerate([3, 4]):
+            ref = make_family("polynomial", 512, seed, degree=3)(keys)
+            np.testing.assert_array_equal(hasher.buckets(keys)[e], ref)
+
+    def test_sign_requires_sign_seeds(self):
+        hasher = MultiTableHasher("multiply-shift", 64, [1])
+        with pytest.raises(RuntimeError):
+            hasher.sign_bits_u64(np.arange(4))
+
+
+# ----------------------------------------------------------------------
+# Sketch layer
+# ----------------------------------------------------------------------
+class TestCountSketchEquivalence:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("num_tables", [1, 5])
+    def test_insert_query_bit_identical(self, family, dtype, num_tables, rng):
+        fused = CountSketch(num_tables, 2048, seed=7, family=family, dtype=dtype)
+        legacy = LegacyCountSketch(
+            num_tables, 2048, seed=7, family=family, dtype=dtype
+        )
+        for keys, values in _key_batches(rng):
+            fused.insert(keys, values)
+            legacy.insert(keys, values)
+        np.testing.assert_array_equal(fused.table, legacy.table)
+        probe = rng.integers(0, 10**12, size=777).astype(np.int64)
+        np.testing.assert_array_equal(fused.query(probe), legacy.query(probe))
+        np.testing.assert_array_equal(
+            fused.query_per_table(probe), legacy.query_per_table(probe)
+        )
+
+    @pytest.mark.parametrize("num_tables", [2, 4])
+    def test_even_table_counts_match(self, num_tables, rng):
+        # Even K exercises the np.median fallback (mean of two middles).
+        fused = CountSketch(num_tables, 512, seed=3)
+        legacy = LegacyCountSketch(num_tables, 512, seed=3)
+        keys = rng.integers(0, 10**9, size=4000)
+        values = rng.standard_normal(4000)
+        fused.insert(keys, values)
+        legacy.insert(keys, values)
+        np.testing.assert_array_equal(fused.table, legacy.table)
+        np.testing.assert_array_equal(fused.query(keys[:100]), legacy.query(keys[:100]))
+
+    def test_non_power_of_two_buckets(self, rng):
+        fused = CountSketch(3, 1000, seed=5)
+        legacy = LegacyCountSketch(3, 1000, seed=5)
+        keys = rng.integers(0, 10**12, size=5000)
+        values = rng.standard_normal(5000)
+        fused.insert(keys, values)
+        legacy.insert(keys, values)
+        np.testing.assert_array_equal(fused.table, legacy.table)
+
+    def test_cached_keys_bit_identical(self, rng):
+        keys = np.arange(3000, dtype=np.int64)
+        values = rng.standard_normal(3000)
+        fused = CountSketch(5, 1024, seed=9)
+        fused.cache_keys(keys)
+        legacy = LegacyCountSketch(5, 1024, seed=9)
+        fused.insert(keys, values)
+        legacy.insert(keys.copy(), values)
+        np.testing.assert_array_equal(fused.table, legacy.table)
+        np.testing.assert_array_equal(fused.query(keys), legacy.query(keys.copy()))
+        np.testing.assert_array_equal(
+            fused.query_per_table(keys), legacy.query_per_table(keys.copy())
+        )
+
+    def test_empty_batch_noop(self):
+        fused = CountSketch(5, 256, seed=1)
+        fused.insert(np.empty(0, dtype=np.int64), np.empty(0))
+        assert not fused.table.any()
+        assert fused.query(np.empty(0, dtype=np.int64)).size == 0
+        assert fused.query_per_table(np.empty(0, dtype=np.int64)).shape == (5, 0)
+
+    def test_flat_view_shares_table_memory(self):
+        sk = CountSketch(3, 64, seed=0)
+        sk.insert(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        assert sk._flat.base is sk.table or sk._flat.base is sk.table.base
+        sk.reset()
+        assert not sk._flat.any()
+
+    @pytest.mark.parametrize("cls", [CountSketch, CountMinSketch])
+    def test_pickle_rebuilds_flat_view(self, cls, rng):
+        import pickle
+
+        sk = cls(3, 256, seed=5)
+        keys = rng.integers(0, 10**9, size=100)
+        values = np.abs(rng.standard_normal(100))
+        sk.insert(keys, values)
+        clone = pickle.loads(pickle.dumps(sk))
+        np.testing.assert_array_equal(clone.table, sk.table)
+        # Inserts after unpickling must stay visible through .table (the
+        # flat working view has to alias the unpickled table, not a copy).
+        clone.insert(keys, values)
+        sk.insert(keys, values)
+        np.testing.assert_array_equal(clone.table, sk.table)
+        np.testing.assert_array_equal(clone.query(keys), sk.query(keys))
+        clone.reset()
+        assert not clone.query(keys).any()
+
+
+class TestMedianKernel:
+    @pytest.mark.parametrize("k", [1, 3, 5, 7])
+    def test_matches_np_median_odd(self, k, rng):
+        est = rng.standard_normal((k, 513))
+        np.testing.assert_array_equal(_median_axis0(est), np.median(est, axis=0))
+
+    def test_matches_np_median_with_ties(self, rng):
+        est = rng.integers(-2, 3, size=(5, 400)).astype(np.float64)
+        np.testing.assert_array_equal(_median_axis0(est), np.median(est, axis=0))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_even_k_falls_back_to_average(self, k, rng):
+        est = rng.standard_normal((k, 100))
+        np.testing.assert_array_equal(_median_axis0(est), np.median(est, axis=0))
+
+
+class TestCountMinEquivalence:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("conservative", [False, True])
+    def test_insert_query_bit_identical(self, family, conservative, rng):
+        fused = CountMinSketch(
+            3, 512, seed=4, family=family, conservative=conservative
+        )
+        legacy = LegacyCountMinSketch(
+            3, 512, seed=4, family=family, conservative=conservative
+        )
+        for keys, values in _key_batches(rng):
+            fused.insert(keys, np.abs(values))
+            legacy.insert(keys, np.abs(values))
+        np.testing.assert_array_equal(fused.table, legacy.table)
+        probe = rng.integers(0, 10**12, size=333).astype(np.int64)
+        np.testing.assert_array_equal(fused.query(probe), legacy.query(probe))
+
+    def test_capped_conservative_matches(self, rng):
+        fused = CountMinSketch(2, 128, seed=2, conservative=True, cap=3.0)
+        legacy = LegacyCountMinSketch(2, 128, seed=2, conservative=True, cap=3.0)
+        for _ in range(5):
+            keys = rng.integers(0, 500, size=200)
+            values = np.abs(rng.standard_normal(200))
+            fused.insert(keys, values)
+            legacy.insert(keys, values)
+        np.testing.assert_array_equal(fused.table, legacy.table)
+
+
+# ----------------------------------------------------------------------
+# Tracker layer
+# ----------------------------------------------------------------------
+class TestTrackerEquivalence:
+    @pytest.mark.parametrize("two_sided", [False, True])
+    def test_offer_prune_topk_identical(self, two_sided, rng):
+        fused = TopKTracker(50, slack=1.5, two_sided=two_sided)
+        legacy = LegacyTopKTracker(50, slack=1.5, two_sided=two_sided)
+        for _ in range(30):
+            n = int(rng.integers(0, 40))
+            keys = rng.integers(0, 200, size=n)  # small space: many refreshes
+            ests = rng.standard_normal(n)
+            fused.offer(keys, ests)
+            legacy.offer(keys, ests)
+            assert len(fused) == len(legacy)
+        np.testing.assert_array_equal(fused.candidates(), legacy.candidates())
+        fk, fe = fused.top_k(20)
+        lk, le = legacy.top_k(20)
+        np.testing.assert_array_equal(fk, lk)
+        np.testing.assert_array_equal(fe, le)
+
+    def test_duplicate_keys_in_one_batch_keep_last(self):
+        fused = TopKTracker(10)
+        legacy = LegacyTopKTracker(10)
+        keys = np.array([5, 5, 5, 2])
+        ests = np.array([1.0, 3.0, 2.0, 9.0])
+        fused.offer(keys, ests)
+        legacy.offer(keys, ests)
+        fk, fe = fused.top_k(10)
+        lk, le = legacy.top_k(10)
+        np.testing.assert_array_equal(fk, lk)
+        np.testing.assert_array_equal(fe, le)
+
+    def test_requery_against_sketch_identical(self, rng):
+        sketch = CountSketch(5, 1024, seed=6)
+        keys = rng.integers(0, 10**9, size=500)
+        sketch.insert(keys, rng.standard_normal(500))
+        fused = TopKTracker(30)
+        legacy = LegacyTopKTracker(30)
+        fused.offer(keys[:100], np.zeros(100))
+        legacy.offer(keys[:100], np.zeros(100))
+        fk, fe = fused.top_k(10, sketch=sketch)
+        lk, le = legacy.top_k(10, sketch=sketch)
+        np.testing.assert_array_equal(fk, lk)
+        np.testing.assert_array_equal(fe, le)
+
+    def test_buffer_growth_beyond_initial_capacity(self, rng):
+        tracker = TopKTracker(5000, slack=2.0)
+        keys = rng.integers(0, 10**12, size=9000)
+        tracker.offer(keys, rng.standard_normal(9000))
+        assert len(tracker) == np.unique(keys).size
+
+    def test_reset_clears(self):
+        tracker = TopKTracker(5)
+        tracker.offer(np.array([1]), np.array([1.0]))
+        tracker.reset()
+        assert len(tracker) == 0
+        assert tracker.candidates().size == 0
+
+    def test_nan_estimates_rank_worst_like_legacy(self):
+        # NaN estimates must not poison the prune: the dict-era argsort
+        # ranked them worst and kept `capacity` candidates.
+        fused = TopKTracker(5, slack=1.2)
+        legacy = LegacyTopKTracker(5, slack=1.2)
+        keys = np.arange(20)
+        ests = np.full(20, np.nan)
+        ests[3] = 2.0
+        ests[11] = 1.0
+        for tr in (fused, legacy):
+            tr.offer(keys, ests)
+        assert len(fused) == len(legacy)
+        fk, _ = fused.top_k(2)
+        lk, _ = legacy.top_k(2)
+        np.testing.assert_array_equal(fk, lk)
+        assert fk.tolist() == [3, 11]
+
+
+# ----------------------------------------------------------------------
+# Pipeline layer
+# ----------------------------------------------------------------------
+def _random_sparse_batch(rng, num_samples, dim, max_nnz):
+    lengths, idx_parts, val_parts = [], [], []
+    for _ in range(num_samples):
+        m = int(rng.integers(0, max_nnz + 1))
+        feats = rng.choice(dim, size=m, replace=False)
+        lengths.append(m)
+        idx_parts.append(feats.astype(np.int64))
+        val_parts.append(rng.standard_normal(m))
+    indices = (
+        np.concatenate(idx_parts) if idx_parts else np.empty(0, dtype=np.int64)
+    )
+    values = np.concatenate(val_parts) if val_parts else np.empty(0)
+    return indices, values, np.asarray(lengths, dtype=np.int64)
+
+
+class TestSparseBatchPairs:
+    def test_matches_per_sample_loop(self, rng):
+        dim = 3000
+        indices, values, lengths = _random_sparse_batch(rng, 20, dim, 30)
+        fused = sparse_batch_pairs(indices, values, lengths, dim)
+        legacy = legacy_sparse_batch_pairs(indices, values, lengths, dim)
+        np.testing.assert_array_equal(fused[0], legacy[0])
+        np.testing.assert_array_equal(fused[1], legacy[1])
+
+    def test_empty_and_singleton_samples(self):
+        dim = 100
+        indices = np.array([7, 3, 50, 9], dtype=np.int64)
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        lengths = np.array([0, 1, 3, 0], dtype=np.int64)  # only one pairful sample
+        keys, products = sparse_batch_pairs(indices, values, lengths, dim)
+        ref_keys, ref_products = sparse_sample_pairs(
+            indices[1:4], values[1:4], dim
+        )
+        np.testing.assert_array_equal(keys, ref_keys)
+        np.testing.assert_array_equal(products, ref_products)
+
+    def test_all_empty(self):
+        keys, products = sparse_batch_pairs(
+            np.empty(0, dtype=np.int64), np.empty(0), np.zeros(4, dtype=np.int64), 10
+        )
+        assert keys.size == 0 and products.size == 0
+
+    def test_unsorted_indices_match_loop(self, rng):
+        dim = 500
+        indices = np.array([40, 3, 17, 2, 499, 250], dtype=np.int64)
+        values = rng.standard_normal(6)
+        lengths = np.array([3, 3], dtype=np.int64)
+        fused = sparse_batch_pairs(indices, values, lengths, dim)
+        legacy = legacy_sparse_batch_pairs(indices, values, lengths, dim)
+        np.testing.assert_array_equal(fused[0], legacy[0])
+        np.testing.assert_array_equal(fused[1], legacy[1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="lengths"):
+            sparse_batch_pairs(
+                np.arange(5, dtype=np.int64),
+                np.ones(5),
+                np.array([2, 2], dtype=np.int64),
+                10,
+            )
+
+
+class TestEndToEndSparsePipeline:
+    def test_fused_pipeline_matches_legacy_expansion(self, rng):
+        """A full fit_sparse run must leave exactly the same sketch state as
+        the legacy per-sample expansion feeding the same estimator."""
+        from repro.covariance.pipeline import CovarianceSketcher
+
+        dim, n = 400, 64
+        samples = []
+        for _ in range(n):
+            m = int(rng.integers(2, 12))
+            feats = np.sort(rng.choice(dim, size=m, replace=False)).astype(np.int64)
+            samples.append((feats, rng.standard_normal(m)))
+
+        est_fused = SketchEstimator(CountSketch(5, 4096, seed=12), n, track_top=64)
+        pipe = CovarianceSketcher(
+            dim, est_fused, mode="covariance", batch_size=16
+        )
+        pipe.fit_sparse(iter(samples))
+
+        est_ref = SketchEstimator(LegacyCountSketch(5, 4096, seed=12), n)
+        for start in range(0, n, 16):
+            chunk = samples[start : start + 16]
+            keys_list, values_list = [], []
+            for feats, vals in chunk:
+                keys, products = sparse_sample_pairs(feats, vals, dim)
+                if keys.size:
+                    keys_list.append(keys)
+                    values_list.append(products)
+            keys, sums = aggregate_pair_updates(keys_list, values_list)
+            est_ref.ingest(keys, sums, num_samples=len(chunk))
+
+        np.testing.assert_array_equal(
+            est_fused.sketch.table, est_ref.sketch.table
+        )
+
+    def test_ascs_tracker_reuses_gate_estimates(self, rng):
+        """During sampling the tracker must hold the gate's (pre-insert)
+        estimates rather than issuing a second query."""
+        n = 40
+        sketch = CountSketch(3, 512, seed=8)
+        schedule = ThresholdSchedule(
+            total_samples=n, exploration_length=10, tau0=0.0, theta=0.0
+        )
+        est = ActiveSamplingCountSketch(
+            sketch, n, schedule, track_top=32, name="ASCS"
+        )
+        keys = rng.integers(0, 10**6, size=20)
+        values = np.abs(rng.standard_normal(20)) + 1.0
+        est.ingest(keys, values, num_samples=20)  # exploration
+        gate_est = sketch.query(np.asarray(keys, dtype=np.int64))
+        est.ingest(keys, values, num_samples=20)  # sampling: gate accepts all
+        cand, cand_est = est.tracker.top_k(32)
+        lookup = dict(zip(cand.tolist(), cand_est.tolist()))
+        expect = dict(
+            zip(np.asarray(keys, dtype=np.int64).tolist(), gate_est.tolist())
+        )
+        assert lookup == {k: v for k, v in expect.items()}
