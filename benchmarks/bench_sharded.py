@@ -1,0 +1,205 @@
+"""Sharded-ingestion scaling benchmark: serial vs multiprocess backends.
+
+Measures end-to-end ``fit_sparse_sharded`` wall time on the paper's table
+shape (K=5, R=2^17) against the single-shard ``fit_sparse`` baseline, for
+the serial backend (overhead check — also asserts bit-identity) and the
+process backend at 1, 2 and 4 workers.  Results land in
+``BENCH_sharded.json`` (``BENCH_sharded.smoke.json`` in smoke mode)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py            # full
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke        # CI smoke
+
+Every record carries the workload, backend, worker count, best-of-trials
+seconds, pair-updates/sec and the speedup versus the single-shard
+baseline.  ``meta.cpu_count`` records how many cores the measuring machine
+actually had: process-backend speedup is bounded above by that number, so
+a 1-core container measures ~1x regardless of how well the sharding
+scales (the merge laws are exercised either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed import fit_sparse_sharded
+from repro.distributed.shard import ShardSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The paper's table shape: K=5 tables, R=2^17 buckets (Table 2 regime).
+NUM_TABLES = 5
+NUM_BUCKETS = 1 << 17
+
+DIM = 10**6
+NNZ = 64
+BATCH_SIZE = 32
+TRACK_TOP = 1024
+SEED = 3
+
+#: Worker counts for the process-backend scaling curve.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _make_stream(num_samples: int, rng) -> list:
+    return [
+        (
+            np.sort(rng.choice(DIM, size=NNZ, replace=False)).astype(np.int64),
+            rng.standard_normal(NNZ),
+        )
+        for _ in range(num_samples)
+    ]
+
+
+def _best_seconds(fn, *, trials: int) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _workload_records(
+    workload: str, num_samples: int, *, trials: int, rng
+) -> list[dict]:
+    samples = _make_stream(num_samples, rng)
+    pairs = num_samples * (NNZ * (NNZ - 1) // 2)
+    common = dict(
+        num_tables=NUM_TABLES,
+        num_buckets=NUM_BUCKETS,
+        seed=SEED,
+        batch_size=BATCH_SIZE,
+        track_top=TRACK_TOP,
+        mode="covariance",
+    )
+    spec = ShardSpec(dim=DIM, total_samples=num_samples, **common)
+
+    def fit_single():
+        sketcher = spec.build_sketcher()
+        sketcher.fit_sparse(iter(samples))
+        return sketcher
+
+    def fit_sharded(backend, workers):
+        return fit_sparse_sharded(
+            samples, DIM, backend=backend, n_workers=workers, **common
+        )
+
+    # Correctness gate before timing: serial sharding must be bit-identical
+    # to the single-shard path on this exact workload.
+    reference = fit_single()
+    serial = fit_sharded("serial", 4)
+    np.testing.assert_array_equal(
+        serial.estimator.sketch.table, reference.estimator.sketch.table
+    )
+
+    records = []
+    single_s = _best_seconds(fit_single, trials=trials)
+
+    def record(label, backend, workers, seconds):
+        records.append(
+            {
+                "op": label,
+                "workload": workload,
+                "num_samples": num_samples,
+                "pair_updates": pairs,
+                "backend": backend,
+                "n_workers": workers,
+                "seconds": seconds,
+                "single_shard_seconds": single_s,
+                "speedup_vs_single": single_s / seconds,
+                "pairs_per_sec": pairs / seconds,
+            }
+        )
+
+    record("fit_sparse_single", "none", 1, single_s)
+    record(
+        "fit_sharded_serial",
+        "serial",
+        4,
+        _best_seconds(lambda: fit_sharded("serial", 4), trials=trials),
+    )
+    for workers in WORKER_COUNTS:
+        record(
+            f"fit_sharded_process_w{workers}",
+            "process",
+            workers,
+            _best_seconds(lambda: fit_sharded("process", workers), trials=trials),
+        )
+    return records
+
+
+def run_benchmarks(smoke: bool = False) -> dict:
+    rng = np.random.default_rng(0)
+    trials = 2 if smoke else 3
+    # The smoke workload always runs (it is the acceptance workload); full
+    # mode adds a larger stream for a less startup-dominated curve.
+    results = _workload_records("smoke", 1536, trials=trials, rng=rng)
+    if not smoke:
+        results += _workload_records("full", 4096, trials=trials, rng=rng)
+
+    def _speedup(workload, op):
+        for rec in results:
+            if rec["workload"] == workload and rec["op"] == op:
+                return rec["speedup_vs_single"]
+        return None
+
+    cpu_count = os.cpu_count() or 1
+    headline = {
+        "smoke_process_speedup_w4": _speedup("smoke", "fit_sharded_process_w4"),
+        "smoke_process_speedup_w2": _speedup("smoke", "fit_sharded_process_w2"),
+        "smoke_serial_overhead": _speedup("smoke", "fit_sharded_serial"),
+        "cpu_count": cpu_count,
+    }
+    return {
+        "meta": {
+            "benchmark": "bench_sharded",
+            "smoke": smoke,
+            "num_tables": NUM_TABLES,
+            "num_buckets": NUM_BUCKETS,
+            "dim": DIM,
+            "nnz": NNZ,
+            "batch_size": BATCH_SIZE,
+            "cpu_count": cpu_count,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "note": (
+                "process-backend speedup is bounded by cpu_count; on a "
+                "1-core machine expect ~1x regardless of sharding quality"
+            ),
+        },
+        "headline": headline,
+        "results": results,
+    }
+
+
+def write_report(report: dict, out_path: Path) -> None:
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def print_report(report: dict) -> None:
+    print(f"{'op':<28}{'workload':>9}{'workers':>8}{'seconds':>10}{'speedup':>9}")
+    for rec in report["results"]:
+        print(
+            f"{rec['op']:<28}{rec['workload']:>9}{rec['n_workers']:>8}"
+            f"{rec['seconds']:>10.3f}{rec['speedup_vs_single']:>8.2f}x"
+        )
+    print("headline:", json.dumps(report["headline"], indent=2))
+
+
+def main(smoke: bool = False, out: Path | None = None) -> dict:
+    report = run_benchmarks(smoke=smoke)
+    print_report(report)
+    write_report(report, out or REPO_ROOT / "BENCH_sharded.json")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,24 +1,28 @@
-"""CI entry point for the kernel microbenchmarks.
+"""CI entry point for the kernel and sharded-ingestion benchmarks.
 
-Runs :mod:`benchmarks.bench_kernels` and writes the machine-readable
-``BENCH_kernels.json`` (op, batch size, seconds, updates/sec, speedup) so
-future PRs can diff perf trajectories.  Smoke mode shrinks workloads and
-repetitions to keep CI wall-clock small::
+Runs :mod:`benchmarks.bench_kernels` and :mod:`benchmarks.bench_sharded`
+and writes the machine-readable ``BENCH_kernels.json`` (op, batch size,
+seconds, updates/sec, speedup) and ``BENCH_sharded.json`` (backend, worker
+count, scaling curve) so future PRs can diff perf trajectories.  Smoke
+mode shrinks workloads and repetitions to keep CI wall-clock small::
 
     PYTHONPATH=src python benchmarks/run_bench.py --smoke
-    PYTHONPATH=src python benchmarks/run_bench.py            # full workloads
-    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/bench.json
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full
+    PYTHONPATH=src python benchmarks/run_bench.py --bench sharded --smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --bench kernels --out /tmp/bench.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_kernels import REPO_ROOT, main as run_kernels  # noqa: E402
+from bench_sharded import main as run_sharded  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -29,32 +33,54 @@ def main(argv=None) -> int:
         help="small workloads / few repetitions (CI-friendly)",
     )
     parser.add_argument(
+        "--bench",
+        choices=("all", "kernels", "sharded"),
+        default="all",
+        help="which benchmark suite(s) to run",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
         help=(
-            "output JSON path (default: repo-root BENCH_kernels.json, or "
-            "BENCH_kernels.smoke.json in smoke mode so quick runs never "
-            "clobber the committed full-workload record)"
+            "output JSON path (only valid with a single --bench suite; "
+            "default: repo-root BENCH_<suite>.json, or "
+            "BENCH_<suite>.smoke.json in smoke mode so quick runs never "
+            "clobber the committed full-workload records)"
         ),
     )
     args = parser.parse_args(argv)
-    out = args.out or REPO_ROOT / (
-        "BENCH_kernels.smoke.json" if args.smoke else "BENCH_kernels.json"
-    )
-    report = run_kernels(smoke=args.smoke, out=out)
-    print(f"wrote {out}")
-    # Non-zero exit if any fused kernel regressed below parity, so CI can
-    # flag perf regressions without parsing the JSON.
-    regressions = [
-        rec["op"]
-        for rec in report["results"]
-        if rec["speedup"] < 0.5
-    ]
-    if regressions:
-        print("severe regressions:", ", ".join(regressions))
-        return 1
-    return 0
+    if args.out is not None and args.bench == "all":
+        parser.error("--out requires --bench kernels or --bench sharded")
+
+    suffix = ".smoke.json" if args.smoke else ".json"
+    failures = 0
+
+    if args.bench in ("all", "kernels"):
+        out = args.out or REPO_ROOT / f"BENCH_kernels{suffix}"
+        report = run_kernels(smoke=args.smoke, out=out)
+        print(f"wrote {out}")
+        # Non-zero exit if any fused kernel regressed below parity, so CI
+        # can flag perf regressions without parsing the JSON.
+        regressions = [
+            rec["op"] for rec in report["results"] if rec["speedup"] < 0.5
+        ]
+        if regressions:
+            print("severe regressions:", ", ".join(regressions))
+            failures += 1
+
+    if args.bench in ("all", "sharded"):
+        out = args.out or REPO_ROOT / f"BENCH_sharded{suffix}"
+        report = run_sharded(smoke=args.smoke, out=out)
+        print(f"wrote {out}")
+        # Scaling is hardware-bounded: only flag when the machine has the
+        # cores to scale and the process backend still fails to.
+        speedup = report["headline"]["smoke_process_speedup_w4"]
+        if (os.cpu_count() or 1) >= 4 and speedup is not None and speedup < 1.5:
+            print(f"sharded scaling regression: {speedup:.2f}x at 4 workers")
+            failures += 1
+
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -11,6 +11,11 @@ recipe is: CS on workers for the exploration-grade pass, merge, then a
 final ASCS pass (or run ASCS per shard and accept per-shard thresholds —
 shown below, with quality measured against ground truth).
 
+The manual map/reduce below is what `repro.distributed.fit_sparse_sharded`
+automates for sparse streams — partitioning, a multiprocessing pool and
+the full merge laws (counters, moments, top-k pool, ASCS sampler state);
+the last section demonstrates it.
+
 Run:  python examples/distributed_sketching.py
 """
 
@@ -23,6 +28,7 @@ import numpy as np
 
 from repro.core.estimator import SketchEstimator
 from repro.covariance import CovarianceSketcher, flat_true_correlations
+from repro.distributed import fit_sparse_sharded
 from repro.data import BlockCorrelationModel
 from repro.evaluation import mean_top_true_value, rank_all_pairs
 from repro.sketch import CountSketch, load_sketch, save_sketch
@@ -71,6 +77,32 @@ def main() -> None:
     # covariance units == correlation units here (unit-variance features)
     quality = mean_top_true_value(ranked, truth, 50)
     print(f"mean true correlation of merged-sketch top-50: {quality:.3f}")
+
+    # --- the one-call driver for sparse streams --------------------------
+    # fit_sparse_sharded packages the whole recipe: batch-aligned
+    # partitioning, a worker per shard (serial backend shown here is
+    # bit-identical to fit_sparse; backend="process" runs a real
+    # multiprocessing pool) and the merge laws for counters, moments and
+    # the top-k candidate pool.
+    sparse_samples = [
+        (np.flatnonzero(row).astype(np.int64), row[np.flatnonzero(row)])
+        for row in data[:1500]
+    ]
+    fit = fit_sparse_sharded(
+        sparse_samples,
+        d,
+        num_tables=5,
+        num_buckets=6000,
+        seed=123,
+        track_top=200,
+        mode="covariance",
+        n_workers=NUM_WORKERS,
+        backend="process",
+    )
+    i, j, est = fit.top_pairs(5, scan=False)
+    print("\nfit_sparse_sharded (process backend) top-5 pairs:")
+    for a, b, e in zip(i, j, est):
+        print(f"  ({a:3d},{b:3d})  estimate={e:+.4f}")
 
 
 if __name__ == "__main__":

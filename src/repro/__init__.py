@@ -8,6 +8,8 @@ matrices.  The package layers:
 * :mod:`repro.covariance` — streaming moments, pair updates, the pipeline;
 * :mod:`repro.theory` — Theorems 1-3 and the Algorithm-3 planner;
 * :mod:`repro.core` — ASCS itself and the high-level API;
+* :mod:`repro.distributed` — sharded parallel ingestion: mergeable shard
+  workers, the merge-law reducer and the ``fit_sparse_sharded`` driver;
 * :mod:`repro.data` — synthetic datasets and stream generators;
 * :mod:`repro.evaluation` — paper metrics and the comparison harness;
 * :mod:`repro.experiments` — one module per paper table/figure;
@@ -42,6 +44,7 @@ from repro.core import (
     SketchResult,
     ThresholdSchedule,
     build_estimator,
+    fit_sparse_sharded,
     run_pilot,
     sketch_correlations,
 )
@@ -60,6 +63,7 @@ __all__ = [
     "SketchResult",
     "ThresholdSchedule",
     "build_estimator",
+    "fit_sparse_sharded",
     "plan_hyperparameters",
     "run_pilot",
     "sketch_correlations",

@@ -5,6 +5,7 @@ from repro.core.api import (
     PilotEstimates,
     SketchResult,
     build_estimator,
+    fit_sparse_sharded,
     run_pilot,
     sketch_correlations,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "StreamingEstimator",
     "ThresholdSchedule",
     "build_estimator",
+    "fit_sparse_sharded",
     "run_pilot",
     "sketch_correlations",
 ]

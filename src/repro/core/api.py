@@ -11,6 +11,16 @@ full recipe (section 8.1):
 3. one streaming pass feeds every sample through the chosen estimator
    (``ascs``, ``cs``, ``asketch`` or ``coldfilter``);
 4. retrieval returns the top pairs with their estimates.
+
+For sparse streams too large for one process, :func:`fit_sparse_sharded`
+is the scale-out variant of step 3: it partitions the stream into
+batch-aligned shards, sketches each shard independently (``serial`` or
+``multiprocessing`` backends) and merges the shard states — exact counter
+and moment summation, top-k candidate union re-queried against the merged
+sketch, and ASCS sampler counts summed with the threshold-schedule
+position re-derived from the total sample count.  The serial backend is
+bit-identical to ``CovarianceSketcher.fit_sparse``; the full merge laws
+live in :mod:`repro.distributed`.
 """
 
 from __future__ import annotations
@@ -30,7 +40,14 @@ from repro.sketch.count_sketch import CountSketch
 from repro.theory.bounds import ProblemModel
 from repro.theory.planner import ASCSPlan, plan_hyperparameters
 
-__all__ = ["SketchResult", "PilotEstimates", "run_pilot", "build_estimator", "sketch_correlations"]
+__all__ = [
+    "SketchResult",
+    "PilotEstimates",
+    "run_pilot",
+    "build_estimator",
+    "fit_sparse_sharded",
+    "sketch_correlations",
+]
 
 METHODS = ("ascs", "cs", "asketch", "coldfilter")
 
@@ -188,6 +205,47 @@ def build_estimator(
         seed=seed,
     )
     return SketchEstimator(sketch, total_samples, name="ColdFilter", **common)
+
+
+def fit_sparse_sharded(samples, dim: int, **kwargs):
+    """Sharded (optionally multiprocess) sparse ingestion — scale-out fit.
+
+    Partitions a sparse sample stream into contiguous batch-aligned shards,
+    sketches every shard with an independent estimator built from one
+    shared :class:`repro.distributed.ShardSpec` (same seed → mergeable),
+    and reduces the shard states into a single queryable estimator.
+
+    Parameters (all keyword-only; see
+    :func:`repro.distributed.driver.fit_sparse_sharded` for the full list)
+    ----------------------------------------------------------------------
+    samples:
+        Iterable of sparse ``(indices, values)`` samples.
+    dim:
+        Feature dimension ``d``.
+    method:
+        ``"cs"`` (default) or ``"ascs"`` — only the linear-mergeable
+        estimators; ``"ascs"`` also needs ``schedule`` (a
+        :class:`repro.core.ThresholdSchedule` or its parameter tuple).
+    n_workers, backend:
+        ``backend="serial"`` (default) threads one estimator through the
+        partition and is bit-identical to
+        :meth:`repro.covariance.CovarianceSketcher.fit_sparse`;
+        ``backend="process"`` maps shards over a ``multiprocessing`` pool
+        and merges — exact for CS counters/moments up to float-addition
+        regrouping, approximate in ASCS *selection* (each shard's sampling
+        gate consulted its own partial sketch).  Merge laws and measured
+        scaling: ``PERF.md`` ("Sharded ingestion").
+
+    Returns
+    -------
+    :class:`repro.distributed.ShardedFit`; its ``sketcher`` answers
+    ``estimate_keys`` / ``top_pairs`` like a ``fit_sparse`` result.
+    """
+    # Imported lazily: repro.distributed builds on repro.core, so a
+    # module-level import here would be circular.
+    from repro.distributed.driver import fit_sparse_sharded as _fit_sparse_sharded
+
+    return _fit_sparse_sharded(samples, dim, **kwargs)
 
 
 def sketch_correlations(

@@ -70,6 +70,28 @@ class RunningMoments:
         dense[np.asarray(indices, dtype=np.int64)] = values
         self.update(dense[None, :])
 
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Fold another tracker's state in (Chan et al. parallel merge).
+
+        Exactly the two-accumulator form of :meth:`update`, so merging
+        per-shard moments reproduces the statistics of the concatenated
+        stream — the reduction step of sharded ingestion.
+        """
+        if not isinstance(other, RunningMoments) or other.dim != self.dim:
+            raise ValueError(
+                "moments are mergeable only between RunningMoments of equal dim"
+            )
+        b = other.count
+        if b == 0:
+            return self
+        n = self.count
+        delta = other._mean - self._mean
+        total = n + b
+        self._mean += delta * (b / total)
+        self._m2 += other._m2 + delta * delta * (n * b / total)
+        self.count = total
+        return self
+
     @property
     def mean(self) -> np.ndarray:
         """Current sample mean per feature."""
@@ -132,6 +154,22 @@ class SparseMoments:
                 self._sumsq, indices, values * values, use_bincount=use_bincount
             )
         self.count += int(num_samples)
+
+    def merge(self, other: "SparseMoments") -> "SparseMoments":
+        """Fold another tracker's accumulators in — exact (plain sums).
+
+        ``sum``/``sum of squares``/``count`` are all linear in the stream,
+        so sharded moments merge without approximation; this is the
+        reduction step of :func:`repro.distributed.fit_sparse_sharded`.
+        """
+        if not isinstance(other, SparseMoments) or other.dim != self.dim:
+            raise ValueError(
+                "moments are mergeable only between SparseMoments of equal dim"
+            )
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        self.count += other.count
+        return self
 
     @property
     def mean(self) -> np.ndarray:

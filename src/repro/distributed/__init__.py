@@ -1,0 +1,50 @@
+"""Sharded parallel ingestion: mergeable shards, a reducer, and a driver.
+
+Count sketches are linear — shards of a stream can be sketched
+independently and summed — and this package turns that property into a
+working subsystem:
+
+* :mod:`repro.distributed.shard` — :class:`ShardSpec` (the shared recipe),
+  :class:`ShardResult` (one worker's complete serializable state) and
+  :func:`sketch_shard` (the map step);
+* :mod:`repro.distributed.reduce` — :func:`merge_shard_results`, the merge
+  laws for counters (exact sums), moments (exact sums), top-k candidate
+  pools (union + one re-query against the merged sketch) and ASCS sampler
+  state (summed counts; schedule position re-derived from the total);
+* :mod:`repro.distributed.driver` — :func:`fit_sparse_sharded`, the
+  partition → map → reduce driver with ``serial`` (bit-identical
+  reference) and ``process`` (``multiprocessing``) backends.
+
+See ``PERF.md`` ("Sharded ingestion") for the merge laws, why the ASCS
+merge is approximate, and measured scaling.
+"""
+
+from repro.distributed.driver import (
+    BACKENDS,
+    ShardedFit,
+    fit_sparse_sharded,
+    partition_batches,
+)
+from repro.distributed.reduce import merge_shard_results
+from repro.distributed.shard import (
+    MERGEABLE_METHODS,
+    ShardResult,
+    ShardSpec,
+    load_shard_result,
+    save_shard_result,
+    sketch_shard,
+)
+
+__all__ = [
+    "BACKENDS",
+    "MERGEABLE_METHODS",
+    "ShardResult",
+    "ShardSpec",
+    "ShardedFit",
+    "fit_sparse_sharded",
+    "load_shard_result",
+    "merge_shard_results",
+    "partition_batches",
+    "save_shard_result",
+    "sketch_shard",
+]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.base import ValueSketch, validate_batch
+from repro.sketch.base import ValueSketch, ensure_mergeable, validate_batch
 from repro.sketch.count_sketch import CountSketch
 
 __all__ = ["AugmentedSketch"]
@@ -142,6 +142,51 @@ class AugmentedSketch(ValueSketch):
         self.sketch.reset()
         self._filter.clear()
         self._inserts_since_exchange = 0
+
+    def merge(self, other: "AugmentedSketch") -> "AugmentedSketch":
+        """Merge another ASketch: sum the sketches, fold the exact filters.
+
+        The backing count sketches sum exactly (linear).  Filter entries are
+        exact masses *excluded* from their sketch, so they must be folded
+        without double counting: a key held exactly on both sides stays
+        exact (masses add); a key only in ``other``'s filter moves into this
+        filter if a slot is free, otherwise its exact mass is pushed into
+        the merged sketch (reverting it to a sketched key — the same
+        demotion an eviction performs).  The result is approximate in the
+        same sense ASketch itself is; compatibility mismatches raise
+        ``ValueError``.
+        """
+        ensure_mergeable(
+            self, other, ("filter_capacity", "two_sided", "exchange_every")
+        )
+        self.sketch.merge(other.sketch)
+        filt = self._filter
+        spill_keys: list[int] = []
+        spill_values: list[float] = []
+        for key, val in other._filter.items():
+            if key in filt:
+                filt[key] += val
+            elif len(filt) < self.filter_capacity:
+                # Promote like _exchange does: pull the key's sketched mass
+                # (this side's, plus whatever just merged in) out of the
+                # sketch and into the exact slot — queries return filter
+                # values verbatim, so mass left behind would become
+                # invisible.
+                est = self.sketch.query_single(key)
+                if est != 0.0:
+                    self.sketch.insert(
+                        np.asarray([key]), np.asarray([-est], dtype=np.float64)
+                    )
+                filt[key] = val + est
+            else:
+                spill_keys.append(key)
+                spill_values.append(val)
+        if spill_keys:
+            self.sketch.insert(
+                np.asarray(spill_keys, dtype=np.int64),
+                np.asarray(spill_values, dtype=np.float64),
+            )
+        return self
 
     @property
     def filter_keys(self) -> np.ndarray:

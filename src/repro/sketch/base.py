@@ -11,7 +11,32 @@ import abc
 
 import numpy as np
 
-__all__ = ["ValueSketch", "validate_batch", "scatter_add_flat"]
+__all__ = ["ValueSketch", "ensure_mergeable", "validate_batch", "scatter_add_flat"]
+
+
+def ensure_mergeable(left, right, attrs: tuple[str, ...]) -> None:
+    """Raise ``ValueError`` unless ``right`` can merge into ``left``.
+
+    Linear-sketch merge (counter summation) is only meaningful between
+    sketches with identical hash functions and layout, so every sketch
+    class funnels its compatibility check through here: ``right`` must be
+    the same type as ``left`` and agree on every attribute in ``attrs``.
+    The error names the first differing attribute so distributed reducers
+    surface actionable messages instead of silently corrupt merges.
+    """
+    if type(left) is not type(right):
+        raise ValueError(
+            f"sketches are mergeable only within one class: cannot merge "
+            f"{type(right).__name__} into {type(left).__name__}"
+        )
+    for attr in attrs:
+        a, b = getattr(left, attr), getattr(right, attr)
+        if a != b:
+            raise ValueError(
+                f"{type(left).__name__} sketches are mergeable only with "
+                f"identical shape, seed and family; {attr} differs: "
+                f"{a!r} != {b!r}"
+            )
 
 
 def scatter_add_flat(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.base import ValueSketch, validate_batch
+from repro.sketch.base import ValueSketch, ensure_mergeable, validate_batch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
 
@@ -107,6 +107,28 @@ class ColdFilterSketch(ValueSketch):
     def reset(self) -> None:
         self.sketch.reset()
         self.gate.reset()
+
+    def merge(self, other: "ColdFilterSketch") -> "ColdFilterSketch":
+        """Cold Filter states cannot merge; raise a clear ``ValueError``.
+
+        Compatibility (shape/seed/family/threshold) is validated first so a
+        reducer that mixed up shards gets the precise mismatch, but even
+        compatible states are rejected: the gate is a conservative-update
+        count-min whose counters depend on the order updates arrived, and
+        the main sketch only holds each key's overflow *beyond* the gate
+        threshold — two shards can each stay below threshold (all mass in
+        the gates) while the combined stream would have graduated the key.
+        No counter summation reproduces that.  Use plain ``cs``/``ascs``
+        estimators for sharded ingestion.
+        """
+        ensure_mergeable(self, other, ("threshold",))
+        self.sketch._check_compatible(other.sketch)
+        self.gate._check_compatible(other.gate)
+        raise ValueError(
+            "ColdFilterSketch cannot merge: the conservative-update gate is "
+            "order-dependent and per-shard gates under-count keys whose mass "
+            "is split across shards"
+        )
 
     @property
     def memory_floats(self) -> int:

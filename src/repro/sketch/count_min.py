@@ -11,7 +11,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.families import MultiTableHasher
-from repro.sketch.base import ValueSketch, scatter_add_flat, validate_batch
+from repro.sketch.base import (
+    ValueSketch,
+    ensure_mergeable,
+    scatter_add_flat,
+    validate_batch,
+)
 
 __all__ = ["CountMinSketch"]
 
@@ -128,20 +133,25 @@ class CountMinSketch(ValueSketch):
         self.__dict__.update(state)
         self._flat = self.table.reshape(-1)
 
-    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
-        if self.conservative or other.conservative:
-            raise ValueError("conservative-update count-min sketches cannot merge")
-        same = (
-            isinstance(other, CountMinSketch)
-            and other.num_tables == self.num_tables
-            and other.num_buckets == self.num_buckets
-            and other.seed == self.seed
-            and other.family == self.family
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        ensure_mergeable(
+            self, other, ("num_tables", "num_buckets", "seed", "family", "cap")
         )
-        if not same:
+        if self.table.dtype != other.table.dtype:
             raise ValueError(
-                "sketches are mergeable only with identical shape, seed and family"
+                "CountMinSketch sketches are mergeable only with identical "
+                f"counter dtype; {self.table.dtype} != {other.table.dtype}"
             )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        # Compatibility first, so a shape/seed mismatch is reported as such
+        # even when one side is also conservative.
+        self._check_compatible(other)
+        if self.conservative or other.conservative:
+            # Conservative update makes each counter depend on the minimum
+            # across the key's row at insert time — an order-dependent,
+            # non-linear state that counter summation cannot reproduce.
+            raise ValueError("conservative-update count-min sketches cannot merge")
         self.table += other.table
         if self.cap is not None:
             np.minimum(self.table, self.cap, out=self.table)

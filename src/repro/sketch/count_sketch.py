@@ -22,7 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.families import MultiTableHasher, _sign_bits_to_float
-from repro.sketch.base import ValueSketch, scatter_add_flat, validate_batch
+from repro.sketch.base import (
+    ValueSketch,
+    ensure_mergeable,
+    scatter_add_flat,
+    validate_batch,
+)
 
 __all__ = ["CountSketch"]
 
@@ -256,16 +261,13 @@ class CountSketch(ValueSketch):
     # Linear-sketch algebra
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "CountSketch") -> None:
-        same = (
-            isinstance(other, CountSketch)
-            and other.num_tables == self.num_tables
-            and other.num_buckets == self.num_buckets
-            and other.seed == self.seed
-            and other.family == self.family
+        ensure_mergeable(
+            self, other, ("num_tables", "num_buckets", "seed", "family")
         )
-        if not same:
+        if self.table.dtype != other.table.dtype:
             raise ValueError(
-                "sketches are mergeable only with identical shape, seed and family"
+                "CountSketch sketches are mergeable only with identical "
+                f"counter dtype; {self.table.dtype} != {other.table.dtype}"
             )
 
     def merge(self, other: "CountSketch") -> "CountSketch":

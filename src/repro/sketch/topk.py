@@ -168,6 +168,62 @@ class TopKTracker:
         self._compact()
         return self._keys[: self._size].copy()
 
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Compacted ``(keys, estimates)`` copies in first-insertion order.
+
+        This is the tracker's complete serializable state: restoring it via
+        ``offer(keys, estimates)`` into a fresh tracker of the same capacity
+        reproduces all future behaviour exactly (compaction is transparent —
+        prune decisions depend only on the deduped pool content).
+        """
+        self._compact()
+        return self._keys[: self._size].copy(), self._ests[: self._size].copy()
+
+    def merge(self, other: "TopKTracker", *, sketch=None) -> "TopKTracker":
+        """Merge another tracker's candidate pool into this one.
+
+        The merge law for sharded ingestion: take the *union* of the two
+        candidate pools, re-estimate every candidate with **one** gather
+        query against ``sketch`` (the merged sketch — per-shard estimates
+        only reflect per-shard mass, so they must not survive the merge),
+        and let the normal offer path re-prune to capacity.  Without a
+        sketch the pools are concatenated, ``other``'s estimates treated as
+        the more recent on key collisions (dict-update semantics).
+        """
+        if other.two_sided != self.two_sided:
+            raise ValueError(
+                "trackers are mergeable only with identical sidedness; "
+                f"two_sided {self.two_sided} != {other.two_sided}"
+            )
+        other_keys, other_ests = other.snapshot()
+        if sketch is None:
+            self.offer(other_keys, other_ests)
+            return self
+        return self.rebuild_from_pools([self.candidates(), other_keys], sketch)
+
+    def rebuild_from_pools(self, pools, sketch) -> "TopKTracker":
+        """Replace this pool with the union of candidate-key ``pools``.
+
+        The single implementation of the sharded merge law: concatenate the
+        pools, dedup to **first occurrence** (so ranking ties in the
+        re-pruned pool resolve as if the shards had streamed in order),
+        re-estimate every candidate with one gather query against
+        ``sketch``, and re-prune through the normal offer path.  Used by
+        :meth:`merge` and by ``repro.distributed.merge_shard_results``.
+        """
+        self.reset()
+        pools = [np.asarray(p, dtype=np.int64) for p in pools]
+        union = (
+            np.concatenate(pools) if pools else np.empty(0, dtype=np.int64)
+        )
+        if union.size == 0:
+            return self
+        _, first = np.unique(union, return_index=True)
+        union = union[np.sort(first)]
+        estimates = np.asarray(sketch.query(union), dtype=np.float64)
+        self.offer(union, estimates)
+        return self
+
     def top_k(self, k: int, sketch=None) -> tuple[np.ndarray, np.ndarray]:
         """The ``k`` candidates with the largest estimates.
 

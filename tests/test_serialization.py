@@ -1,8 +1,18 @@
-"""Tests for sketch serialisation (repro.sketch.serialization)."""
+"""Tests for sketch serialisation (repro.sketch.serialization) and the
+distributed :class:`ShardResult` round-trip."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
+from repro.distributed import (
+    load_shard_result,
+    merge_shard_results,
+    save_shard_result,
+    sketch_shard,
+)
+from repro.distributed.shard import ShardSpec
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
 from repro.sketch.serialization import load_sketch, save_sketch
@@ -97,3 +107,147 @@ class TestErrors:
         reference = CountSketch(3, 512, seed=42)
         reference.insert(keys, values)
         np.testing.assert_allclose(merged.table, reference.table, atol=1e-9)
+
+
+class TestMergeAfterRoundTrip:
+    """Regression: a loaded sketch must merge *identically* to the
+    in-memory original — not just answer queries identically."""
+
+    def test_count_sketch_merge_identical(self, tmp_path, rng):
+        base = CountSketch(4, 512, seed=7, family="polynomial")
+        other = CountSketch(4, 512, seed=7, family="polynomial")
+        base.insert(rng.integers(0, 10**9, size=2000), rng.standard_normal(2000))
+        other.insert(rng.integers(0, 10**9, size=2000), rng.standard_normal(2000))
+
+        path = str(tmp_path / "base.npz")
+        save_sketch(base, path)
+        loaded = load_sketch(path)
+
+        in_memory = base.copy().merge(other)
+        via_disk = loaded.merge(other)
+        np.testing.assert_array_equal(via_disk.table, in_memory.table)
+        probe = rng.integers(0, 10**9, size=500)
+        np.testing.assert_array_equal(via_disk.query(probe), in_memory.query(probe))
+
+    def test_count_min_merge_identical(self, tmp_path, rng):
+        base = CountMinSketch(3, 256, seed=5)
+        other = CountMinSketch(3, 256, seed=5)
+        base.insert(rng.integers(0, 10**6, size=1000), np.abs(rng.standard_normal(1000)))
+        other.insert(rng.integers(0, 10**6, size=1000), np.abs(rng.standard_normal(1000)))
+
+        path = str(tmp_path / "cm.npz")
+        save_sketch(base, path)
+        loaded = load_sketch(path)
+
+        reference = CountMinSketch(3, 256, seed=5)
+        reference.table[:] = base.table
+        reference.merge(other)
+        loaded.merge(other)
+        np.testing.assert_array_equal(loaded.table, reference.table)
+
+    def test_loaded_sketch_rejects_incompatible_merge(self, tmp_path):
+        base = CountSketch(3, 256, seed=2)
+        path = str(tmp_path / "s.npz")
+        save_sketch(base, path)
+        loaded = load_sketch(path)
+        with pytest.raises(ValueError, match="mergeable"):
+            loaded.merge(CountSketch(3, 256, seed=3))
+
+
+def _shard_samples(rng, n, dim, nnz=6):
+    return [
+        (
+            np.sort(rng.choice(dim, size=nnz, replace=False)).astype(np.int64),
+            rng.standard_normal(nnz),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestShardResultRoundTrip:
+    def _spec(self, **overrides):
+        kwargs = dict(
+            dim=80,
+            total_samples=64,
+            method="ascs",
+            num_tables=3,
+            num_buckets=256,
+            seed=19,
+            family="polynomial",
+            mode="correlation",
+            batch_size=8,
+            std_floor=1e-5,
+            track_top=16,
+            two_sided=True,
+            schedule=(16, 1e-4, 1e-3, 64),
+        )
+        kwargs.update(overrides)
+        return ShardSpec(**kwargs)
+
+    def test_all_fields_preserved(self, tmp_path, rng):
+        spec = self._spec()
+        result = sketch_shard(
+            spec, _shard_samples(rng, 32, spec.dim), shard_index=1, num_shards=2, start=32
+        )
+        path = str(tmp_path / "shard.npz")
+        save_shard_result(result, path)
+        loaded = load_shard_result(path)
+
+        assert loaded.spec == spec
+        for f in ("shard_index", "num_shards", "start", "stop", "samples_seen",
+                  "updates_examined", "updates_accepted", "moments_count"):
+            assert getattr(loaded, f) == getattr(result, f), f
+        for f in ("table", "moments_sum", "moments_sumsq",
+                  "tracker_keys", "tracker_estimates"):
+            np.testing.assert_array_equal(getattr(loaded, f), getattr(result, f))
+
+    def test_cs_spec_without_schedule(self, tmp_path, rng):
+        spec = self._spec(
+            method="cs", schedule=None, mode="covariance", two_sided=False
+        )
+        result = sketch_shard(spec, _shard_samples(rng, 16, spec.dim))
+        path = str(tmp_path / "cs_shard.npz")
+        save_shard_result(result, path)
+        loaded = load_shard_result(path)
+        assert loaded.spec == spec
+        assert loaded.spec.schedule is None
+
+    def test_loaded_shards_reduce_like_in_memory(self, tmp_path, rng):
+        """The distributed deployment: persist shard files, reduce later."""
+        spec = self._spec(method="cs", schedule=None, mode="covariance",
+                          two_sided=False)
+        samples = _shard_samples(rng, 64, spec.dim)
+        shards = [
+            sketch_shard(spec, samples[:32], shard_index=0, num_shards=2, start=0),
+            sketch_shard(spec, samples[32:], shard_index=1, num_shards=2, start=32),
+        ]
+        paths = []
+        for shard in shards:
+            path = str(tmp_path / f"shard{shard.shard_index}.npz")
+            save_shard_result(shard, path)
+            paths.append(path)
+
+        in_memory = merge_shard_results(shards)
+        via_disk = merge_shard_results([load_shard_result(p) for p in paths])
+        np.testing.assert_array_equal(
+            via_disk.estimator.sketch.table, in_memory.estimator.sketch.table
+        )
+        k1, e1 = in_memory.estimator.top_k(8)
+        k2, e2 = via_disk.estimator.top_k(8)
+        np.testing.assert_array_equal(k1, k2)
+        np.testing.assert_array_equal(e1, e2)
+
+    def test_round_trip_covers_every_dataclass_field(self, tmp_path, rng):
+        """Guards against new ShardResult fields silently skipping the
+        .npz round trip."""
+        spec = self._spec()
+        result = sketch_shard(spec, _shard_samples(rng, 8, spec.dim))
+        path = str(tmp_path / "full.npz")
+        save_shard_result(result, path)
+        loaded = load_shard_result(path)
+        for f in dataclasses.fields(result):
+            original, restored = getattr(result, f.name), getattr(loaded, f.name)
+            if isinstance(original, np.ndarray):
+                np.testing.assert_array_equal(restored, original, err_msg=f.name)
+            else:
+                assert restored == original, f.name

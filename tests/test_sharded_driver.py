@@ -1,0 +1,313 @@
+"""Tests for the sharded ingestion driver (repro.distributed.driver).
+
+Covers the tentpole guarantees:
+
+* the **serial** backend is bit-identical to the single-shard
+  ``CovarianceSketcher.fit_sparse`` path, for any worker count, for both
+  ``cs`` and ``ascs`` and both value modes;
+* the **process** backend is deterministic — identical results across two
+  runs with fixed seeds — and agrees across ``n_workers ∈ {1, 2, 4}``
+  modulo the documented merge tolerance (float-addition regrouping for CS
+  counters, shard-local sampling decisions for ASCS);
+* partitioning is contiguous, batch-aligned and exhaustive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import fit_sparse_sharded as api_fit_sparse_sharded
+from repro.core.schedule import ThresholdSchedule
+from repro.distributed import fit_sparse_sharded, partition_batches
+from repro.distributed.shard import ShardSpec
+
+
+def _stream(rng, n, dim, nnz=8, integer_values=False):
+    samples = []
+    for _ in range(n):
+        idx = np.sort(rng.choice(dim, size=nnz, replace=False)).astype(np.int64)
+        if integer_values:
+            val = rng.integers(-9, 10, size=nnz).astype(np.float64)
+        else:
+            val = rng.standard_normal(nnz)
+        samples.append((idx, val))
+    return samples
+
+
+class TestPartition:
+    def test_batch_aligned_and_exhaustive(self):
+        bounds = partition_batches(100, 8, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+            assert stop % 8 == 0
+
+    def test_more_workers_than_batches(self):
+        bounds = partition_batches(10, 8, 5)
+        assert bounds == [(0, 8), (8, 10)]
+
+    def test_single_worker_whole_stream(self):
+        assert partition_batches(50, 8, 1) == [(0, 50)]
+
+    def test_empty_stream(self):
+        assert partition_batches(0, 8, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_batches(10, 0, 1)
+        with pytest.raises(ValueError):
+            partition_batches(10, 8, 0)
+        with pytest.raises(ValueError):
+            partition_batches(-1, 8, 1)
+
+
+class TestSerialBitIdentity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3, 5])
+    @pytest.mark.parametrize("mode", ["covariance", "correlation"])
+    def test_cs_matches_fit_sparse(self, n_workers, mode):
+        rng = np.random.default_rng(42)
+        dim, n = 300, 200
+        samples = _stream(rng, n, dim)
+        spec = ShardSpec(
+            dim=dim,
+            total_samples=n,
+            num_tables=3,
+            num_buckets=512,
+            seed=9,
+            mode=mode,
+            batch_size=16,
+            track_top=32,
+        )
+        reference = spec.build_sketcher()
+        reference.fit_sparse(iter(samples))
+
+        fit = fit_sparse_sharded(
+            samples,
+            dim,
+            num_tables=3,
+            num_buckets=512,
+            seed=9,
+            mode=mode,
+            batch_size=16,
+            track_top=32,
+            n_workers=n_workers,
+            backend="serial",
+        )
+        np.testing.assert_array_equal(
+            fit.estimator.sketch.table, reference.estimator.sketch.table
+        )
+        ri, rj, re = reference.top_pairs(10, scan=False)
+        fi, fj, fe = fit.top_pairs(10, scan=False)
+        np.testing.assert_array_equal(fi, ri)
+        np.testing.assert_array_equal(fj, rj)
+        np.testing.assert_array_equal(fe, re)
+        np.testing.assert_array_equal(
+            fit.sketcher.sparse_moments._sum, reference.sparse_moments._sum
+        )
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_ascs_matches_fit_sparse(self, n_workers):
+        rng = np.random.default_rng(7)
+        dim, n = 200, 256
+        samples = _stream(rng, n, dim)
+        schedule = (64, 1e-4, 1e-3, n)
+        spec = ShardSpec(
+            dim=dim,
+            total_samples=n,
+            method="ascs",
+            num_tables=3,
+            num_buckets=512,
+            seed=3,
+            batch_size=32,
+            track_top=32,
+            schedule=schedule,
+        )
+        reference = spec.build_sketcher()
+        reference.fit_sparse(iter(samples))
+
+        fit = fit_sparse_sharded(
+            samples,
+            dim,
+            method="ascs",
+            schedule=ThresholdSchedule(*schedule),
+            num_tables=3,
+            num_buckets=512,
+            seed=3,
+            batch_size=32,
+            track_top=32,
+            n_workers=n_workers,
+            backend="serial",
+        )
+        np.testing.assert_array_equal(
+            fit.estimator.sketch.table, reference.estimator.sketch.table
+        )
+        assert fit.estimator.updates_accepted == reference.estimator.updates_accepted
+        assert fit.estimator.samples_seen == reference.estimator.samples_seen
+
+
+class TestProcessBackend:
+    def test_matches_serial_exactly_with_integer_values(self):
+        """With exactly-representable sums, the merge regrouping is exact,
+        so process and serial backends agree bit-for-bit."""
+        rng = np.random.default_rng(3)
+        dim, n = 200, 128
+        samples = _stream(rng, n, dim, integer_values=True)
+        kwargs = dict(
+            num_tables=3, num_buckets=256, seed=2, batch_size=16, track_top=32
+        )
+        serial = fit_sparse_sharded(samples, dim, backend="serial", **kwargs)
+        process = fit_sparse_sharded(
+            samples, dim, backend="process", n_workers=2, **kwargs
+        )
+        np.testing.assert_array_equal(
+            process.estimator.sketch.table, serial.estimator.sketch.table
+        )
+
+    def test_two_runs_identical(self):
+        """Determinism: fixed seeds => two process runs agree bit-for-bit."""
+        rng = np.random.default_rng(11)
+        dim, n = 250, 192
+        samples = _stream(rng, n, dim)
+        kwargs = dict(
+            num_tables=3,
+            num_buckets=512,
+            seed=21,
+            batch_size=16,
+            track_top=64,
+            backend="process",
+            n_workers=2,
+        )
+        first = fit_sparse_sharded(samples, dim, **kwargs)
+        second = fit_sparse_sharded(samples, dim, **kwargs)
+        np.testing.assert_array_equal(
+            first.estimator.sketch.table, second.estimator.sketch.table
+        )
+        k1, e1 = first.estimator.top_k(10)
+        k2, e2 = second.estimator.top_k(10)
+        np.testing.assert_array_equal(k1, k2)
+        np.testing.assert_array_equal(e1, e2)
+
+    @pytest.mark.slow
+    def test_deterministic_across_worker_counts(self):
+        """n_workers in {1, 2, 4} agree modulo the documented tolerance:
+        CS counters differ only by float-addition regrouping."""
+        rng = np.random.default_rng(29)
+        dim, n = 250, 256
+        samples = _stream(rng, n, dim)
+        kwargs = dict(
+            num_tables=3,
+            num_buckets=512,
+            seed=8,
+            batch_size=16,
+            track_top=64,
+            backend="process",
+        )
+        runs = {
+            w: fit_sparse_sharded(samples, dim, n_workers=w, **kwargs)
+            for w in (1, 2, 4)
+        }
+        base = runs[1]
+        for w in (2, 4):
+            np.testing.assert_allclose(
+                runs[w].estimator.sketch.table,
+                base.estimator.sketch.table,
+                rtol=1e-12,
+                atol=1e-14,
+            )
+            probe = rng.integers(0, base.sketcher.num_pairs, size=200)
+            np.testing.assert_allclose(
+                runs[w].sketcher.estimate_keys(probe),
+                base.sketcher.estimate_keys(probe),
+                rtol=1e-9,
+                atol=1e-12,
+            )
+
+    @pytest.mark.slow
+    def test_ascs_process_runs_repeatable(self):
+        """ASCS with fixed seeds is repeatable run-to-run (same workers)."""
+        rng = np.random.default_rng(31)
+        dim, n = 150, 256
+        samples = _stream(rng, n, dim)
+        kwargs = dict(
+            method="ascs",
+            schedule=(64, 1e-4, 1e-3, n),
+            num_tables=3,
+            num_buckets=512,
+            seed=17,
+            batch_size=32,
+            track_top=32,
+            backend="process",
+            n_workers=2,
+        )
+        first = fit_sparse_sharded(samples, dim, **kwargs)
+        second = fit_sparse_sharded(samples, dim, **kwargs)
+        np.testing.assert_array_equal(
+            first.estimator.sketch.table, second.estimator.sketch.table
+        )
+        assert first.estimator.updates_accepted == second.estimator.updates_accepted
+
+    def test_keep_shard_results_round_trips_through_reduce(self):
+        rng = np.random.default_rng(6)
+        dim, n = 120, 96
+        samples = _stream(rng, n, dim)
+        fit = fit_sparse_sharded(
+            samples,
+            dim,
+            num_tables=3,
+            num_buckets=256,
+            seed=4,
+            batch_size=16,
+            backend="process",
+            n_workers=3,
+            keep_shard_results=True,
+        )
+        assert len(fit.shard_results) == fit.n_workers
+        assert [
+            (s.start, s.stop) for s in fit.shard_results
+        ] == fit.partition
+        total = sum(s.samples_seen for s in fit.shard_results)
+        assert total == n == fit.estimator.samples_seen
+        summed = sum(s.table for s in fit.shard_results)
+        np.testing.assert_allclose(fit.estimator.sketch.table, summed)
+
+
+class TestDriverValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            fit_sparse_sharded(
+                [(np.array([0, 1]), np.array([1.0, 1.0]))], 4, backend="threads"
+            )
+
+    def test_unmergeable_method_rejected(self):
+        with pytest.raises(ValueError, match="asketch"):
+            fit_sparse_sharded(
+                [(np.array([0, 1]), np.array([1.0, 1.0]))], 4, method="asketch"
+            )
+
+    def test_ascs_requires_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            fit_sparse_sharded(
+                [(np.array([0, 1]), np.array([1.0, 1.0]))], 4, method="ascs"
+            )
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            fit_sparse_sharded([], 4)
+
+    def test_schedule_total_must_match(self):
+        samples = [(np.array([0, 1]), np.array([1.0, 1.0]))] * 8
+        with pytest.raises(ValueError, match="total_samples"):
+            fit_sparse_sharded(
+                samples, 4, method="ascs", schedule=(2, 1e-4, 1e-3, 99)
+            )
+
+    def test_api_reexport_delegates(self):
+        """core.api exposes the driver as a first-class entry point."""
+        samples = [
+            (np.array([0, 1], dtype=np.int64), np.array([1.0, 2.0]))
+            for _ in range(8)
+        ]
+        fit = api_fit_sparse_sharded(
+            samples, 4, num_tables=3, num_buckets=64, seed=1, batch_size=4
+        )
+        assert fit.backend == "serial"
+        assert fit.estimator.samples_seen == 8
