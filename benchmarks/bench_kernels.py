@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from registry import BenchSuite, register
 from repro.core.estimator import SketchEstimator
 from repro.covariance.pipeline import CovarianceSketcher
 from repro.covariance.updates import sparse_batch_pairs
@@ -409,6 +410,19 @@ def main(smoke: bool = False, out: Path | None = None) -> dict:
     print_report(report)
     write_report(report, out or REPO_ROOT / "BENCH_kernels.json")
     return report
+
+
+def _check(report: dict) -> list:
+    """CI gate: no fused kernel may regress below parity with the reference."""
+    regressions = [
+        rec["op"] for rec in report["results"] if rec["speedup"] < 0.5
+    ]
+    if regressions:
+        return ["severe regressions: " + ", ".join(regressions)]
+    return []
+
+
+SUITE = register(BenchSuite(name="kernels", run=main, check=_check))
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from registry import BenchSuite, register
 from repro.distributed import fit_sparse_sharded
 from repro.distributed.shard import ShardSpec
 
@@ -199,6 +200,18 @@ def main(smoke: bool = False, out: Path | None = None) -> dict:
     print_report(report)
     write_report(report, out or REPO_ROOT / "BENCH_sharded.json")
     return report
+
+
+def _check(report: dict) -> list:
+    """CI gate: only flag when the machine has the cores to scale and the
+    process backend still fails to."""
+    speedup = report["headline"]["smoke_process_speedup_w4"]
+    if (os.cpu_count() or 1) >= 4 and speedup is not None and speedup < 1.5:
+        return [f"sharded scaling regression: {speedup:.2f}x at 4 workers"]
+    return []
+
+
+SUITE = register(BenchSuite(name="sharded", run=main, check=_check))
 
 
 if __name__ == "__main__":

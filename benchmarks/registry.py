@@ -1,0 +1,60 @@
+"""Benchmark suite registry.
+
+Every benchmark module that wants to be runnable through
+``benchmarks/run_bench.py`` registers itself here at import time::
+
+    from registry import BenchSuite, register
+
+    def _check(report: dict) -> list[str]:
+        ...  # return regression descriptions (empty = pass)
+
+    SUITE = register(BenchSuite(name="kernels", run=main, check=_check))
+
+``run_bench`` builds its ``--bench`` choice set from :data:`REGISTRY`
+instead of hand-enumerated branches, so adding a suite is: write the bench
+module, register it, add its module name to ``run_bench._SUITE_MODULES``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["BenchSuite", "REGISTRY", "register"]
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """One registrable benchmark suite.
+
+    Attributes
+    ----------
+    name:
+        The ``--bench`` choice and the ``BENCH_<name>.json`` stem.
+    run:
+        ``run(smoke: bool, out: Path) -> dict`` — execute and write the
+        JSON report, returning it.
+    check:
+        ``check(report) -> list[str]`` — regression descriptions for CI
+        (empty list = pass).  Hardware-gated checks (e.g. scaling needs
+        >= 4 cores) belong here, next to the numbers they judge.
+    """
+
+    name: str
+    run: Callable[..., dict]
+    check: Callable[[dict], list]
+
+    def default_out(self, repo_root: Path, *, smoke: bool) -> Path:
+        suffix = ".smoke.json" if smoke else ".json"
+        return repo_root / f"BENCH_{self.name}{suffix}"
+
+
+#: name -> suite, in registration order (run_bench executes in this order).
+REGISTRY: dict[str, BenchSuite] = {}
+
+
+def register(suite: BenchSuite) -> BenchSuite:
+    """Add a suite to :data:`REGISTRY` (idempotent on re-import)."""
+    REGISTRY[suite.name] = suite
+    return suite

@@ -1,28 +1,42 @@
-"""CI entry point for the kernel and sharded-ingestion benchmarks.
+"""CI entry point for the benchmark suites.
 
-Runs :mod:`benchmarks.bench_kernels` and :mod:`benchmarks.bench_sharded`
-and writes the machine-readable ``BENCH_kernels.json`` (op, batch size,
-seconds, updates/sec, speedup) and ``BENCH_sharded.json`` (backend, worker
-count, scaling curve) so future PRs can diff perf trajectories.  Smoke
-mode shrinks workloads and repetitions to keep CI wall-clock small::
+Runs every registered suite (kernels, sharded, serving, ...) and writes
+the machine-readable ``BENCH_<suite>.json`` files so future PRs can diff
+perf trajectories.  Suites self-register via :mod:`registry`; the
+``--bench`` choice set is derived from the registry, not hand-enumerated,
+so adding a suite is just writing the module and listing it in
+``_SUITE_MODULES``.  Smoke mode shrinks workloads and repetitions to keep
+CI wall-clock small::
 
     PYTHONPATH=src python benchmarks/run_bench.py --smoke
     PYTHONPATH=src python benchmarks/run_bench.py                 # full
-    PYTHONPATH=src python benchmarks/run_bench.py --bench sharded --smoke
-    PYTHONPATH=src python benchmarks/run_bench.py --bench kernels --out /tmp/bench.json
+    PYTHONPATH=src python benchmarks/run_bench.py --bench serving --smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --bench kernels --out /tmp/b.json
+
+Each suite ships its own CI regression check (``BenchSuite.check``) next
+to the numbers it judges — hardware-gated where scaling is bounded by
+``os.cpu_count()`` — and a failing check makes this entry point exit
+non-zero without anyone parsing the JSON.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
+import importlib
 import sys
 from pathlib import Path
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_kernels import REPO_ROOT, main as run_kernels  # noqa: E402
-from bench_sharded import main as run_sharded  # noqa: E402
+from registry import REGISTRY  # noqa: E402
+
+#: Suite modules imported for their registration side effect, in run order.
+_SUITE_MODULES = ("bench_kernels", "bench_sharded", "bench_serving")
+
+for _module in _SUITE_MODULES:
+    importlib.import_module(_module)
 
 
 def main(argv=None) -> int:
@@ -34,7 +48,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--bench",
-        choices=("all", "kernels", "sharded"),
+        choices=("all", *REGISTRY),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -51,33 +65,20 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.out is not None and args.bench == "all":
-        parser.error("--out requires --bench kernels or --bench sharded")
+        parser.error(
+            "--out requires a single --bench suite: "
+            + ", ".join(REGISTRY)
+        )
 
-    suffix = ".smoke.json" if args.smoke else ".json"
     failures = 0
-
-    if args.bench in ("all", "kernels"):
-        out = args.out or REPO_ROOT / f"BENCH_kernels{suffix}"
-        report = run_kernels(smoke=args.smoke, out=out)
+    for suite in REGISTRY.values():
+        if args.bench not in ("all", suite.name):
+            continue
+        out = args.out or suite.default_out(REPO_ROOT, smoke=args.smoke)
+        report = suite.run(smoke=args.smoke, out=out)
         print(f"wrote {out}")
-        # Non-zero exit if any fused kernel regressed below parity, so CI
-        # can flag perf regressions without parsing the JSON.
-        regressions = [
-            rec["op"] for rec in report["results"] if rec["speedup"] < 0.5
-        ]
-        if regressions:
-            print("severe regressions:", ", ".join(regressions))
-            failures += 1
-
-    if args.bench in ("all", "sharded"):
-        out = args.out or REPO_ROOT / f"BENCH_sharded{suffix}"
-        report = run_sharded(smoke=args.smoke, out=out)
-        print(f"wrote {out}")
-        # Scaling is hardware-bounded: only flag when the machine has the
-        # cores to scale and the process backend still fails to.
-        speedup = report["headline"]["smoke_process_speedup_w4"]
-        if (os.cpu_count() or 1) >= 4 and speedup is not None and speedup < 1.5:
-            print(f"sharded scaling regression: {speedup:.2f}x at 4 workers")
+        for problem in suite.check(report):
+            print(f"[{suite.name}] {problem}")
             failures += 1
 
     return 1 if failures else 0

@@ -1,0 +1,92 @@
+"""Serving quickstart: fit -> snapshot -> query -> serve over HTTP.
+
+Fits a stream with planted correlations, freezes an immutable
+:class:`repro.serving.SketchSnapshot`, queries it through the cached
+:class:`repro.serving.QueryEngine` (pair lookups, per-feature neighbors,
+thresholded range queries), then stands up the stdlib HTTP server around a
+double-buffered :class:`repro.serving.ServingEstimator` and drives it with
+the bundled client — including a live ingest + atomic snapshot swap.
+
+Run:  PYTHONPATH=src python examples/serving_quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import QueryEngine, ServingEstimator, sketch_correlations
+from repro.data import BlockCorrelationModel
+from repro.serving import ServingClient, serve_in_background
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Fit: one streaming pass, exactly like examples/quickstart.py.
+    # ------------------------------------------------------------------
+    model = BlockCorrelationModel.from_alpha(300, alpha=0.01, seed=7)
+    data = model.sample(4000)
+    result = sketch_correlations(
+        data, memory_floats=20_000, method="ascs", alpha=model.alpha,
+        top_k=25, seed=1,
+    )
+    print(f"fitted: {data.shape[0]} samples x {data.shape[1]} features")
+
+    # ------------------------------------------------------------------
+    # 2. Snapshot: freeze the read path.  The snapshot is immutable —
+    #    further ingestion into result.estimator can never change it.
+    # ------------------------------------------------------------------
+    snapshot = result.snapshot(top_index=512)
+    print(f"snapshot: {snapshot.meta()}")
+
+    # ------------------------------------------------------------------
+    # 3. Query through the engine (LRU cache + single-gather planner).
+    # ------------------------------------------------------------------
+    engine = QueryEngine(snapshot, cache_size=4096)
+    i, j, estimates = engine.top_pairs(5)
+    print("\ntop-5 pairs:")
+    for a, b, est in zip(i, j, estimates):
+        print(f"  ({a:3d},{b:3d})  estimate={est:+.3f}")
+
+    anchor = int(i[0])
+    partners, nbr_est = engine.top_neighbors(anchor, k=5)
+    print(f"\nneighbors of feature {anchor}:")
+    for partner, est in zip(partners, nbr_est):
+        print(f"  {anchor:3d} ~ {int(partner):3d}  estimate={est:+.3f}")
+
+    hi_i, hi_j, hi_est = engine.pairs_above(0.5)
+    print(f"\npairs with estimate >= 0.5: {hi_i.size}")
+    print(f"single pair (scalar fast path): "
+          f"corr({anchor},{int(partners[0])}) = "
+          f"{engine.query_pair(min(anchor, int(partners[0])), max(anchor, int(partners[0]))):+.3f}")
+    print(f"engine stats: {engine.stats()['cache']}")
+
+    # ------------------------------------------------------------------
+    # 4. Serve: double-buffered ingest/serve behind the HTTP front end.
+    # ------------------------------------------------------------------
+    serving = ServingEstimator(
+        result.sketcher, top_index=512, cache_size=4096
+    )
+    serving.refresh()
+    server, _ = serve_in_background(serving)
+    client = ServingClient(server.url)
+    print(f"\nserving on {server.url}")
+    print(f"  /health    -> {client.health()}")
+    print(f"  /pair      -> {client.pair(i[0], j[0]):+.3f} "
+          f"(matches engine: {client.pair(i[0], j[0]) == serving.query_pair(i[0], j[0])})")
+    partners_http, _ = client.neighbors(anchor, k=3)
+    print(f"  /neighbors -> feature {anchor} ~ {partners_http.tolist()}")
+
+    # Live ingest + atomic snapshot swap, all over HTTP.
+    extra = model.sample(200)
+    rows = [(np.flatnonzero(row), row[np.flatnonzero(row)]) for row in extra]
+    client.ingest(rows[:50])
+    swapped = client.refresh()
+    print(f"  /refresh   -> now serving snapshot {swapped['snapshot_id']} "
+          f"(swap #{swapped['swap_count']}, "
+          f"{swapped['swap_seconds'] * 1e3:.1f} ms)")
+    server.shutdown()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,9 @@ matrices.  The package layers:
 * :mod:`repro.core` — ASCS itself and the high-level API;
 * :mod:`repro.distributed` — sharded parallel ingestion: mergeable shard
   workers, the merge-law reducer and the ``fit_sparse_sharded`` driver;
+* :mod:`repro.serving` — the read path: immutable query-optimized
+  snapshots, the cached single-gather query engine, double-buffered
+  concurrent ingest/serve and a stdlib HTTP front end;
 * :mod:`repro.data` — synthetic datasets and stream generators;
 * :mod:`repro.evaluation` — paper metrics and the comparison harness;
 * :mod:`repro.experiments` — one module per paper table/figure;
@@ -49,6 +52,12 @@ from repro.core import (
     sketch_correlations,
 )
 from repro.covariance import CovarianceSketcher
+from repro.serving import (
+    CheckpointManager,
+    QueryEngine,
+    ServingEstimator,
+    SketchSnapshot,
+)
 from repro.sketch import CountSketch
 from repro.theory import ProblemModel, plan_hyperparameters
 
@@ -56,11 +65,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ActiveSamplingCountSketch",
+    "CheckpointManager",
     "CountSketch",
     "CovarianceSketcher",
     "ProblemModel",
+    "QueryEngine",
+    "ServingEstimator",
     "SketchEstimator",
     "SketchResult",
+    "SketchSnapshot",
     "ThresholdSchedule",
     "build_estimator",
     "fit_sparse_sharded",

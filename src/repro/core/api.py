@@ -78,6 +78,19 @@ class SketchResult:
     def estimator(self):
         return self.sketcher.estimator
 
+    def snapshot(self, **kwargs):
+        """Freeze this result into a query-optimized serving snapshot.
+
+        Convenience hook for the read path: returns
+        ``repro.serving.SketchSnapshot.from_sketcher(self.sketcher)``.  See
+        :mod:`repro.serving` for the query engine, double-buffered serving
+        estimator and HTTP front end built on top of it.
+        """
+        # Lazy import: repro.serving builds on repro.core.
+        from repro.serving import SketchSnapshot
+
+        return SketchSnapshot.from_sketcher(self.sketcher, **kwargs)
+
 
 def _as_dense(data) -> np.ndarray:
     if hasattr(data, "toarray") and not isinstance(data, np.ndarray):

@@ -11,6 +11,7 @@ acceptance rule.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
@@ -137,6 +138,45 @@ class SketchEstimator:
     def estimate(self, keys) -> np.ndarray:
         """Current mean estimates for the given keys."""
         return self.sketch.query(keys)
+
+    def export_snapshot_state(self) -> dict:
+        """Snapshot export hook: an independent frozen copy of the query state.
+
+        Returns everything the serving layer needs to answer queries exactly
+        as this estimator would right now, decoupled from future ingestion:
+
+        * ``sketch`` — a deep copy of the backing sketch, made read-only via
+          ``freeze()`` where the sketch supports it (flat-table sketches do;
+          filter-backed baselines are plain copies, which is still
+          independent state — their ``query`` never mutates);
+        * ``tracker_keys`` — the candidate pool for trillion-scale top-k
+          (empty when tracking is off);
+        * the sampler statistics and identity fields.
+
+        Querying the returned sketch is bit-identical to :meth:`estimate`
+        on this estimator at the moment of export.
+        """
+        sketch = (
+            self.sketch.copy()
+            if hasattr(self.sketch, "copy")
+            else copy.deepcopy(self.sketch)
+        )
+        if hasattr(sketch, "freeze"):
+            sketch.freeze()
+        if self.tracker is not None:
+            tracker_keys = self.tracker.candidates()
+        else:
+            tracker_keys = np.empty(0, dtype=np.int64)
+        return {
+            "sketch": sketch,
+            "tracker_keys": tracker_keys,
+            "name": self.name,
+            "total_samples": self.total_samples,
+            "samples_seen": self.samples_seen,
+            "updates_examined": self.updates_examined,
+            "updates_accepted": self.updates_accepted,
+            "two_sided": self.two_sided,
+        }
 
     def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` candidates by final estimate (requires ``track_top``)."""

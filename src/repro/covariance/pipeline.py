@@ -32,6 +32,7 @@ from repro.covariance.updates import (
     triu_pair_values,
 )
 from repro.hashing.pairs import index_to_pair, num_pairs
+from repro.sketch.topk import scan_top_keys
 
 __all__ = ["CovarianceSketcher"]
 
@@ -258,31 +259,9 @@ class CovarianceSketcher:
         return i, j, estimates
 
     def _scan_top_keys(self, k: int, chunk: int) -> tuple[np.ndarray, np.ndarray]:
-        # Fixed-size running top-k buffer: the current best k entries live
-        # in the buffer prefix and each chunk is scanned into the tail, so
-        # no per-chunk concatenation or reallocation happens.
-        k = int(k)
-        chunk = max(1, min(int(chunk), self.num_pairs))
-        buf_keys = np.empty(min(k, self.num_pairs) + chunk, dtype=np.int64)
-        buf_est = np.empty(buf_keys.size, dtype=np.float64)
-        n_best = 0
-        for start in range(0, self.num_pairs, chunk):
-            stop = min(start + chunk, self.num_pairs)
-            m = stop - start
-            buf_keys[n_best : n_best + m] = np.arange(start, stop, dtype=np.int64)
-            buf_est[n_best : n_best + m] = self.estimate_keys(
-                buf_keys[n_best : n_best + m]
-            )
-            total = n_best + m
-            if total > k:
-                top = np.argpartition(-buf_est[:total], k - 1)[:k]
-                buf_keys[:k] = buf_keys[top]
-                buf_est[:k] = buf_est[top]
-                n_best = k
-            else:
-                n_best = total
-        order = np.argsort(-buf_est[:n_best], kind="stable")
-        return buf_keys[order], buf_est[order]
+        # One shared fixed-buffer scan kernel (the serving snapshot builder
+        # uses the same one with a two-sided rank transform).
+        return scan_top_keys(self.estimate_keys, self.num_pairs, k, chunk=chunk)
 
 
 def _iter_csr_rows(matrix) -> Iterator[tuple[np.ndarray, np.ndarray]]:

@@ -83,6 +83,19 @@ class ShardedFit:
         """Delegate to :meth:`repro.covariance.CovarianceSketcher.top_pairs`."""
         return self.sketcher.top_pairs(k, **kwargs)
 
+    def snapshot(self, **kwargs):
+        """Freeze the merged state into a serving snapshot.
+
+        Equivalent to ``repro.serving.SketchSnapshot.from_sketcher`` on the
+        merged sketcher — the scale-out write path handing off to the read
+        path.  (To snapshot persisted per-shard files without a driver run,
+        use ``SketchSnapshot.from_shard_results``.)
+        """
+        # Lazy import: repro.serving builds on repro.distributed.
+        from repro.serving import SketchSnapshot
+
+        return SketchSnapshot.from_sketcher(self.sketcher, **kwargs)
+
 
 def partition_batches(
     num_samples: int, batch_size: int, n_workers: int

@@ -1,0 +1,50 @@
+"""Serving layer: the read path over fitted sketches.
+
+The paper's premise is that an ASCS sketch is a tiny queryable stand-in
+for a trillion-entry covariance matrix.  This package is the subsystem
+that does the querying:
+
+* :mod:`repro.serving.snapshot` — :class:`SketchSnapshot`, an immutable
+  query-optimized frozen view (read-only counters, materialized top-pair
+  index, per-feature neighbor index) constructible from a
+  ``SketchResult``, a ``CovarianceSketcher`` or merged ``ShardResult``s;
+  atomic ``.npz`` persistence and :class:`CheckpointManager` retention;
+* :mod:`repro.serving.engine` — :class:`QueryEngine`, the vectorized
+  single-gather query planner with an LRU result cache
+  (:mod:`repro.serving.cache`);
+* :mod:`repro.serving.live` — :class:`ServingEstimator`, double-buffered
+  concurrent ingest/serve with atomic snapshot swaps;
+* :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON front
+  end and the matching :class:`ServingClient`.
+
+Quick start::
+
+    result = sketch_correlations(data, memory_floats=20_000, top_k=20)
+    snap = result.snapshot()                  # freeze the read path
+    engine = QueryEngine(snap)                # cache + gather planner
+    engine.query_pair(3, 17)                  # == estimator.estimate, exactly
+    engine.top_neighbors(3, k=5)
+    server, _ = serve_in_background(engine)   # JSON over HTTP
+    ServingClient(server.url).pair(3, 17)
+
+See ``PERF.md`` ("Serving") for measured throughput and
+``benchmarks/bench_serving.py`` for the load generator.
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.engine import QueryEngine
+from repro.serving.http import ServingClient, ServingHTTPServer, serve_in_background
+from repro.serving.live import ServingEstimator
+from repro.serving.snapshot import CheckpointManager, SketchSnapshot
+
+__all__ = [
+    "CacheStats",
+    "CheckpointManager",
+    "LRUCache",
+    "QueryEngine",
+    "ServingClient",
+    "ServingEstimator",
+    "ServingHTTPServer",
+    "SketchSnapshot",
+    "serve_in_background",
+]

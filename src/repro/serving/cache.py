@@ -1,0 +1,147 @@
+"""LRU result cache for the serving query engine.
+
+Caches single-key estimates (the unit every query shape decomposes into),
+with hit/miss/eviction counters.  Values are stored verbatim, so a cache
+hit is bit-identical to the gather it replaced — the engine's correctness
+tests assert exactly that.  Plain dict + move-to-end (dicts are ordered)
+behind a small mutex: concurrent readers share one engine in the
+double-buffered serving estimator, and an unguarded evict/refresh race
+could otherwise drop a key mid-``del``.  The lock is uncontended in the
+single-reader case and costs ~0.1us against the ~20us a gather takes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["LRUCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters (``/stats`` reports these)."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Bounded, thread-safe key -> float cache with LRU eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; 0 disables the cache (every ``get``
+        misses, ``put`` is a no-op) — the engine's cache-off mode.
+    """
+
+    __slots__ = ("capacity", "_data", "_lock", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: dict[int, float] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def get(self, key: int) -> float | None:
+        """The cached value, refreshed to most-recently-used; ``None`` on miss."""
+        with self._lock:
+            data = self._data
+            value = data.pop(key, None)
+            if value is None:
+                self.misses += 1
+                return None
+            data[key] = value  # re-insert = move to most-recent end
+            self.hits += 1
+            return value
+
+    def put(self, key: int, value: float) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one at capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            data = self._data
+            if key in data:
+                del data[key]
+            elif len(data) >= self.capacity:
+                # Oldest entry = first in insertion order.
+                del data[next(iter(data))]
+                self.evictions += 1
+            data[key] = value
+
+    def get_many(self, keys: list) -> list:
+        """Batched :meth:`get`: one lock acquisition for the whole list.
+
+        Returns a value-or-``None`` per key, counting hits/misses exactly
+        as the per-key path would — this is what keeps the engine's
+        batched planner from paying a lock round-trip per key.
+        """
+        out = []
+        with self._lock:
+            data = self._data
+            for key in keys:
+                value = data.pop(key, None)
+                if value is None:
+                    self.misses += 1
+                else:
+                    data[key] = value
+                    self.hits += 1
+                out.append(value)
+        return out
+
+    def put_many(self, items) -> None:
+        """Batched :meth:`put` of ``(key, value)`` pairs under one lock."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            data = self._data
+            for key, value in items:
+                if key in data:
+                    del data[key]
+                elif len(data) >= self.capacity:
+                    del data[next(iter(data))]
+                    self.evictions += 1
+                data[key] = value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._data),
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+            )

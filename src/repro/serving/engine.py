@@ -1,0 +1,217 @@
+"""Vectorized query engine over a :class:`~repro.serving.SketchSnapshot`.
+
+Every query shape — single pair, pair batches, multi-request batches —
+funnels into one **single-gather planner**: cache hits are satisfied from
+the LRU result cache, the distinct missing keys are deduplicated and
+estimated with *one* fused-kernel gather against the frozen sketch (the
+PR 1 ``(K, n)`` single-fancy-index path), and the results are scattered
+back to request positions and into the cache.  Because the sketch is
+frozen and cache entries are stored verbatim, every answer is bit-identical
+to ``estimator.estimate`` on the snapshotted state, cached or not.
+
+Index-backed queries (``top_pairs``, ``top_neighbors``, thresholded range
+queries) are pure array slices over the snapshot's materialized indexes and
+never touch the sketch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.cache import LRUCache
+from repro.serving.snapshot import SketchSnapshot
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Caching, batching query front end for one immutable snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        The frozen :class:`SketchSnapshot` to serve.
+    cache_size:
+        LRU result-cache capacity in single-key entries (0 disables
+        caching; every query then gathers).
+    cache_batch_limit:
+        Key batches larger than this bypass the cache and go straight to
+        one fused gather (``None`` = always consult the cache).  Measured
+        on this workload the gather costs ~20us fixed + ~0.13us/key while
+        per-key cache bookkeeping costs ~0.4us/key, so beyond a few dozen
+        keys the raw gather beats even an all-hits cache pass — and large
+        scan-like batches would churn useful entries out of the LRU.
+
+    Notes
+    -----
+    The engine holds no mutable sketch state — only the cache and counters
+    — so it can be swapped atomically under concurrent readers
+    (:class:`repro.serving.ServingEstimator` does exactly that).  The cache
+    is thread-safe; under concurrent readers the answers stay exact (a
+    lost race just re-gathers the same value) while the engine's counters
+    are best-effort tallies.
+    """
+
+    def __init__(
+        self,
+        snapshot: SketchSnapshot,
+        *,
+        cache_size: int = 8192,
+        cache_batch_limit: int | None = 64,
+    ):
+        self.snapshot = snapshot
+        self.cache = LRUCache(cache_size)
+        self.cache_batch_limit = cache_batch_limit
+        self.queries = 0          # logical query calls answered
+        self.keys_served = 0      # individual key estimates returned
+        self.gathers = 0          # fused sketch gathers issued
+        self.gathered_keys = 0    # distinct keys fetched by those gathers
+
+    # ------------------------------------------------------------------
+    # The single-gather planner
+    # ------------------------------------------------------------------
+    def query_keys(self, keys) -> np.ndarray:
+        """Estimates for flat pair keys, cache-assisted, one gather at most."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be a 1-D array")
+        self.queries += 1
+        self.keys_served += keys.size
+        if keys.size == 0:
+            return np.empty(0, dtype=np.float64)
+        cache = self.cache
+        if cache.capacity == 0 or (
+            self.cache_batch_limit is not None
+            and keys.size > self.cache_batch_limit
+        ):
+            self.gathers += 1
+            self.gathered_keys += keys.size
+            return self.snapshot.query_keys(keys)
+        out = np.empty(keys.size, dtype=np.float64)
+        miss_positions: list[int] = []
+        miss_keys: list[int] = []
+        key_list = keys.tolist()
+        for pos, value in enumerate(cache.get_many(key_list)):
+            if value is None:
+                miss_positions.append(pos)
+                miss_keys.append(key_list[pos])
+            else:
+                out[pos] = value
+        if miss_keys:
+            # Deduplicate the misses and fetch them with one fused gather.
+            uniq, inverse = np.unique(
+                np.asarray(miss_keys, dtype=np.int64), return_inverse=True
+            )
+            self.gathers += 1
+            self.gathered_keys += uniq.size
+            values = self.snapshot.query_keys(uniq)
+            cache.put_many(zip(uniq.tolist(), values.tolist()))
+            out[np.asarray(miss_positions, dtype=np.intp)] = values[inverse]
+        return out
+
+    def query_batches(self, key_batches) -> list[np.ndarray]:
+        """Answer many key-array requests through one planned gather.
+
+        Concatenates the requests, runs :meth:`query_keys` once (one cache
+        pass + at most one sketch gather for all requests together) and
+        splits the answers back per request — the batch endpoint of the
+        HTTP front end.
+        """
+        key_batches = [np.asarray(b, dtype=np.int64) for b in key_batches]
+        if not key_batches:
+            return []
+        flat = self.query_keys(
+            np.concatenate(key_batches)
+            if len(key_batches) > 1
+            else key_batches[0]
+        )
+        splits = np.cumsum([b.size for b in key_batches[:-1]])
+        return [part.copy() for part in np.split(flat, splits)]
+
+    # ------------------------------------------------------------------
+    # Pair-shaped entry points
+    # ------------------------------------------------------------------
+    def query_pairs(self, i, j) -> np.ndarray:
+        """Estimates for explicit ``(i, j)`` pairs (vectorized)."""
+        from repro.hashing.pairs import pair_to_index
+
+        return self.query_keys(pair_to_index(i, j, self.snapshot.dim))
+
+    def query_pair(self, i: int, j: int) -> float:
+        """Scalar fast path: one pair's estimate with minimal overhead.
+
+        Same arithmetic as :func:`repro.hashing.pairs.pair_to_index` (exact
+        in Python ints), same gather as the batched path — bit-identical,
+        just without the array round-trip per request.
+        """
+        i, j = int(i), int(j)
+        d = self.snapshot.dim
+        if not 0 <= i < j < d:
+            raise ValueError(f"pair indices must satisfy 0 <= i < j < {d}")
+        key = i * (2 * d - i - 1) // 2 + (j - i - 1)
+        self.queries += 1
+        self.keys_served += 1
+        cache = self.cache
+        if cache.capacity != 0:
+            value = cache.get(key)
+            if value is not None:
+                return value
+        self.gathers += 1
+        self.gathered_keys += 1
+        value = float(
+            self.snapshot.sketch.query(np.asarray([key], dtype=np.int64))[0]
+        )
+        cache.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Index-backed queries (no sketch gather)
+    # ------------------------------------------------------------------
+    def top_pairs(self, k: int):
+        """``(i, j, estimates)`` of the ``k`` best indexed pairs."""
+        self.queries += 1
+        result = self.snapshot.top_pairs(k)
+        self.keys_served += result[0].size
+        return result
+
+    def top_neighbors(self, feature: int, k: int):
+        """``(partners, estimates)`` — feature's best candidate partners."""
+        self.queries += 1
+        result = self.snapshot.top_neighbors(feature, k)
+        self.keys_served += result[0].size
+        return result
+
+    def pairs_above(self, threshold: float, *, limit: int | None = None):
+        """Indexed pairs with rank >= ``threshold`` (see snapshot docs)."""
+        self.queries += 1
+        result = self.snapshot.pairs_above(threshold, limit=limit)
+        self.keys_served += result[0].size
+        return result
+
+    def pairs_in_range(self, lo: float, hi: float, *, limit: int | None = None):
+        """Indexed pairs with ``lo <= rank < hi``."""
+        self.queries += 1
+        result = self.snapshot.pairs_in_range(lo, hi, limit=limit)
+        self.keys_served += result[0].size
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready engine counters + cache stats + snapshot meta."""
+        return {
+            "queries": self.queries,
+            "keys_served": self.keys_served,
+            "gathers": self.gathers,
+            "gathered_keys": self.gathered_keys,
+            "cache": self.cache.stats().as_dict(),
+            "snapshot": self.snapshot.meta(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryEngine(snapshot_id={self.snapshot.snapshot_id}, "
+            f"queries={self.queries}, cache={len(self.cache)}/"
+            f"{self.cache.capacity})"
+        )

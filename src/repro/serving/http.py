@@ -1,0 +1,449 @@
+"""Stdlib-only HTTP front end for the serving query engine.
+
+A :class:`ServingHTTPServer` (``http.server.ThreadingHTTPServer``) exposes
+a JSON API over a :class:`~repro.serving.QueryEngine`,
+:class:`~repro.serving.SketchSnapshot` or — for the full concurrent
+ingest/serve loop — a :class:`~repro.serving.ServingEstimator`:
+
+========================  ====================================================
+``GET  /health``          liveness + served snapshot id
+``GET  /stats``           engine/cache/serving counters
+``GET  /pair?i=&j=``      one pair's estimate
+``GET  /neighbors?i=&k=`` feature ``i``'s best candidate partners
+``GET  /top?k=``          the ``k`` best indexed pairs
+``GET  /above?threshold=&limit=``  thresholded range query
+``POST /query``           batched pairs/keys (single-gather planned)
+``POST /ingest``          sparse samples into the write side (serving only)
+``POST /refresh``         snapshot + atomic swap (serving only)
+========================  ====================================================
+
+Requests run in per-connection threads and reads are **not** serialized:
+snapshot swaps are atomic reference rebinds, the engine's LRU cache is
+thread-safe, and write routes (``/ingest``, ``/refresh``) serialize on the
+serving estimator's own write lock — so a slow write never stalls reads.
+JSON floats round-trip exactly (``repr`` shortest-form), so HTTP answers
+are bit-identical to in-process queries.
+
+:class:`ServingClient` is the matching ``urllib``-based client.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serving.engine import QueryEngine
+from repro.serving.live import ServingEstimator
+from repro.serving.snapshot import SketchSnapshot
+
+__all__ = ["ServingHTTPServer", "ServingClient", "serve_in_background"]
+
+
+class _HTTPError(Exception):
+    """Maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+#: Sentinel for required query parameters (see ``_Handler._param``).
+_REQUIRED = object()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The handler is stateless; everything lives on self.server.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test/bench output clean
+
+    # ------------------------------------------------------------------
+    def _drain_body(self) -> None:
+        """Consume any unread request body before replying.
+
+        An error reply sent while body bytes sit unread in the socket
+        desyncs HTTP/1.1 keep-alive: the leftover bytes get parsed as the
+        next request line.  ``_body()`` marks the body consumed; every
+        reply path drains the remainder first.
+        """
+        remaining = self._body_remaining
+        self._body_remaining = 0
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        self._drain_body()
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _param(self, query: dict, name: str, cast, default=_REQUIRED):
+        # A sentinel (not None) marks required params, so optional params
+        # can default to None and explicit 0 is never collapsed away.
+        if name not in query:
+            if default is _REQUIRED:
+                raise _HTTPError(400, f"missing query parameter {name!r}")
+            return default
+        try:
+            return cast(query[name][0])
+        except (TypeError, ValueError):
+            raise _HTTPError(400, f"bad value for parameter {name!r}")
+
+    def _body(self) -> dict:
+        length = self._body_remaining
+        if length <= 0:
+            raise _HTTPError(400, "JSON body required")
+        self._body_remaining = 0
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError:
+            raise _HTTPError(400, "invalid JSON body")
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "JSON body must be an object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        server: "ServingHTTPServer" = self.server  # type: ignore[assignment]
+        parsed = urllib.parse.urlsplit(self.path)
+        query = urllib.parse.parse_qs(parsed.query)
+        self._body_remaining = int(self.headers.get("Content-Length") or 0)
+        try:
+            handler = server.routes.get((method, parsed.path))
+            if handler is None:
+                raise _HTTPError(404, f"no route {method} {parsed.path}")
+            self._reply(handler(server, query, self))
+        except _HTTPError as exc:
+            self._reply({"error": str(exc)}, status=exc.status)
+        except ValueError as exc:
+            # The query layers validate inputs with ValueError (bad pair
+            # indices, out-of-range keys) — those are client errors.
+            self._reply({"error": str(exc)}, status=400)
+        except Exception as exc:  # noqa: BLE001 - must answer, not hang up
+            # A handler bug must surface as a 500 JSON error, not a closed
+            # connection with no response.
+            self._reply(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+
+# ----------------------------------------------------------------------
+# Route implementations (module-level so the table reads declaratively)
+# ----------------------------------------------------------------------
+def _route_health(server, query, handler) -> dict:
+    # Side-effect-free liveness: must not trigger the serving estimator's
+    # auto-snapshot build (load-balancer probes expect instant answers).
+    if server.serving is not None:
+        snapshot_id = server.serving.served_snapshot_id
+    else:
+        snapshot_id = server.engine.snapshot.snapshot_id
+    return {
+        "status": "ok",
+        "snapshot_id": snapshot_id,
+        "writable": server.serving is not None,
+    }
+
+
+def _route_stats(server, query, handler) -> dict:
+    if server.serving is not None:
+        return server.serving.stats()
+    return server.engine.stats()
+
+
+def _route_pair(server, query, handler) -> dict:
+    engine = server.engine
+    i = handler._param(query, "i", int)
+    j = handler._param(query, "j", int)
+    return {
+        "i": i,
+        "j": j,
+        "estimate": engine.query_pair(i, j),
+        "snapshot_id": engine.snapshot.snapshot_id,
+    }
+
+
+def _route_neighbors(server, query, handler) -> dict:
+    engine = server.engine
+    i = handler._param(query, "i", int)
+    k = handler._param(query, "k", int, default=10)
+    partners, estimates = engine.top_neighbors(i, k)
+    return {
+        "i": i,
+        "partners": partners.tolist(),
+        "estimates": estimates.tolist(),
+        "snapshot_id": engine.snapshot.snapshot_id,
+    }
+
+
+def _route_top(server, query, handler) -> dict:
+    engine = server.engine
+    k = handler._param(query, "k", int, default=10)
+    i, j, estimates = engine.top_pairs(k)
+    return {
+        "i": i.tolist(),
+        "j": j.tolist(),
+        "estimates": estimates.tolist(),
+        "snapshot_id": engine.snapshot.snapshot_id,
+    }
+
+
+def _route_above(server, query, handler) -> dict:
+    engine = server.engine
+    threshold = handler._param(query, "threshold", float)
+    limit = handler._param(query, "limit", int, default=None)
+    i, j, estimates = engine.pairs_above(threshold, limit=limit)
+    return {
+        "i": i.tolist(),
+        "j": j.tolist(),
+        "estimates": estimates.tolist(),
+        "snapshot_id": engine.snapshot.snapshot_id,
+    }
+
+
+def _as_index_array(raw, what: str) -> np.ndarray:
+    """Coerce a JSON field to an int64 array, as a *client* error on junk."""
+    try:
+        return np.asarray(raw, dtype=np.int64)
+    except (TypeError, ValueError):
+        raise _HTTPError(400, f"{what} must be a flat list of integers")
+
+
+def _route_query(server, query, handler) -> dict:
+    engine = server.engine
+    body = handler._body()
+    if "keys" in body:
+        estimates = engine.query_keys(_as_index_array(body["keys"], "'keys'"))
+    elif "i" in body and "j" in body:
+        estimates = engine.query_pairs(
+            _as_index_array(body["i"], "'i'"),
+            _as_index_array(body["j"], "'j'"),
+        )
+    else:
+        raise _HTTPError(400, "body must contain 'keys' or both 'i' and 'j'")
+    return {
+        "estimates": estimates.tolist(),
+        "snapshot_id": engine.snapshot.snapshot_id,
+    }
+
+
+def _route_ingest(server, query, handler) -> dict:
+    serving = server.require_serving()
+    body = handler._body()
+    raw = body.get("samples")
+    if not isinstance(raw, list):
+        raise _HTTPError(400, "body must contain 'samples': [[indices, values], ...]")
+    try:
+        samples = [
+            (np.asarray(idx, dtype=np.int64), np.asarray(val, dtype=np.float64))
+            for idx, val in raw
+        ]
+    except (TypeError, ValueError):
+        raise _HTTPError(
+            400, "each sample must be an [indices, values] pair of flat lists"
+        )
+    serving.ingest_sparse(samples)
+    return {
+        "ingested": len(samples),
+        "write_samples_seen": serving.sketcher.samples_seen,
+    }
+
+
+def _route_refresh(server, query, handler) -> dict:
+    serving = server.require_serving()
+    snapshot = serving.refresh()
+    return {
+        "snapshot_id": snapshot.snapshot_id,
+        "swap_count": serving.swap_count,
+        "swap_seconds": serving.last_swap_seconds,
+    }
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded JSON front end over an engine, snapshot or serving estimator.
+
+    Parameters
+    ----------
+    target:
+        A :class:`ServingEstimator` (write endpoints enabled), a
+        :class:`QueryEngine`, or a bare :class:`SketchSnapshot` (wrapped in
+        a default engine).
+    address:
+        ``(host, port)``; port 0 picks a free ephemeral port — read it back
+        from :attr:`port`.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    routes = {
+        ("GET", "/health"): _route_health,
+        ("GET", "/stats"): _route_stats,
+        ("GET", "/pair"): _route_pair,
+        ("GET", "/neighbors"): _route_neighbors,
+        ("GET", "/top"): _route_top,
+        ("GET", "/above"): _route_above,
+        ("POST", "/query"): _route_query,
+        ("POST", "/ingest"): _route_ingest,
+        ("POST", "/refresh"): _route_refresh,
+    }
+
+    def __init__(self, target, address: tuple[str, int] = ("127.0.0.1", 0)):
+        if isinstance(target, SketchSnapshot):
+            target = QueryEngine(target)
+        if isinstance(target, ServingEstimator):
+            self.serving: ServingEstimator | None = target
+            self._fixed_engine: QueryEngine | None = None
+        elif isinstance(target, QueryEngine):
+            self.serving = None
+            self._fixed_engine = target
+        else:
+            raise TypeError(
+                "target must be a ServingEstimator, QueryEngine or "
+                f"SketchSnapshot, got {type(target).__name__}"
+            )
+        super().__init__(address, _Handler)
+
+    @property
+    def engine(self) -> QueryEngine:
+        if self.serving is not None:
+            return self.serving.engine
+        return self._fixed_engine
+
+    def require_serving(self) -> ServingEstimator:
+        if self.serving is None:
+            raise _HTTPError(
+                405, "this server fronts a frozen snapshot; ingest/refresh "
+                "need a ServingEstimator target"
+            )
+        return self.serving
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_in_background(
+    target, address: tuple[str, int] = ("127.0.0.1", 0)
+) -> tuple[ServingHTTPServer, threading.Thread]:
+    """Start a server on a daemon thread; stop it with ``server.shutdown()``."""
+    server = ServingHTTPServer(target, address)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serving-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+class ServingClient:
+    """Tiny ``urllib``-based client for :class:`ServingHTTPServer`.
+
+    All methods raise :class:`urllib.error.HTTPError` on non-2xx responses
+    (the JSON error body is attached by the stdlib).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _get(self, path: str, **params) -> dict:
+        query = urllib.parse.urlencode(
+            {k: v for k, v in params.items() if v is not None}
+        )
+        url = f"{self.base_url}{path}" + (f"?{query}" if query else "")
+        with urllib.request.urlopen(url, timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    def _post(self, path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._get("/health")
+
+    def stats(self) -> dict:
+        return self._get("/stats")
+
+    def pair(self, i: int, j: int) -> float:
+        return float(self._get("/pair", i=int(i), j=int(j))["estimate"])
+
+    def query_pairs(self, i, j) -> np.ndarray:
+        payload = {
+            "i": np.asarray(i, dtype=np.int64).tolist(),
+            "j": np.asarray(j, dtype=np.int64).tolist(),
+        }
+        return np.asarray(self._post("/query", payload)["estimates"])
+
+    def query_keys(self, keys) -> np.ndarray:
+        payload = {"keys": np.asarray(keys, dtype=np.int64).tolist()}
+        return np.asarray(self._post("/query", payload)["estimates"])
+
+    def neighbors(self, i: int, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        data = self._get("/neighbors", i=int(i), k=int(k))
+        return (
+            np.asarray(data["partners"], dtype=np.int64),
+            np.asarray(data["estimates"]),
+        )
+
+    def top(self, k: int = 10) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        data = self._get("/top", k=int(k))
+        return (
+            np.asarray(data["i"], dtype=np.int64),
+            np.asarray(data["j"], dtype=np.int64),
+            np.asarray(data["estimates"]),
+        )
+
+    def above(
+        self, threshold: float, limit: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        data = self._get("/above", threshold=float(threshold), limit=limit)
+        return (
+            np.asarray(data["i"], dtype=np.int64),
+            np.asarray(data["j"], dtype=np.int64),
+            np.asarray(data["estimates"]),
+        )
+
+    def ingest(self, samples) -> dict:
+        payload = {
+            "samples": [
+                [
+                    np.asarray(idx, dtype=np.int64).tolist(),
+                    np.asarray(val, dtype=np.float64).tolist(),
+                ]
+                for idx, val in samples
+            ]
+        }
+        return self._post("/ingest", payload)
+
+    def refresh(self) -> dict:
+        return self._post("/refresh", {})

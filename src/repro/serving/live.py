@@ -1,0 +1,237 @@
+"""Double-buffered concurrent ingest/serve estimator.
+
+:class:`ServingEstimator` pairs a live write-side
+:class:`repro.covariance.CovarianceSketcher` with a read-side
+:class:`~repro.serving.QueryEngine` over an immutable snapshot.  Ingestion
+keeps mutating the write side under a lock; :meth:`refresh` clones the
+write-side state (holding the lock only for the copy), builds the
+query-optimized snapshot and engine off-line, and **atomically swaps** the
+engine reference.  Readers capture the engine reference once per query, so
+every answer comes entirely from one frozen snapshot — a query can never
+observe a half-updated sketch, and concurrent swaps only change which
+complete snapshot the *next* query sees.
+
+The swap is a single attribute rebind (atomic under CPython); readers never
+block writers and writers never block readers except for the brief
+state-clone inside :meth:`refresh`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.serving.engine import QueryEngine
+from repro.serving.snapshot import SketchSnapshot
+
+__all__ = ["ServingEstimator"]
+
+
+class ServingEstimator:
+    """Serve covariance queries while the underlying stream keeps flowing.
+
+    Parameters
+    ----------
+    sketcher:
+        The write-side pipeline (any fitted or fresh
+        :class:`CovarianceSketcher`).  Build one from a
+        :class:`repro.distributed.ShardSpec` with :meth:`from_spec`.
+    top_index:
+        Materialized top-pair index size per snapshot.
+    scan:
+        Index build strategy (see :meth:`SketchSnapshot.from_sketcher`).
+    cache_size:
+        LRU result-cache capacity of each swapped-in engine (the cache is
+        per-snapshot: stale estimates can never outlive their snapshot).
+    refresh_every:
+        Auto-refresh after this many ingested samples (0 = manual
+        :meth:`refresh` only).
+    """
+
+    def __init__(
+        self,
+        sketcher: CovarianceSketcher,
+        *,
+        top_index: int = 1024,
+        scan: bool | None = None,
+        cache_size: int = 8192,
+        refresh_every: int = 0,
+    ):
+        if refresh_every < 0:
+            raise ValueError(f"refresh_every must be >= 0, got {refresh_every}")
+        self.sketcher = sketcher
+        self.top_index = int(top_index)
+        self.scan = scan
+        self.cache_size = int(cache_size)
+        self.refresh_every = int(refresh_every)
+        self._write_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        self._engine: QueryEngine | None = None
+        self._retired: list[QueryEngine] = []
+        self.swap_count = 0
+        self.last_swap_seconds = 0.0
+        self._samples_at_refresh = 0
+
+    @classmethod
+    def from_spec(cls, spec, **kwargs) -> "ServingEstimator":
+        """Build around a fresh estimator from a :class:`ShardSpec`."""
+        return cls(spec.build_sketcher(), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def ingest_sparse(self, samples) -> None:
+        """Stream sparse ``(indices, values)`` samples into the write side."""
+        with self._write_lock:
+            self.sketcher.fit_sparse(iter(samples))
+        self._maybe_refresh()
+
+    def ingest_dense(self, batch: np.ndarray) -> None:
+        """Stream a dense ``(n, d)`` batch into the write side."""
+        with self._write_lock:
+            self.sketcher.fit_dense(np.atleast_2d(np.asarray(batch)))
+        self._maybe_refresh()
+
+    def _maybe_refresh(self) -> None:
+        if self.refresh_every <= 0:
+            return
+        if (
+            self.sketcher.samples_seen - self._samples_at_refresh
+            >= self.refresh_every
+        ):
+            # Serialize with any in-flight refresh and re-check under the
+            # lock: two ingesters crossing the threshold together must not
+            # build two snapshots of the same state.
+            with self._refresh_lock:
+                if (
+                    self.sketcher.samples_seen - self._samples_at_refresh
+                    >= self.refresh_every
+                ):
+                    self._refresh_locked()
+
+    # ------------------------------------------------------------------
+    # Snapshot / swap
+    # ------------------------------------------------------------------
+    def refresh(self) -> SketchSnapshot:
+        """Snapshot the write side and atomically swap it into the read side.
+
+        The write lock is held only while the estimator state is cloned;
+        the index build and engine construction run on the clone.
+        Refreshes themselves are serialized (a second caller waits, then
+        builds from the then-current state), so an older snapshot can never
+        be installed over a newer one.  Returns the snapshot that is now
+        being served.
+        """
+        with self._refresh_lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> SketchSnapshot:
+        started = time.perf_counter()
+        snapshot = SketchSnapshot.from_sketcher(
+            self.sketcher,
+            top_index=self.top_index,
+            scan=self.scan,
+            lock=self._write_lock,
+        )
+        self.install(snapshot)
+        self.last_swap_seconds = time.perf_counter() - started
+        # Credit only what the snapshot actually contains: samples ingested
+        # concurrently with the off-lock index build must still count
+        # toward the next refresh_every window.
+        self._samples_at_refresh = snapshot.samples_seen
+        return snapshot
+
+    def install(self, snapshot: SketchSnapshot) -> QueryEngine:
+        """Serve a prebuilt snapshot (atomic engine swap).
+
+        Lets a reducer push snapshots built elsewhere (e.g. from merged
+        shard files) into a running server.  The previous engine is retired
+        but kept so in-flight readers holding its reference finish safely,
+        and so its cache stats remain inspectable.
+        """
+        engine = QueryEngine(snapshot, cache_size=self.cache_size)
+        previous = self._engine
+        self._engine = engine  # atomic rebind — the swap
+        self.swap_count += 1
+        if previous is not None:
+            self._retired.append(previous)
+            del self._retired[:-4]  # bound the kept history
+        return engine
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        """The currently served engine (auto-snapshots on first access)."""
+        engine = self._engine
+        if engine is None:
+            self.refresh()
+            engine = self._engine
+        return engine
+
+    @property
+    def snapshot(self) -> SketchSnapshot:
+        return self.engine.snapshot
+
+    @property
+    def served_snapshot_id(self) -> int | None:
+        """Id of the currently served snapshot, ``None`` before the first
+        swap — a side-effect-free probe (liveness checks must not trigger
+        the ``engine`` property's auto-snapshot build)."""
+        engine = self._engine
+        return None if engine is None else engine.snapshot.snapshot_id
+
+    def query_pair(self, i: int, j: int) -> float:
+        return self.engine.query_pair(i, j)
+
+    def query_pairs(self, i, j) -> np.ndarray:
+        return self.engine.query_pairs(i, j)
+
+    def query_keys(self, keys) -> np.ndarray:
+        return self.engine.query_keys(keys)
+
+    def query_keys_versioned(self, keys) -> tuple[int, np.ndarray]:
+        """``(snapshot_id, estimates)`` answered by one consistent snapshot.
+
+        The engine reference is captured once, so the id and every estimate
+        come from the same frozen snapshot even if a swap lands mid-call —
+        the no-torn-reads contract the concurrency tests assert.
+        """
+        engine = self.engine
+        return engine.snapshot.snapshot_id, engine.query_keys(keys)
+
+    def top_pairs(self, k: int):
+        return self.engine.top_pairs(k)
+
+    def top_neighbors(self, feature: int, k: int):
+        return self.engine.top_neighbors(feature, k)
+
+    def pairs_above(self, threshold: float, *, limit: int | None = None):
+        return self.engine.pairs_above(threshold, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready serving stats: swaps, write-side progress, engine."""
+        engine = self._engine
+        return {
+            "swap_count": self.swap_count,
+            "last_swap_seconds": self.last_swap_seconds,
+            "refresh_every": self.refresh_every,
+            "write_samples_seen": self.sketcher.samples_seen,
+            "engine": None if engine is None else engine.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        engine = self._engine
+        served = "none" if engine is None else engine.snapshot.snapshot_id
+        return (
+            f"ServingEstimator(serving=snapshot {served}, "
+            f"swaps={self.swap_count}, "
+            f"write_samples={self.sketcher.samples_seen})"
+        )

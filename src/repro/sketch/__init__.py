@@ -6,7 +6,7 @@ from repro.sketch.cold_filter import ColdFilterSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
 from repro.sketch.serialization import load_sketch, save_sketch
-from repro.sketch.topk import TopKTracker
+from repro.sketch.topk import TopKTracker, scan_top_keys
 
 __all__ = [
     "AugmentedSketch",
@@ -17,4 +17,5 @@ __all__ = [
     "ValueSketch",
     "load_sketch",
     "save_sketch",
+    "scan_top_keys",
 ]

@@ -59,7 +59,17 @@ def scatter_add_flat(
     * ``np.add.at`` applies each hit to the table in input order —
       cheapest for tiny batches where allocating a dense accumulator
       dominates.
+
+    Frozen (read-only) tables are rejected explicitly: ``ufunc.at``
+    ignores the ``writeable`` flag on some numpy versions, so relying on
+    numpy's own check would let the small-batch branch silently mutate a
+    serving snapshot.
     """
+    if not flat.flags.writeable:
+        raise ValueError(
+            "sketch counters are read-only (frozen serving snapshot); "
+            "inserts must target the live write-side sketch"
+        )
     if use_bincount:
         acc = np.bincount(flat_indices, weights=weights, minlength=flat.size)
         flat += acc.astype(flat.dtype, copy=False)

@@ -87,6 +87,12 @@ class CountMinSketch(ValueSketch):
         if (values < 0).any():
             raise ValueError("CountMinSketch accepts non-negative values only")
         if self.conservative:
+            if not self._flat.flags.writeable:
+                # np.maximum.at ignores the writeable flag on some numpy
+                # versions — enforce frozen-snapshot immutability ourselves.
+                raise ValueError(
+                    "sketch counters are read-only (frozen serving snapshot)"
+                )
             # Conservative update must be applied per distinct key; aggregate
             # duplicate keys in the batch first so intra-batch order does not
             # change the result.
@@ -121,6 +127,16 @@ class CountMinSketch(ValueSketch):
 
     def reset(self) -> None:
         self.table[:] = 0.0
+
+    def freeze(self) -> "CountMinSketch":
+        """Make the counter storage read-only (in place) and return ``self``.
+
+        Queries keep working (gathers never write); inserts, merges and
+        resets raise — the serving-snapshot immutability guarantee.
+        """
+        self.table.flags.writeable = False
+        self._flat.flags.writeable = False
+        return self
 
     def __getstate__(self):
         # _flat is a view of table; pickling would serialise it as an

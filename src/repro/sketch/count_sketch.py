@@ -257,9 +257,17 @@ class CountSketch(ValueSketch):
     def reset(self) -> None:
         self.table[:] = 0.0
 
-    # ------------------------------------------------------------------
-    # Linear-sketch algebra
-    # ------------------------------------------------------------------
+    def freeze(self) -> "CountSketch":
+        """Make the counter storage read-only (in place) and return ``self``.
+
+        A frozen sketch still answers ``query`` (gathers never write), but
+        any ``insert``/``merge``/``reset`` raises numpy's read-only error —
+        the guarantee serving snapshots rely on: a query-side view can never
+        be mutated by a stray write path.
+        """
+        self.table.flags.writeable = False
+        self._flat.flags.writeable = False
+        return self
     def _check_compatible(self, other: "CountSketch") -> None:
         ensure_mergeable(
             self, other, ("num_tables", "num_buckets", "seed", "family")

@@ -1,31 +1,159 @@
 """Sketch serialisation — persist and restore sketch state.
 
-Linear sketches are the natural unit of distributed aggregation: workers
-sketch shards of a stream, persist, and a reducer merges.  This module
-round-trips :class:`CountSketch` and :class:`CountMinSketch` through
-``.npz`` files: the hash functions are reconstructed from the stored seed
-and family name, so a loaded sketch answers queries (and merges) exactly
-like the original.
+Linear sketches are the natural unit of distributed aggregation and of
+serving snapshots: workers sketch shards of a stream and persist, a reducer
+merges, a query engine freezes.  This module round-trips
+:class:`CountSketch`, :class:`CountMinSketch` and :class:`AugmentedSketch`
+through ``.npz`` files (``allow_pickle=False`` throughout): hash functions
+are reconstructed from the stored seed and family name, so a loaded sketch
+answers queries (and merges) exactly like the original, and counter dtypes
+survive the round-trip bit-for-bit.
+
+Two layers of API:
+
+* :func:`sketch_to_arrays` / :func:`sketch_from_arrays` — the pure
+  array-dict form, used by anything that embeds a sketch inside a larger
+  ``.npz`` payload (``repro.serving.SketchSnapshot`` prefixes these keys);
+* :func:`save_sketch` / :func:`load_sketch` — the file round-trip.
+
+``ColdFilterSketch`` is deliberately unsupported: its conservative-update
+gate is order-dependent state that cannot be reconstructed faithfully from
+counters alone (the same reason it refuses to merge).
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
+from repro.sketch.augmented import AugmentedSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
 
-__all__ = ["save_sketch", "load_sketch"]
+__all__ = [
+    "save_sketch",
+    "load_sketch",
+    "sketch_to_arrays",
+    "sketch_from_arrays",
+    "SUPPORTED_KINDS",
+]
 
-_KINDS = {"count-sketch": CountSketch, "count-min": CountMinSketch}
+#: kind name -> class, in the order listed by error messages.
+_KIND_TO_CLS = {
+    "count-sketch": CountSketch,
+    "count-min": CountMinSketch,
+    "augmented": AugmentedSketch,
+}
+
+#: The serialisable sketch kinds (error messages enumerate these).
+SUPPORTED_KINDS = tuple(_KIND_TO_CLS)
 
 
 def _kind_of(sketch) -> str:
-    if isinstance(sketch, CountSketch):
-        return "count-sketch"
-    if isinstance(sketch, CountMinSketch):
-        return "count-min"
-    raise TypeError(f"cannot serialise {type(sketch).__name__}")
+    # isinstance would misfile AugmentedSketch's *backing* CountSketch if a
+    # subclass relationship ever appeared; exact type checks keep each kind
+    # unambiguous.
+    for kind, cls in _KIND_TO_CLS.items():
+        if type(sketch) is cls:
+            return kind
+    supported = ", ".join(cls.__name__ for cls in _KIND_TO_CLS.values())
+    raise TypeError(
+        f"cannot serialise {type(sketch).__name__}; supported sketch kinds "
+        f"are: {supported} (ColdFilterSketch holds order-dependent gate "
+        "state that counters cannot reconstruct)"
+    )
+
+
+def sketch_to_arrays(sketch) -> dict[str, np.ndarray]:
+    """A sketch's complete state as a flat ``{name: ndarray}`` dict.
+
+    Every value is a numpy array (scalars as 0-d arrays, strings as 0-d
+    unicode), so the dict can be written via ``np.savez`` with
+    ``allow_pickle=False`` — standalone or embedded under a key prefix in a
+    larger payload.
+    """
+    kind = _kind_of(sketch)
+    if kind == "augmented":
+        backing = sketch.sketch
+        filt = sketch._filter
+        return {
+            "kind": np.asarray(kind),
+            "num_tables": np.asarray(backing.num_tables),
+            "num_buckets": np.asarray(backing.num_buckets),
+            "seed": np.asarray(backing.seed),
+            "family": np.asarray(backing.family),
+            "table": backing.table,
+            "filter_capacity": np.asarray(sketch.filter_capacity),
+            "exchange_every": np.asarray(sketch.exchange_every),
+            "two_sided": np.asarray(sketch.two_sided),
+            "inserts_since_exchange": np.asarray(sketch._inserts_since_exchange),
+            "filter_keys": np.fromiter(
+                filt.keys(), dtype=np.int64, count=len(filt)
+            ),
+            "filter_values": np.fromiter(
+                filt.values(), dtype=np.float64, count=len(filt)
+            ),
+        }
+    out = {
+        "kind": np.asarray(kind),
+        "num_tables": np.asarray(sketch.num_tables),
+        "num_buckets": np.asarray(sketch.num_buckets),
+        "seed": np.asarray(sketch.seed),
+        "family": np.asarray(sketch.family),
+        "table": sketch.table,
+    }
+    if kind == "count-min":
+        out["conservative"] = np.asarray(sketch.conservative)
+        out["cap"] = np.asarray(
+            np.nan if sketch.cap is None else sketch.cap, dtype=np.float64
+        )
+    return out
+
+
+def sketch_from_arrays(data: Mapping[str, np.ndarray]):
+    """Rebuild a sketch from :func:`sketch_to_arrays` output.
+
+    The rebuilt sketch has identical hash functions (same seed/family) and
+    an exact copy of the counters — the ``table`` dtype is preserved
+    bit-for-bit — so queries, further inserts and merges behave exactly as
+    on the original.
+    """
+    kind = str(data["kind"])
+    if kind not in _KIND_TO_CLS:
+        raise ValueError(
+            f"unknown sketch kind {kind!r}; supported kinds are: "
+            f"{', '.join(SUPPORTED_KINDS)}"
+        )
+    table = np.asarray(data["table"])
+    num_tables = int(data["num_tables"])
+    num_buckets = int(data["num_buckets"])
+    seed = int(data["seed"])
+    family = str(data["family"])
+    if kind == "augmented":
+        sketch = AugmentedSketch(
+            num_tables,
+            num_buckets,
+            filter_capacity=int(data["filter_capacity"]),
+            seed=seed,
+            family=family,
+            exchange_every=int(data["exchange_every"]),
+            two_sided=bool(data["two_sided"]),
+        )
+        sketch.sketch.table[:] = table
+        sketch._inserts_since_exchange = int(data["inserts_since_exchange"])
+        keys = np.asarray(data["filter_keys"], dtype=np.int64)
+        values = np.asarray(data["filter_values"], dtype=np.float64)
+        sketch._filter = dict(zip(keys.tolist(), values.tolist()))
+        return sketch
+    kwargs = dict(seed=seed, family=family, dtype=table.dtype)
+    if kind == "count-min":
+        cap = float(data["cap"])
+        kwargs["conservative"] = bool(data["conservative"])
+        kwargs["cap"] = None if np.isnan(cap) else cap
+    sketch = _KIND_TO_CLS[kind](num_tables, num_buckets, **kwargs)
+    sketch.table[:] = table
+    return sketch
 
 
 def save_sketch(sketch, path) -> None:
@@ -34,49 +162,16 @@ def save_sketch(sketch, path) -> None:
     Parameters
     ----------
     sketch:
-        A :class:`CountSketch` or :class:`CountMinSketch`.
+        A :class:`CountSketch`, :class:`CountMinSketch` or
+        :class:`AugmentedSketch`; anything else raises ``TypeError`` naming
+        the supported kinds.
     path:
         Target file path (numpy appends ``.npz`` if missing).
     """
-    kind = _kind_of(sketch)
-    extra = {}
-    if kind == "count-min":
-        extra["conservative"] = np.asarray(sketch.conservative)
-        extra["cap"] = np.asarray(
-            np.nan if sketch.cap is None else sketch.cap, dtype=np.float64
-        )
-    np.savez_compressed(
-        path,
-        kind=np.asarray(kind),
-        num_tables=np.asarray(sketch.num_tables),
-        num_buckets=np.asarray(sketch.num_buckets),
-        seed=np.asarray(sketch.seed),
-        family=np.asarray(sketch.family),
-        table=sketch.table,
-        **extra,
-    )
+    np.savez_compressed(path, **sketch_to_arrays(sketch))
 
 
 def load_sketch(path):
-    """Restore a sketch written by :func:`save_sketch`.
-
-    The rebuilt sketch has identical hash functions (same seed/family), so
-    queries, further inserts and merges behave exactly as on the original.
-    """
+    """Restore a sketch written by :func:`save_sketch`."""
     with np.load(path, allow_pickle=False) as data:
-        kind = str(data["kind"])
-        cls = _KINDS.get(kind)
-        if cls is None:
-            raise ValueError(f"unknown sketch kind {kind!r} in {path}")
-        kwargs = dict(
-            seed=int(data["seed"]),
-            family=str(data["family"]),
-            dtype=data["table"].dtype,
-        )
-        if kind == "count-min":
-            cap = float(data["cap"])
-            kwargs["conservative"] = bool(data["conservative"])
-            kwargs["cap"] = None if np.isnan(cap) else cap
-        sketch = cls(int(data["num_tables"]), int(data["num_buckets"]), **kwargs)
-        sketch.table[:] = data["table"]
-    return sketch
+        return sketch_from_arrays(data)

@@ -21,9 +21,71 @@ iteration anywhere.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-__all__ = ["TopKTracker"]
+__all__ = ["TopKTracker", "scan_top_keys"]
+
+
+def scan_top_keys(
+    query_fn: Callable[[np.ndarray], np.ndarray],
+    num_keys: int,
+    k: int,
+    *,
+    chunk: int = 1 << 20,
+    rank_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-``k`` keys over ``[0, num_keys)`` by chunked scan.
+
+    The section-8.3 retrieval protocol for pair spaces small enough to
+    enumerate, shared by the streaming pipeline and the serving snapshot
+    builder.  Fixed-size running top-k buffer: the current best ``k``
+    entries live in the buffer prefix and each chunk of keys is queried
+    into the tail, so no per-chunk concatenation or reallocation happens.
+
+    Parameters
+    ----------
+    query_fn:
+        Batched key -> estimate function (e.g. ``sketch.query``).
+    num_keys:
+        Size of the scanned key range.
+    k:
+        Number of keys to return (clamped to ``num_keys``).
+    chunk:
+        Keys queried per scan step.
+    rank_fn:
+        Optional ranking transform (two-sided retrieval passes ``np.abs``);
+        ``None`` ranks by the signed estimate.
+
+    Returns
+    -------
+    ``(keys, estimates)`` sorted by decreasing rank (stable ties).
+    """
+    num_keys = int(num_keys)
+    k = min(int(k), num_keys)
+    if k < 1:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    rank = (lambda est: est) if rank_fn is None else rank_fn
+    chunk = max(1, min(int(chunk), num_keys))
+    buf_keys = np.empty(k + chunk, dtype=np.int64)
+    buf_est = np.empty(buf_keys.size, dtype=np.float64)
+    n_best = 0
+    for start in range(0, num_keys, chunk):
+        stop = min(start + chunk, num_keys)
+        m = stop - start
+        buf_keys[n_best : n_best + m] = np.arange(start, stop, dtype=np.int64)
+        buf_est[n_best : n_best + m] = query_fn(buf_keys[n_best : n_best + m])
+        total = n_best + m
+        if total > k:
+            top = np.argpartition(-rank(buf_est[:total]), k - 1)[:k]
+            buf_keys[:k] = buf_keys[top]
+            buf_est[:k] = buf_est[top]
+            n_best = k
+        else:
+            n_best = total
+    order = np.argsort(-rank(buf_est[:n_best]), kind="stable")
+    return buf_keys[order], buf_est[order]
 
 
 class TopKTracker:

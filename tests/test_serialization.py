@@ -82,10 +82,126 @@ class TestCountMinRoundTrip:
         assert loaded.query_single(9) == sketch.query_single(9)
 
 
+class TestDtypePreservation:
+    """Counter dtypes must survive the round-trip bit-for-bit."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_count_min_dtype_exact(self, tmp_sketch_path, rng, dtype):
+        sketch = CountMinSketch(3, 128, seed=6, dtype=dtype)
+        sketch.insert(
+            rng.integers(0, 10**6, size=500),
+            np.abs(rng.standard_normal(500)),
+        )
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        assert loaded.table.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(loaded.table, sketch.table)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_count_sketch_dtype_exact(self, tmp_sketch_path, rng, dtype):
+        sketch = CountSketch(3, 128, seed=6, dtype=dtype)
+        sketch.insert(
+            rng.integers(0, 10**6, size=500), rng.standard_normal(500)
+        )
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        assert loaded.table.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(loaded.table, sketch.table)
+
+
+class TestAugmentedSketchRoundTrip:
+    def _fitted(self, rng, two_sided=False):
+        from repro.sketch.augmented import AugmentedSketch
+
+        sketch = AugmentedSketch(
+            3,
+            256,
+            filter_capacity=8,
+            seed=11,
+            exchange_every=2,
+            two_sided=two_sided,
+        )
+        keys = rng.integers(0, 10**6, size=2000)
+        # A few heavy keys so the exact filter is non-trivially populated;
+        # several insert calls so the periodic exchange actually runs.
+        keys[:400] = keys[0] % 7
+        values = np.abs(rng.standard_normal(2000)) + 0.1
+        for start in range(0, 2000, 250):
+            sketch.insert(
+                keys[start : start + 250], values[start : start + 250]
+            )
+        return sketch
+
+    def test_queries_identical(self, tmp_sketch_path, rng):
+        sketch = self._fitted(rng)
+        assert len(sketch._filter) > 0  # the interesting state exists
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        probe = np.concatenate(
+            [sketch.filter_keys, rng.integers(0, 10**6, size=500)]
+        )
+        np.testing.assert_array_equal(loaded.query(probe), sketch.query(probe))
+
+    def test_parameters_and_filter_preserved(self, tmp_sketch_path, rng):
+        sketch = self._fitted(rng, two_sided=True)
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        assert loaded.filter_capacity == 8
+        assert loaded.exchange_every == 2
+        assert loaded.two_sided is True
+        assert loaded._inserts_since_exchange == sketch._inserts_since_exchange
+        assert loaded._filter == sketch._filter
+        np.testing.assert_array_equal(loaded.sketch.table, sketch.sketch.table)
+
+    def test_further_inserts_identical(self, tmp_sketch_path, rng):
+        sketch = self._fitted(rng)
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        more_keys = rng.integers(0, 10**6, size=300)
+        more_vals = np.abs(rng.standard_normal(300))
+        sketch.insert(more_keys, more_vals)
+        loaded.insert(more_keys, more_vals)
+        probe = rng.integers(0, 10**6, size=300)
+        np.testing.assert_array_equal(loaded.query(probe), sketch.query(probe))
+        assert loaded._filter == sketch._filter
+
+    def test_merge_after_load(self, tmp_sketch_path, rng):
+        from repro.sketch.augmented import AugmentedSketch
+
+        sketch = self._fitted(rng)
+        save_sketch(sketch, tmp_sketch_path)
+        loaded = load_sketch(tmp_sketch_path)
+        other = AugmentedSketch(
+            3, 256, filter_capacity=8, seed=11, exchange_every=2
+        )
+        other.insert(
+            rng.integers(0, 10**6, size=200),
+            np.abs(rng.standard_normal(200)),
+        )
+        loaded.merge(other)  # compatible lineage: must not raise
+
+
 class TestErrors:
     def test_unsupported_type(self, tmp_sketch_path):
         with pytest.raises(TypeError):
             save_sketch(object(), tmp_sketch_path)
+
+    def test_error_lists_supported_kinds(self, tmp_sketch_path):
+        from repro.sketch.cold_filter import ColdFilterSketch
+
+        gate = ColdFilterSketch(3, 64, threshold=0.5)
+        with pytest.raises(TypeError) as excinfo:
+            save_sketch(gate, tmp_sketch_path)
+        message = str(excinfo.value)
+        for name in ("CountSketch", "CountMinSketch", "AugmentedSketch"):
+            assert name in message
+        assert "ColdFilterSketch" in message
+
+    def test_unknown_kind_on_load(self):
+        from repro.sketch.serialization import sketch_from_arrays
+
+        with pytest.raises(ValueError, match="count-sketch"):
+            sketch_from_arrays({"kind": np.asarray("mystery")})
 
     def test_distributed_aggregation_scenario(self, tmp_path, rng):
         """Workers sketch shards, persist, reducer loads and merges."""

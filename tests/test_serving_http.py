@@ -1,0 +1,214 @@
+"""Tests for the stdlib HTTP front end (server + client round trips)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SketchEstimator
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.serving import (
+    QueryEngine,
+    ServingClient,
+    ServingEstimator,
+    SketchSnapshot,
+    serve_in_background,
+)
+from repro.sketch.count_sketch import CountSketch
+
+DIM = 40
+
+
+def _make_samples(n, rng, nnz=5):
+    return [
+        (
+            np.sort(rng.choice(DIM, size=nnz, replace=False)).astype(np.int64),
+            rng.standard_normal(nnz),
+        )
+        for _ in range(n)
+    ]
+
+
+def _make_serving(rng) -> ServingEstimator:
+    estimator = SketchEstimator(
+        CountSketch(3, 512, seed=31), total_samples=1000, track_top=128
+    )
+    sketcher = CovarianceSketcher(
+        DIM, estimator, mode="covariance", centering="none", batch_size=16
+    )
+    serving = ServingEstimator(sketcher, top_index=64, cache_size=256)
+    serving.ingest_sparse(_make_samples(64, rng))
+    serving.refresh()
+    return serving
+
+
+@pytest.fixture
+def serving_server(rng):
+    serving = _make_serving(rng)
+    server, thread = serve_in_background(serving)
+    yield serving, server, ServingClient(server.url)
+    server.shutdown()
+    server.server_close()
+
+
+class TestReadEndpoints:
+    def test_health(self, serving_server):
+        serving, _, client = serving_server
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["snapshot_id"] == serving.snapshot.snapshot_id
+        assert health["writable"] is True
+
+    def test_pair_round_trips_exactly(self, serving_server):
+        serving, _, client = serving_server
+        # JSON floats are repr-round-trip exact, so HTTP == in-process.
+        assert client.pair(0, 3) == serving.query_pair(0, 3)
+
+    def test_batch_query_pairs(self, serving_server, rng):
+        serving, _, client = serving_server
+        i = rng.integers(0, DIM - 1, size=50)
+        j = rng.integers(i + 1, DIM, size=50)
+        np.testing.assert_array_equal(
+            client.query_pairs(i, j), serving.query_pairs(i, j)
+        )
+
+    def test_batch_query_keys(self, serving_server):
+        serving, _, client = serving_server
+        keys = np.arange(30, dtype=np.int64)
+        np.testing.assert_array_equal(
+            client.query_keys(keys), serving.query_keys(keys)
+        )
+
+    def test_neighbors(self, serving_server):
+        serving, _, client = serving_server
+        feature = int(serving.snapshot.index_i[0])
+        partners, estimates = client.neighbors(feature, k=5)
+        local_p, local_e = serving.top_neighbors(feature, 5)
+        np.testing.assert_array_equal(partners, local_p)
+        np.testing.assert_array_equal(estimates, local_e)
+
+    def test_top_and_above(self, serving_server):
+        serving, _, client = serving_server
+        i, j, est = client.top(5)
+        np.testing.assert_array_equal(est, serving.top_pairs(5)[2])
+        ai, aj, aest = client.above(float(est[-1]))
+        assert aest.size >= est.size
+
+    def test_above_limit_zero_means_zero(self, serving_server):
+        _, _, client = serving_server
+        i, j, est = client.above(-1e9, limit=0)
+        assert est.size == 0
+
+    def test_health_has_no_side_effects_before_first_refresh(self, rng):
+        estimator = SketchEstimator(
+            CountSketch(3, 512, seed=41), total_samples=100
+        )
+        sketcher = CovarianceSketcher(DIM, estimator, mode="covariance")
+        serving = ServingEstimator(sketcher, top_index=16)
+        server, _ = serve_in_background(serving)
+        try:
+            health = ServingClient(server.url).health()
+            assert health["snapshot_id"] is None
+            assert serving.swap_count == 0  # the probe built nothing
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_stats(self, serving_server):
+        serving, _, client = serving_server
+        client.pair(0, 1)
+        stats = client.stats()
+        assert stats["swap_count"] == serving.swap_count
+        assert stats["engine"]["cache"]["capacity"] == 256
+
+
+class TestWriteEndpoints:
+    def test_ingest_then_refresh_changes_served_snapshot(
+        self, serving_server, rng
+    ):
+        serving, _, client = serving_server
+        before_id = serving.snapshot.snapshot_id
+        result = client.ingest(_make_samples(8, rng))
+        assert result["ingested"] == 8
+        # Served snapshot unchanged until refresh...
+        assert serving.snapshot.snapshot_id == before_id
+        refreshed = client.refresh()
+        assert refreshed["snapshot_id"] > before_id
+        assert serving.snapshot.snapshot_id == refreshed["snapshot_id"]
+
+
+class TestErrorsAndReadOnlyTargets:
+    def test_bad_pair_is_400(self, serving_server):
+        _, server, _ = serving_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/pair?i=5&j=5")
+        assert excinfo.value.code == 400
+
+    def test_missing_param_is_400(self, serving_server):
+        _, server, _ = serving_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/pair?i=5")
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, serving_server):
+        _, server, _ = serving_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_malformed_samples_is_json_error_not_hangup(self, serving_server):
+        _, server, _ = serving_server
+        request = urllib.request.Request(
+            f"{server.url}/ingest",
+            data=json.dumps({"samples": [1, 2]}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code in (400, 500)
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_out_of_range_keys_is_400(self, serving_server):
+        _, server, _ = serving_server
+        request = urllib.request.Request(
+            f"{server.url}/query",
+            data=json.dumps({"keys": [-5]}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_bad_json_body_is_400(self, serving_server):
+        _, server, _ = serving_server
+        request = urllib.request.Request(
+            f"{server.url}/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_snapshot_target_serves_reads_but_rejects_writes(self, rng):
+        serving = _make_serving(rng)
+        snapshot = serving.snapshot
+        server, thread = serve_in_background(QueryEngine(snapshot))
+        try:
+            client = ServingClient(server.url)
+            assert client.health()["writable"] is False
+            np.testing.assert_array_equal(
+                client.query_keys(np.arange(10, dtype=np.int64)),
+                snapshot.query_keys(np.arange(10, dtype=np.int64)),
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                client.refresh()
+            assert excinfo.value.code == 405
+        finally:
+            server.shutdown()
+            server.server_close()
