@@ -12,7 +12,6 @@ signals when they finally arrive.  A modest shuffle buffer restores the
 paper's behaviour — exactly the claim being validated.
 """
 
-import numpy as np
 
 from conftest import run_once, show
 

@@ -22,6 +22,7 @@ PRs can diff the perf trajectory machine-readably.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -379,6 +380,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
             "smoke": smoke,
             "num_tables": NUM_TABLES,
             "num_buckets": NUM_BUCKETS,
+            "cpu_count": os.cpu_count() or 1,
             "numpy": np.__version__,
             "python": platform.python_version(),
             "machine": platform.machine(),

@@ -1,0 +1,104 @@
+"""Benchmark regression gate for CI.
+
+Two layers of protection, both driven by the registry's per-suite checks
+(``BenchSuite.check``) so the acceptance logic lives next to the numbers
+it judges:
+
+1. **Committed reports validate.**  Every registered suite must have a
+   committed ``BENCH_<suite>.json`` at the repo root; each is parsed and
+   run through its suite's check.  Checks gate their throughput floors on
+   the report's own ``meta.cpu_count`` — the machine that *measured* the
+   numbers — so a 1-CPU CI container can still validate a report recorded
+   on a many-core box, and vice versa.
+2. **Fresh smoke runs pass.**  Each suite is re-run in smoke mode (to a
+   scratch path: the committed full-workload records are never clobbered)
+   and the fresh report must pass the same check.  On a 1-CPU container
+   the hardware-gated floors disarm via the fresh report's own
+   ``meta.cpu_count``; deterministic accuracy checks (bit-identity gates,
+   the streaming drift-F1 margin) always apply.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regressions.py
+    PYTHONPATH=src python benchmarks/check_regressions.py --suite streaming
+    PYTHONPATH=src python benchmarks/check_regressions.py --skip-fresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+# Importing run_bench registers every suite module as a side effect, so
+# REGISTRY is fully populated once both imports complete.
+import run_bench  # noqa: E402, F401
+from registry import REGISTRY  # noqa: E402
+
+
+def check_committed(suite) -> list[str]:
+    """Validate the committed ``BENCH_<suite>.json`` via the suite's check."""
+    path = REPO_ROOT / f"BENCH_{suite.name}.json"
+    if not path.exists():
+        return [f"missing committed report {path.name}"]
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"unparseable committed report {path.name}: {exc}"]
+    meta = report.get("meta")
+    if not isinstance(meta, dict) or "cpu_count" not in meta:
+        return [f"{path.name} lacks meta.cpu_count (cannot gate its checks)"]
+    return [f"committed {path.name}: {problem}" for problem in suite.check(report)]
+
+
+def check_fresh_smoke(suite, scratch: Path) -> list[str]:
+    """Re-run the suite in smoke mode and apply its check to the result."""
+    out = scratch / f"BENCH_{suite.name}.smoke.json"
+    report = suite.run(smoke=True, out=out)
+    return [f"fresh smoke {suite.name}: {problem}" for problem in suite.check(report)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        choices=tuple(REGISTRY),
+        default=None,
+        help="check a single suite (default: all registered suites)",
+    )
+    parser.add_argument(
+        "--skip-fresh",
+        action="store_true",
+        help="only validate the committed reports, skip the smoke re-runs",
+    )
+    args = parser.parse_args(argv)
+
+    suites = [
+        suite
+        for suite in REGISTRY.values()
+        if args.suite in (None, suite.name)
+    ]
+    failures: list[str] = []
+    for suite in suites:
+        failures.extend(check_committed(suite))
+    if not args.skip_fresh:
+        with tempfile.TemporaryDirectory(prefix="bench-smoke-") as scratch:
+            for suite in suites:
+                failures.extend(check_fresh_smoke(suite, Path(scratch)))
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if not failures:
+        print(f"ok: {len(suites)} suite(s) — committed reports valid"
+              + ("" if args.skip_fresh else ", fresh smoke runs pass"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

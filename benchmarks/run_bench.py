@@ -33,7 +33,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from registry import REGISTRY  # noqa: E402
 
 #: Suite modules imported for their registration side effect, in run order.
-_SUITE_MODULES = ("bench_kernels", "bench_sharded", "bench_serving")
+_SUITE_MODULES = (
+    "bench_kernels",
+    "bench_sharded",
+    "bench_serving",
+    "bench_streaming",
+)
 
 for _module in _SUITE_MODULES:
     importlib.import_module(_module)

@@ -11,7 +11,6 @@ Run:  python examples/clickstream_correlations.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.covariance import pair_correlations
 from repro.data import URLLikeStream

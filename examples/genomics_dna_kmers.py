@@ -12,7 +12,6 @@ Run:  python examples/genomics_dna_kmers.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.covariance import CovarianceSketcher, pair_correlations
 from repro.data import DNAKmerStream

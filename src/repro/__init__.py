@@ -13,6 +13,9 @@ matrices.  The package layers:
 * :mod:`repro.serving` — the read path: immutable query-optimized
   snapshots, the cached single-gather query engine, double-buffered
   concurrent ingest/serve and a stdlib HTTP front end;
+* :mod:`repro.streaming` — recency over unbounded streams: exponential
+  time decay (lazy O(1) scale) and sliding windows as rings of mergeable
+  panes;
 * :mod:`repro.data` — synthetic datasets and stream generators;
 * :mod:`repro.evaluation` — paper metrics and the comparison harness;
 * :mod:`repro.experiments` — one module per paper table/figure;
@@ -58,7 +61,12 @@ from repro.serving import (
     ServingEstimator,
     SketchSnapshot,
 )
-from repro.sketch import CountSketch
+from repro.sketch import CountSketch, DecayedSketch
+from repro.streaming import (
+    DecayingSketcher,
+    PaneRing,
+    make_decaying_sketcher,
+)
 from repro.theory import ProblemModel, plan_hyperparameters
 
 __version__ = "1.0.0"
@@ -68,6 +76,9 @@ __all__ = [
     "CheckpointManager",
     "CountSketch",
     "CovarianceSketcher",
+    "DecayedSketch",
+    "DecayingSketcher",
+    "PaneRing",
     "ProblemModel",
     "QueryEngine",
     "ServingEstimator",
@@ -77,6 +88,7 @@ __all__ = [
     "ThresholdSchedule",
     "build_estimator",
     "fit_sparse_sharded",
+    "make_decaying_sketcher",
     "plan_hyperparameters",
     "run_pilot",
     "sketch_correlations",

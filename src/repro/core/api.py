@@ -278,6 +278,7 @@ def sketch_correlations(
     u: float | None = None,
     sigma: float | None = None,
     two_sided: bool = False,
+    decay: float | None = None,
     seed: int = 0,
 ) -> SketchResult:
     """One-pass sparse correlation estimation with a memory budget.
@@ -299,6 +300,13 @@ def sketch_correlations(
         Optional overrides for the pilot estimates.
     top_k:
         Number of top pairs to return.
+    decay:
+        Optional per-sample exponential decay factor in ``(0, 1)``.
+        Estimates become recency-weighted (decayed) means, which track
+        drifting streams instead of the all-time average — see
+        :mod:`repro.streaming`.  Supported for ``method="cs"`` only: the
+        ASCS threshold schedule and the filter baselines are calibrated
+        against undecayed mass.
 
     Returns
     -------
@@ -307,6 +315,39 @@ def sketch_correlations(
     dense = _as_dense(data)
     n, d = dense.shape
     num_buckets = max(16, int(memory_floats) // int(num_tables))
+
+    if decay is not None:
+        if method != "cs":
+            raise ValueError(
+                "decay is supported for method='cs' only (the ASCS schedule "
+                f"and filter baselines assume undecayed mass), got {method!r}"
+            )
+        # Lazy import: repro.streaming builds on repro.core.
+        from repro.streaming import make_decaying_sketcher
+
+        sketcher = make_decaying_sketcher(
+            d,
+            n,
+            gamma=float(decay),
+            num_tables=num_tables,
+            num_buckets=num_buckets,
+            seed=seed,
+            mode=mode,
+            batch_size=batch_size,
+            track_top=max(4 * top_k, 64),
+            two_sided=two_sided,
+        )
+        sketcher.fit_dense(dense)
+        i, j, estimates = sketcher.top_pairs(top_k)
+        return SketchResult(
+            pairs_i=i,
+            pairs_j=j,
+            estimates=estimates,
+            method=method,
+            plan=None,
+            pilot=None,
+            sketcher=sketcher,
+        )
 
     pilot = None
     plan = None

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.pairs import pair_to_index
 from repro.covariance.updates import triu_pair_values
 
 __all__ = [

@@ -1,6 +1,11 @@
 """Data substrates: synthetic models, dataset stand-ins, stream generators."""
 
 from repro.data.dna import DNAKmerStream
+from repro.data.drift import (
+    AbruptShiftStream,
+    GradualRotationStream,
+    PeriodicChurnStream,
+)
 from repro.data.libsvm_like import (
     Dataset,
     make_cifar10_like,
@@ -15,11 +20,14 @@ from repro.data.synthetic import BlockCorrelationModel, plan_group_layout
 from repro.data.url_like import URLLikeStream
 
 __all__ = [
+    "AbruptShiftStream",
     "BlockCorrelationModel",
     "DATASET_SPECS",
     "DNAKmerStream",
     "Dataset",
     "DatasetSpec",
+    "GradualRotationStream",
+    "PeriodicChurnStream",
     "ShuffleBuffer",
     "SparseSample",
     "URLLikeStream",

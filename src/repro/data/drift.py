@@ -1,0 +1,236 @@
+"""Drift-aware stream generators: the workloads time decay is built for.
+
+The paper's simulation streams are stationary (one block-correlation model
+sampled i.i.d.).  Production traffic is not: heavy correlation structure
+shifts abruptly (a deploy, a breaking-news spike), rotates gradually
+(audience churn) or cycles (diurnal/seasonal patterns).  These generators
+produce such streams *with known ground truth per time step*, so decayed /
+windowed estimators can be scored against exactly what is true **now**
+rather than what was true on average.
+
+All three generators share one construction: a single
+:class:`~repro.data.BlockCorrelationModel` provides the correlation
+structure, and each *phase* relocates its signal pairs by a seeded feature
+permutation (phase 0 is the identity).  Phase strengths therefore match
+exactly across phases — only the signal *locations* move, which isolates
+the recency behaviour under test.  Everything is deterministic given the
+constructor arguments: two instances with equal parameters generate
+identical sample arrays and identical ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import BlockCorrelationModel
+from repro.hashing.pairs import pair_to_index
+
+__all__ = [
+    "AbruptShiftStream",
+    "GradualRotationStream",
+    "PeriodicChurnStream",
+]
+
+
+class _PhasedDriftStream:
+    """Shared machinery: phased sampling from one permuted block model.
+
+    Subclasses implement :meth:`phase_of`, mapping sample index ``t`` (0
+    based) to a phase id in ``[0, num_phases)``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        total_samples: int,
+        *,
+        alpha: float = 0.02,
+        num_phases: int = 2,
+        seed: int = 0,
+    ):
+        if total_samples < 1:
+            raise ValueError(f"total_samples must be >= 1, got {total_samples}")
+        if num_phases < 1:
+            raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+        self.dim = int(dim)
+        self.total_samples = int(total_samples)
+        self.num_phases = int(num_phases)
+        self.seed = int(seed)
+        self.model = BlockCorrelationModel.from_alpha(dim, alpha, seed=seed)
+        # Phase 0 keeps the identity layout so comparisons against the
+        # stationary benchmarks line up; later phases relocate the blocks.
+        self._perms = [np.arange(self.dim, dtype=np.int64)]
+        for phase in range(1, self.num_phases):
+            rng = np.random.default_rng(self.seed * 7919 + 104729 + phase)
+            self._perms.append(rng.permutation(self.dim).astype(np.int64))
+
+    # ------------------------------------------------------------------
+    def phase_of(self, t: int) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def phases(self) -> np.ndarray:
+        """Phase id of every sample index — the drift timetable."""
+        return np.asarray(
+            [self.phase_of(t) for t in range(self.total_samples)], dtype=np.int64
+        )
+
+    def generate(self) -> np.ndarray:
+        """The full ``(total_samples, dim)`` stream, deterministic by seed.
+
+        Samples are drawn phase-run by phase-run from one generator, so the
+        result is a pure function of the constructor arguments.
+        """
+        rng = np.random.default_rng(self.seed + 31337)
+        phases = self.phases()
+        out = np.empty((self.total_samples, self.dim), dtype=np.float64)
+        start = 0
+        # Contiguous runs of one phase sample as a block (vectorised).
+        boundaries = np.flatnonzero(np.diff(phases)) + 1
+        for stop in list(boundaries) + [self.total_samples]:
+            phase = int(phases[start])
+            block = self.model.sample(stop - start, rng)
+            # Relocate: permuted feature perm[f] carries base feature f's
+            # role, so column perm[f] receives base column f.
+            out[start:stop, self._perms[phase]] = block
+            start = stop
+        return out
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    def signal_pairs(self, phase: int) -> np.ndarray:
+        """Flat pair keys of the signal pairs active in ``phase`` (sorted)."""
+        if not 0 <= phase < self.num_phases:
+            raise ValueError(
+                f"phase must be in [0, {self.num_phases}), got {phase}"
+            )
+        perm = self._perms[phase]
+        base = self.model
+        g = base.group_size
+        keys = []
+        for grp in range(base.num_groups):
+            members = perm[np.arange(grp * g, (grp + 1) * g, dtype=np.int64)]
+            rows, cols = np.triu_indices(g, k=1)
+            i = np.minimum(members[rows], members[cols])
+            j = np.maximum(members[rows], members[cols])
+            keys.append(pair_to_index(i, j, self.dim))
+        if not keys:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(keys))
+
+    def signal_pairs_at(self, t: int) -> np.ndarray:
+        """Signal pairs active at sample index ``t`` — score recency against
+        these, not the all-time union."""
+        return self.signal_pairs(self.phase_of(int(t)))
+
+    @property
+    def num_signal_pairs(self) -> int:
+        return self.model.num_signal_pairs
+
+
+class AbruptShiftStream(_PhasedDriftStream):
+    """One hard regime change: phase 0 before ``switch_at``, phase 1 after.
+
+    The canonical decay test: after the shift, an undecayed estimator keeps
+    ranking the dead phase-0 pairs (their accumulated mass dominates until
+    the new regime has streamed for as long as the old one did), while a
+    decayed estimator forgets them within a few half-lives.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        total_samples: int,
+        *,
+        switch_at: int | None = None,
+        alpha: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(
+            dim, total_samples, alpha=alpha, num_phases=2, seed=seed
+        )
+        if switch_at is None:
+            switch_at = total_samples // 2
+        if not 0 <= switch_at <= total_samples:
+            raise ValueError(
+                f"switch_at must be in [0, {total_samples}], got {switch_at}"
+            )
+        self.switch_at = int(switch_at)
+
+    def phase_of(self, t: int) -> int:
+        return 0 if t < self.switch_at else 1
+
+
+class GradualRotationStream(_PhasedDriftStream):
+    """Gradual rotation from phase 0 to phase 1 across a transition span.
+
+    Between ``start`` and ``stop`` each sample comes from phase 1 with
+    probability ramping linearly 0 → 1 (seeded, so the timetable is
+    deterministic); before ``start`` everything is phase 0, after ``stop``
+    everything is phase 1.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        total_samples: int,
+        *,
+        start: int | None = None,
+        stop: int | None = None,
+        alpha: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(
+            dim, total_samples, alpha=alpha, num_phases=2, seed=seed
+        )
+        if start is None:
+            start = total_samples // 4
+        if stop is None:
+            stop = 3 * total_samples // 4
+        if not 0 <= start <= stop <= total_samples:
+            raise ValueError(
+                f"need 0 <= start <= stop <= {total_samples}, got "
+                f"start={start}, stop={stop}"
+            )
+        self.start = int(start)
+        self.stop = int(stop)
+        rng = np.random.default_rng(self.seed + 271828)
+        span = max(1, self.stop - self.start)
+        ramp = (np.arange(span) + 0.5) / span
+        self._transition = (rng.random(span) < ramp).astype(np.int64)
+
+    def phase_of(self, t: int) -> int:
+        if t < self.start:
+            return 0
+        if t >= self.stop:
+            return 1
+        return int(self._transition[t - self.start])
+
+
+class PeriodicChurnStream(_PhasedDriftStream):
+    """Seasonal heavy-hitter churn: phases cycle every ``period`` samples.
+
+    Phase ``(t // period) % num_phases`` is active at sample ``t`` — the
+    workload where a window spanning one period tracks each season and an
+    all-time estimator blurs them together.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        total_samples: int,
+        *,
+        period: int,
+        num_phases: int = 4,
+        alpha: float = 0.02,
+        seed: int = 0,
+    ):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        super().__init__(
+            dim, total_samples, alpha=alpha, num_phases=num_phases, seed=seed
+        )
+        self.period = int(period)
+
+    def phase_of(self, t: int) -> int:
+        return (t // self.period) % self.num_phases

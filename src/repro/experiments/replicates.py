@@ -60,11 +60,9 @@ def replicate_covariances(
     """
     rng = np.random.default_rng(seed)
     if isinstance(source, BlockCorrelationModel):
-        dim = source.dim
         draw = lambda: source.sample(t, rng)  # noqa: E731 - tight local lambda
     else:
         data = np.asarray(source, dtype=np.float64)
-        dim = data.shape[1]
         draw = lambda: data[rng.integers(0, data.shape[0], size=t)]  # noqa: E731
 
     out = []

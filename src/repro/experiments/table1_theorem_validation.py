@@ -37,7 +37,7 @@ from repro.sketch.count_sketch import CountSketch
 from repro.theory.bounds import ProblemModel, saturation_probability
 from repro.theory.planner import find_exploration_length, find_threshold_slope
 from repro.theory.snr import estimate_sigma
-from repro.covariance.ground_truth import flat_true_correlations, signal_key_set
+from repro.covariance.ground_truth import flat_true_correlations
 
 __all__ = ["Config", "run", "PAPER_REFERENCE", "SignalMissTracker"]
 

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.covariance.ground_truth import pair_correlations
 from repro.data.dna import DNAKmerStream
 from repro.data.url_like import URLLikeStream

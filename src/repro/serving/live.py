@@ -49,6 +49,17 @@ class ServingEstimator:
     refresh_every:
         Auto-refresh after this many ingested samples (0 = manual
         :meth:`refresh` only).
+
+    Notes
+    -----
+    The write side may also be a streaming estimator from
+    :mod:`repro.streaming`: a :class:`~repro.streaming.PaneRing`
+    (sliding-window mode — each snapshot materialises the current window
+    with one pane-merge pass; build with :meth:`windowed`) or a
+    :class:`~repro.streaming.DecayingSketcher` (time-decayed mode).  Both
+    are detected by duck typing and surface their ``window_span`` /
+    ``decay`` metadata through :meth:`stats`, hence through the HTTP
+    ``/stats`` route.
     """
 
     def __init__(
@@ -74,11 +85,30 @@ class ServingEstimator:
         self.swap_count = 0
         self.last_swap_seconds = 0.0
         self._samples_at_refresh = 0
+        # Streaming write sides (repro.streaming) are duck-typed: a windowed
+        # ring exposes window_span, a decaying pipeline exposes decay.
+        self._windowed = hasattr(sketcher, "window_span")
+        self.last_window_span: int | None = None
 
     @classmethod
     def from_spec(cls, spec, **kwargs) -> "ServingEstimator":
         """Build around a fresh estimator from a :class:`ShardSpec`."""
         return cls(spec.build_sketcher(), **kwargs)
+
+    @classmethod
+    def windowed(
+        cls, spec, *, num_panes: int, pane_samples: int, **kwargs
+    ) -> "ServingEstimator":
+        """Build a sliding-window serving estimator around a fresh
+        :class:`~repro.streaming.PaneRing` (see :mod:`repro.streaming`)."""
+        # Lazy import: repro.streaming builds on repro.distributed, which
+        # sits beside (not under) the serving read path.
+        from repro.streaming import PaneRing
+
+        return cls(
+            PaneRing(spec, num_panes=num_panes, pane_samples=pane_samples),
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Write side
@@ -138,10 +168,22 @@ class ServingEstimator:
         )
         self.install(snapshot)
         self.last_swap_seconds = time.perf_counter() - started
-        # Credit only what the snapshot actually contains: samples ingested
-        # concurrently with the off-lock index build must still count
-        # toward the next refresh_every window.
-        self._samples_at_refresh = snapshot.samples_seen
+        if self._windowed:
+            # A windowed snapshot's samples_seen counts only the window's
+            # contents, not the stream position — credit the ring's total
+            # ingest position instead (samples landing during the off-lock
+            # index build may be slightly over-credited; the next batch
+            # re-triggers the refresh check either way).
+            self._samples_at_refresh = self.sketcher.samples_seen
+            # The snapshot's samples_seen *is* the span of the panes it was
+            # built from; reading the live ring here instead could report a
+            # span a concurrent ingester created after the extraction.
+            self.last_window_span = int(snapshot.samples_seen)
+        else:
+            # Credit only what the snapshot actually contains: samples
+            # ingested concurrently with the off-lock index build must
+            # still count toward the next refresh_every window.
+            self._samples_at_refresh = snapshot.samples_seen
         return snapshot
 
     def install(self, snapshot: SketchSnapshot) -> QueryEngine:
@@ -217,15 +259,34 @@ class ServingEstimator:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """JSON-ready serving stats: swaps, write-side progress, engine."""
+        """JSON-ready serving stats: swaps, write-side progress, engine.
+
+        Streaming write sides add their recency metadata: ``window_span``
+        (current and as of the last swap), pane geometry and rotation count
+        for a :class:`~repro.streaming.PaneRing`; the ``decay`` factor for
+        a :class:`~repro.streaming.DecayingSketcher`.
+        """
         engine = self._engine
-        return {
+        out = {
             "swap_count": self.swap_count,
             "last_swap_seconds": self.last_swap_seconds,
             "refresh_every": self.refresh_every,
             "write_samples_seen": self.sketcher.samples_seen,
+            "window_span": None,
+            "decay": getattr(self.sketcher, "decay", None),
             "engine": None if engine is None else engine.stats(),
         }
+        if self._windowed:
+            out["window_span"] = int(self.sketcher.window_span)
+            out["window"] = {
+                "window_span": int(self.sketcher.window_span),
+                "served_window_span": self.last_window_span,
+                "num_panes": int(self.sketcher.num_panes),
+                "pane_samples": int(self.sketcher.pane_samples),
+                "rotations": int(self.sketcher.rotations),
+                "last_rotate_seconds": float(self.sketcher.last_rotate_seconds),
+            }
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         engine = self._engine

@@ -124,9 +124,15 @@ class SketchSnapshot:
             The expensive index build runs on the clone after release, so a
             concurrent ingester is blocked for the copy, not the scan —
             this is what keeps ``ServingEstimator.refresh`` cheap on the
-            write side.
+            write side.  A sketcher that exposes its own
+            ``export_snapshot_state(lock=...)`` (a windowed
+            :class:`~repro.streaming.PaneRing`, whose pane-merge pass must
+            likewise run off-lock) takes over the lock discipline itself.
         """
-        if lock is not None:
+        exporter = getattr(sketcher, "export_snapshot_state", None)
+        if exporter is not None:
+            state = exporter(lock=lock)
+        elif lock is not None:
             with lock:
                 state = sketcher.estimator.export_snapshot_state()
         else:

@@ -5,6 +5,7 @@ from repro.sketch.base import ValueSketch
 from repro.sketch.cold_filter import ColdFilterSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
+from repro.sketch.decay import DecayedSketch, decay_from_half_life
 from repro.sketch.serialization import load_sketch, save_sketch
 from repro.sketch.topk import TopKTracker, scan_top_keys
 
@@ -13,8 +14,10 @@ __all__ = [
     "ColdFilterSketch",
     "CountMinSketch",
     "CountSketch",
+    "DecayedSketch",
     "TopKTracker",
     "ValueSketch",
+    "decay_from_half_life",
     "load_sketch",
     "save_sketch",
     "scan_top_keys",

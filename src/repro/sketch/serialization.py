@@ -2,10 +2,9 @@
 
 Linear sketches are the natural unit of distributed aggregation and of
 serving snapshots: workers sketch shards of a stream and persist, a reducer
-merges, a query engine freezes.  This module round-trips
-:class:`CountSketch`, :class:`CountMinSketch` and :class:`AugmentedSketch`
-through ``.npz`` files (``allow_pickle=False`` throughout): hash functions
-are reconstructed from the stored seed and family name, so a loaded sketch
+merges, a query engine freezes.  This module round-trips sketches through
+``.npz`` files (``allow_pickle=False`` throughout): hash functions are
+reconstructed from the stored seed and family name, so a loaded sketch
 answers queries (and merges) exactly like the original, and counter dtypes
 survive the round-trip bit-for-bit.
 
@@ -16,6 +15,14 @@ Two layers of API:
   ``.npz`` payload (``repro.serving.SketchSnapshot`` prefixes these keys);
 * :func:`save_sketch` / :func:`load_sketch` — the file round-trip.
 
+Kinds live in a **registry** (:func:`register_kind`): each kind supplies a
+type test, an encoder and a decoder.  The built-in kinds are
+``count-sketch``, ``count-min``, ``augmented`` and ``decayed`` (the
+:class:`repro.sketch.DecayedSketch` wrapper, which nests its backing
+sketch's arrays under an ``inner_`` prefix).  Higher layers — sliding-window
+pane persistence, serving snapshots — write through the same registry, so a
+new sketch kind becomes persistable everywhere by registering once.
+
 ``ColdFilterSketch`` is deliberately unsupported: its conservative-update
 gate is order-dependent state that cannot be reconstructed faithfully from
 counters alone (the same reason it refuses to merge).
@@ -23,45 +30,76 @@ counters alone (the same reason it refuses to merge).
 
 from __future__ import annotations
 
-from typing import Mapping
+from dataclasses import dataclass
+from typing import Callable, Mapping
 
 import numpy as np
 
 from repro.sketch.augmented import AugmentedSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
+from repro.sketch.decay import DecayedSketch
 
 __all__ = [
     "save_sketch",
     "load_sketch",
     "sketch_to_arrays",
     "sketch_from_arrays",
+    "register_kind",
+    "supported_kinds",
     "SUPPORTED_KINDS",
 ]
 
-#: kind name -> class, in the order listed by error messages.
-_KIND_TO_CLS = {
-    "count-sketch": CountSketch,
-    "count-min": CountMinSketch,
-    "augmented": AugmentedSketch,
-}
-
-#: The serialisable sketch kinds (error messages enumerate these).
-SUPPORTED_KINDS = tuple(_KIND_TO_CLS)
+#: Prefix under which the ``decayed`` kind nests its backing sketch arrays.
+_INNER_PREFIX = "inner_"
 
 
-def _kind_of(sketch) -> str:
-    # isinstance would misfile AugmentedSketch's *backing* CountSketch if a
-    # subclass relationship ever appeared; exact type checks keep each kind
-    # unambiguous.
-    for kind, cls in _KIND_TO_CLS.items():
-        if type(sketch) is cls:
-            return kind
-    supported = ", ".join(cls.__name__ for cls in _KIND_TO_CLS.values())
+@dataclass(frozen=True)
+class _KindSpec:
+    """One serialisable sketch kind: how to recognise, encode and decode it."""
+
+    name: str
+    cls: type
+    to_arrays: Callable[[object], dict]
+    from_arrays: Callable[[Mapping[str, np.ndarray]], object]
+
+
+#: kind name -> spec, in registration order (error messages enumerate these).
+_KINDS: dict[str, _KindSpec] = {}
+
+
+def register_kind(
+    name: str,
+    *,
+    cls: type,
+    to_arrays: Callable[[object], dict],
+    from_arrays: Callable[[Mapping[str, np.ndarray]], object],
+) -> None:
+    """Register a sketch kind with the serialisation registry.
+
+    Matching is by **exact** type — an ``isinstance`` test would misfile
+    wrapper/backing relationships, e.g. an :class:`AugmentedSketch`'s
+    backing :class:`CountSketch`, or a :class:`DecayedSketch`'s wrapped
+    inner sketch.
+    """
+    _KINDS[name] = _KindSpec(
+        name=name, cls=cls, to_arrays=to_arrays, from_arrays=from_arrays
+    )
+
+
+def _supported_kinds() -> tuple[str, ...]:
+    return tuple(_KINDS)
+
+
+def _kind_of(sketch) -> _KindSpec:
+    for spec in _KINDS.values():
+        if type(sketch) is spec.cls:
+            return spec
+    supported = ", ".join(spec.cls.__name__ for spec in _KINDS.values())
     raise TypeError(
         f"cannot serialise {type(sketch).__name__}; supported sketch kinds "
-        f"are: {supported} (ColdFilterSketch holds order-dependent gate "
-        "state that counters cannot reconstruct)"
+        f"are: {supported} (ColdFilterSketch holds order-dependent "
+        "gate state that counters cannot reconstruct)"
     )
 
 
@@ -73,41 +111,9 @@ def sketch_to_arrays(sketch) -> dict[str, np.ndarray]:
     ``allow_pickle=False`` — standalone or embedded under a key prefix in a
     larger payload.
     """
-    kind = _kind_of(sketch)
-    if kind == "augmented":
-        backing = sketch.sketch
-        filt = sketch._filter
-        return {
-            "kind": np.asarray(kind),
-            "num_tables": np.asarray(backing.num_tables),
-            "num_buckets": np.asarray(backing.num_buckets),
-            "seed": np.asarray(backing.seed),
-            "family": np.asarray(backing.family),
-            "table": backing.table,
-            "filter_capacity": np.asarray(sketch.filter_capacity),
-            "exchange_every": np.asarray(sketch.exchange_every),
-            "two_sided": np.asarray(sketch.two_sided),
-            "inserts_since_exchange": np.asarray(sketch._inserts_since_exchange),
-            "filter_keys": np.fromiter(
-                filt.keys(), dtype=np.int64, count=len(filt)
-            ),
-            "filter_values": np.fromiter(
-                filt.values(), dtype=np.float64, count=len(filt)
-            ),
-        }
-    out = {
-        "kind": np.asarray(kind),
-        "num_tables": np.asarray(sketch.num_tables),
-        "num_buckets": np.asarray(sketch.num_buckets),
-        "seed": np.asarray(sketch.seed),
-        "family": np.asarray(sketch.family),
-        "table": sketch.table,
-    }
-    if kind == "count-min":
-        out["conservative"] = np.asarray(sketch.conservative)
-        out["cap"] = np.asarray(
-            np.nan if sketch.cap is None else sketch.cap, dtype=np.float64
-        )
+    spec = _kind_of(sketch)
+    out = {"kind": np.asarray(spec.name)}
+    out.update(spec.to_arrays(sketch))
     return out
 
 
@@ -120,40 +126,172 @@ def sketch_from_arrays(data: Mapping[str, np.ndarray]):
     on the original.
     """
     kind = str(data["kind"])
-    if kind not in _KIND_TO_CLS:
+    if kind not in _KINDS:
         raise ValueError(
             f"unknown sketch kind {kind!r}; supported kinds are: "
-            f"{', '.join(SUPPORTED_KINDS)}"
+            f"{', '.join(_KINDS)}"
         )
+    return _KINDS[kind].from_arrays(data)
+
+
+# ----------------------------------------------------------------------
+# Built-in kinds
+# ----------------------------------------------------------------------
+def _table_arrays(sketch) -> dict:
+    return {
+        "num_tables": np.asarray(sketch.num_tables),
+        "num_buckets": np.asarray(sketch.num_buckets),
+        "seed": np.asarray(sketch.seed),
+        "family": np.asarray(sketch.family),
+        "table": sketch.table,
+    }
+
+
+def _count_sketch_to_arrays(sketch: CountSketch) -> dict:
+    return _table_arrays(sketch)
+
+
+def _count_sketch_from_arrays(data) -> CountSketch:
     table = np.asarray(data["table"])
-    num_tables = int(data["num_tables"])
-    num_buckets = int(data["num_buckets"])
-    seed = int(data["seed"])
-    family = str(data["family"])
-    if kind == "augmented":
-        sketch = AugmentedSketch(
-            num_tables,
-            num_buckets,
-            filter_capacity=int(data["filter_capacity"]),
-            seed=seed,
-            family=family,
-            exchange_every=int(data["exchange_every"]),
-            two_sided=bool(data["two_sided"]),
-        )
-        sketch.sketch.table[:] = table
-        sketch._inserts_since_exchange = int(data["inserts_since_exchange"])
-        keys = np.asarray(data["filter_keys"], dtype=np.int64)
-        values = np.asarray(data["filter_values"], dtype=np.float64)
-        sketch._filter = dict(zip(keys.tolist(), values.tolist()))
-        return sketch
-    kwargs = dict(seed=seed, family=family, dtype=table.dtype)
-    if kind == "count-min":
-        cap = float(data["cap"])
-        kwargs["conservative"] = bool(data["conservative"])
-        kwargs["cap"] = None if np.isnan(cap) else cap
-    sketch = _KIND_TO_CLS[kind](num_tables, num_buckets, **kwargs)
+    sketch = CountSketch(
+        int(data["num_tables"]),
+        int(data["num_buckets"]),
+        seed=int(data["seed"]),
+        family=str(data["family"]),
+        dtype=table.dtype,
+    )
     sketch.table[:] = table
     return sketch
+
+
+def _count_min_to_arrays(sketch: CountMinSketch) -> dict:
+    out = _table_arrays(sketch)
+    out["conservative"] = np.asarray(sketch.conservative)
+    out["cap"] = np.asarray(
+        np.nan if sketch.cap is None else sketch.cap, dtype=np.float64
+    )
+    return out
+
+
+def _count_min_from_arrays(data) -> CountMinSketch:
+    table = np.asarray(data["table"])
+    cap = float(data["cap"])
+    sketch = CountMinSketch(
+        int(data["num_tables"]),
+        int(data["num_buckets"]),
+        seed=int(data["seed"]),
+        family=str(data["family"]),
+        conservative=bool(data["conservative"]),
+        cap=None if np.isnan(cap) else cap,
+        dtype=table.dtype,
+    )
+    sketch.table[:] = table
+    return sketch
+
+
+def _augmented_to_arrays(sketch: AugmentedSketch) -> dict:
+    backing = sketch.sketch
+    filt = sketch._filter
+    out = _table_arrays(backing)
+    out.update(
+        {
+            "filter_capacity": np.asarray(sketch.filter_capacity),
+            "exchange_every": np.asarray(sketch.exchange_every),
+            "two_sided": np.asarray(sketch.two_sided),
+            "inserts_since_exchange": np.asarray(sketch._inserts_since_exchange),
+            "filter_keys": np.fromiter(
+                filt.keys(), dtype=np.int64, count=len(filt)
+            ),
+            "filter_values": np.fromiter(
+                filt.values(), dtype=np.float64, count=len(filt)
+            ),
+        }
+    )
+    return out
+
+
+def _augmented_from_arrays(data) -> AugmentedSketch:
+    sketch = AugmentedSketch(
+        int(data["num_tables"]),
+        int(data["num_buckets"]),
+        filter_capacity=int(data["filter_capacity"]),
+        seed=int(data["seed"]),
+        family=str(data["family"]),
+        exchange_every=int(data["exchange_every"]),
+        two_sided=bool(data["two_sided"]),
+    )
+    sketch.sketch.table[:] = np.asarray(data["table"])
+    sketch._inserts_since_exchange = int(data["inserts_since_exchange"])
+    keys = np.asarray(data["filter_keys"], dtype=np.int64)
+    values = np.asarray(data["filter_values"], dtype=np.float64)
+    sketch._filter = dict(zip(keys.tolist(), values.tolist()))
+    return sketch
+
+
+def _decayed_to_arrays(sketch: DecayedSketch) -> dict:
+    out = {
+        "gamma": np.asarray(sketch.gamma, dtype=np.float64),
+        "ticks": np.asarray(sketch.ticks),
+        "scale": np.asarray(sketch._scale, dtype=np.float64),
+        "flush_below": np.asarray(sketch.flush_below, dtype=np.float64),
+    }
+    for name, array in sketch_to_arrays(sketch.sketch).items():
+        out[_INNER_PREFIX + name] = array
+    return out
+
+
+def _decayed_from_arrays(data) -> DecayedSketch:
+    inner_state = {
+        name[len(_INNER_PREFIX) :]: data[name]
+        for name in data
+        if name.startswith(_INNER_PREFIX)
+    }
+    wrapped = DecayedSketch(
+        sketch_from_arrays(inner_state),
+        float(data["gamma"]),
+        flush_below=float(data["flush_below"]),
+    )
+    wrapped.ticks = int(data["ticks"])
+    wrapped._scale = float(data["scale"])
+    return wrapped
+
+
+register_kind(
+    "count-sketch",
+    cls=CountSketch,
+    to_arrays=_count_sketch_to_arrays,
+    from_arrays=_count_sketch_from_arrays,
+)
+register_kind(
+    "count-min",
+    cls=CountMinSketch,
+    to_arrays=_count_min_to_arrays,
+    from_arrays=_count_min_from_arrays,
+)
+register_kind(
+    "augmented",
+    cls=AugmentedSketch,
+    to_arrays=_augmented_to_arrays,
+    from_arrays=_augmented_from_arrays,
+)
+register_kind(
+    "decayed",
+    cls=DecayedSketch,
+    to_arrays=_decayed_to_arrays,
+    from_arrays=_decayed_from_arrays,
+)
+
+
+#: The *built-in* serialisable sketch kinds, frozen at import time.  Kinds
+#: added later through :func:`register_kind` are fully supported by
+#: save/load but do not appear here — call :func:`supported_kinds` for the
+#: live registry view (error messages always enumerate the live registry).
+SUPPORTED_KINDS = _supported_kinds()
+
+
+def supported_kinds() -> tuple[str, ...]:
+    """The currently registered kind names, including late registrations."""
+    return _supported_kinds()
 
 
 def save_sketch(sketch, path) -> None:
@@ -162,9 +300,8 @@ def save_sketch(sketch, path) -> None:
     Parameters
     ----------
     sketch:
-        A :class:`CountSketch`, :class:`CountMinSketch` or
-        :class:`AugmentedSketch`; anything else raises ``TypeError`` naming
-        the supported kinds.
+        Any sketch of a registered kind (:data:`SUPPORTED_KINDS`); anything
+        else raises ``TypeError`` naming the supported kinds.
     path:
         Target file path (numpy appends ``.npz`` if missing).
     """

@@ -1,0 +1,360 @@
+"""Sliding-window covariance estimation as a ring of mergeable panes.
+
+A sliding window over a count-sketched stream does not need per-sample
+eviction: count sketches are linear, so a window is just a **sum of panes**
+— contiguous, batch-aligned sub-streams sketched independently.  The ring
+keeps the newest ``num_panes`` panes (one open, the rest closed/immutable);
+ingestion only ever touches the open pane's ordinary hot path, rotation
+closes the open pane into a :class:`repro.distributed.ShardResult`, and the
+window estimator is materialised with **one merge pass** over the retained
+panes using exactly the merge laws of PR 2
+(:func:`repro.distributed.merge_shard_results`): exact counter and moment
+summation, tracker-pool union re-queried against the merged sketch, ASCS
+schedule position re-derived from the window's sample count.
+
+Because pane boundaries sit on the pipeline's batch grid, the materialised
+window is **bit-identical** to a one-shot
+:meth:`~repro.covariance.CovarianceSketcher.fit_sparse` over the same
+window's batches whenever the partial counter sums are exactly
+representable (integer-valued streams; and equal up to float-addition
+regrouping otherwise) — the invariant ``tests/test_pane_ring.py`` pins.
+
+Panes persist individually as ``.npz`` files (via
+:func:`repro.distributed.save_shard_result`, which serialises the sketch
+state through the same kind registry as serving snapshots), so a ring can
+checkpoint and resume, or panes can be produced by remote workers and
+assembled into windows by a reducer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from itertools import islice
+from pathlib import Path
+
+import numpy as np
+
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.distributed.reduce import merge_shard_results
+from repro.distributed.shard import (
+    ShardResult,
+    ShardSpec,
+    extract_shard_result,
+    load_shard_result,
+    save_shard_result,
+)
+
+__all__ = ["PaneRing"]
+
+_MANIFEST = "ring.npz"
+
+
+def _restore_sketcher(result: ShardResult) -> CovarianceSketcher:
+    """Rebuild a live (writable) pipeline from a persisted pane state.
+
+    The inverse of :func:`repro.distributed.extract_shard_result`: counters,
+    moment accumulators, sampler statistics and the tracker pool are all
+    restored, so further ingestion behaves exactly as if the pane had never
+    been persisted (the tracker restore relies on
+    ``TopKTracker.snapshot``'s replay guarantee).
+    """
+    sketcher = result.spec.build_sketcher()
+    estimator = sketcher.estimator
+    estimator.sketch.table[:] = result.table
+    estimator.samples_seen = int(result.samples_seen)
+    estimator.updates_examined = int(result.updates_examined)
+    estimator.updates_accepted = int(result.updates_accepted)
+    if estimator.tracker is not None and result.tracker_keys.size:
+        estimator.tracker.offer(result.tracker_keys, result.tracker_estimates)
+    moments = sketcher.sparse_moments
+    moments._sum[:] = result.moments_sum
+    moments._sumsq[:] = result.moments_sumsq
+    moments.count = int(result.moments_count)
+    sketcher.samples_seen = int(result.samples_seen)
+    return sketcher
+
+
+class PaneRing:
+    """Bounded ring of mergeable panes — the sliding-window write side.
+
+    Parameters
+    ----------
+    spec:
+        The shared :class:`repro.distributed.ShardSpec` every pane is built
+        from (same seed/shape — the mergeability requirement).  ``cs`` and
+        ``ascs`` methods are supported, like any sharded run.
+    num_panes:
+        Window size in panes.  The ring retains the open pane plus the
+        ``num_panes - 1`` most recent closed panes; older panes age out of
+        the window (the retention policy).
+    pane_samples:
+        Samples per pane.  Must be a positive multiple of
+        ``spec.batch_size`` so pane boundaries sit on the pipeline's batch
+        grid — the precondition for the bit-identity law above.
+
+    Notes
+    -----
+    ``ingest`` rotates **lazily**: a full open pane is closed only when the
+    next sample actually arrives, so after ingesting exactly
+    ``num_panes * pane_samples`` samples the window spans all of them.
+    Each ``ingest`` call flushes a trailing partial batch (the
+    ``fit_sparse`` contract), so feed multiples of ``spec.batch_size`` per
+    call when exact batch-grid equivalence with a one-shot fit matters.
+
+    The ring itself quacks like the write side of a
+    :class:`~repro.covariance.CovarianceSketcher` (``dim`` / ``mode`` /
+    ``samples_seen`` / ``fit_sparse`` / ``estimator``), so it can be handed
+    directly to :class:`repro.serving.ServingEstimator` — the windowed
+    serving mode.
+    """
+
+    def __init__(self, spec: ShardSpec, *, num_panes: int, pane_samples: int):
+        if num_panes < 1:
+            raise ValueError(f"num_panes must be >= 1, got {num_panes}")
+        if pane_samples < 1 or pane_samples % spec.batch_size != 0:
+            raise ValueError(
+                "pane_samples must be a positive multiple of spec.batch_size "
+                f"({spec.batch_size}), got {pane_samples}"
+            )
+        self.spec = spec
+        self.num_panes = int(num_panes)
+        self.pane_samples = int(pane_samples)
+        self._closed: deque[ShardResult] = deque(maxlen=self.num_panes - 1)
+        self._open = spec.build_sketcher()
+        self._open_start = 0
+        self._pane_seq = 0
+        self.samples_seen = 0
+        self.rotations = 0
+        self.last_rotate_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.spec.dim
+
+    @property
+    def mode(self) -> str:
+        return self.spec.mode
+
+    def ingest(self, samples) -> int:
+        """Stream sparse ``(indices, values)`` samples through the ring.
+
+        Fills the open pane through the ordinary fused ingest path,
+        rotating at pane boundaries.  Returns the number of samples
+        ingested.
+        """
+        it = iter(samples)
+        total = 0
+        while True:
+            room = self.pane_samples - self._open.samples_seen
+            if room <= 0:
+                # Open pane full: rotate lazily, only if more data arrives.
+                try:
+                    first = next(it)
+                except StopIteration:
+                    break
+                self.rotate()
+                chunk = [first]
+                chunk.extend(islice(it, self.pane_samples - 1))
+            else:
+                chunk = list(islice(it, room))
+            if not chunk:
+                break
+            self._open.fit_sparse(iter(chunk))
+            total += len(chunk)
+            self.samples_seen += len(chunk)
+        return total
+
+    # Alias so the ring can stand in for a CovarianceSketcher write side
+    # (ServingEstimator.ingest_sparse calls fit_sparse).
+    def fit_sparse(self, samples) -> "PaneRing":
+        self.ingest(samples)
+        return self
+
+    def fit_dense(self, batch) -> "PaneRing":
+        raise NotImplementedError(
+            "PaneRing windows are sparse-only (panes are ShardResults); "
+            "convert dense rows to sparse samples upstream"
+        )
+
+    def rotate(self) -> ShardResult | None:
+        """Close the open pane into an immutable :class:`ShardResult`.
+
+        The closed pane joins the ring (evicting the oldest retained pane
+        once ``num_panes - 1`` are held) and a fresh open pane starts at
+        the next stream offset.  Rotating an empty open pane is a no-op —
+        an empty pane would silently evict a real one from the window.
+        """
+        if self._open.samples_seen == 0:
+            return None
+        started = time.perf_counter()
+        result = extract_shard_result(
+            self._open,
+            self.spec,
+            shard_index=self._pane_seq,
+            num_shards=self.num_panes,
+            start=self._open_start,
+        )
+        self._closed.append(result)
+        self._pane_seq += 1
+        self._open_start += result.num_samples
+        self._open = self.spec.build_sketcher()
+        self.rotations += 1
+        self.last_rotate_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Window materialisation (the read side)
+    # ------------------------------------------------------------------
+    def panes(self) -> list[ShardResult]:
+        """The retained panes, oldest first, including the open pane's
+        current state (extracted on the fly when non-empty)."""
+        out = list(self._closed)
+        if self._open.samples_seen:
+            out.append(
+                extract_shard_result(
+                    self._open,
+                    self.spec,
+                    shard_index=self._pane_seq,
+                    num_shards=self.num_panes,
+                    start=self._open_start,
+                )
+            )
+        return out
+
+    def window(self) -> CovarianceSketcher:
+        """Materialise the window estimator with one merge pass.
+
+        Runs :func:`repro.distributed.merge_shard_results` over the
+        retained panes — all of PR 2's merge laws apply — and returns a
+        queryable pipeline covering exactly the window's samples.  An
+        empty ring yields a fresh zero-state pipeline.
+        """
+        panes = self.panes()
+        if not panes:
+            return self.spec.build_sketcher()
+        return merge_shard_results(panes)
+
+    @property
+    def estimator(self):
+        """The materialised window estimator (for snapshot builders)."""
+        return self.window().estimator
+
+    def export_snapshot_state(self, lock=None) -> dict:
+        """Snapshot-export hook honouring the serving lock contract.
+
+        :meth:`repro.serving.SketchSnapshot.from_sketcher` calls this when
+        present: the per-pane state extraction (counter copies) happens
+        under ``lock``, but the expensive merge pass runs on the immutable
+        extracted panes **after** release — so a concurrent ingester is
+        blocked for a copy, not for the window materialisation.
+        """
+        if lock is not None:
+            with lock:
+                panes = self.panes()
+        else:
+            panes = self.panes()
+        if panes:
+            merged = merge_shard_results(panes).estimator
+        else:
+            merged = self.spec.build_sketcher().estimator
+        return merged.export_snapshot_state()
+
+    @property
+    def window_span(self) -> int:
+        """Samples currently inside the window."""
+        return (
+            sum(p.num_samples for p in self._closed) + self._open.samples_seen
+        )
+
+    @property
+    def window_start(self) -> int:
+        """Global stream offset of the oldest sample in the window."""
+        if self._closed:
+            return self._closed[0].start
+        return self._open_start
+
+    # ------------------------------------------------------------------
+    # Persistence (.npz panes + manifest, through the kind registry)
+    # ------------------------------------------------------------------
+    def save(self, directory) -> list[Path]:
+        """Persist the ring: one ``pane-<seq>.npz`` per pane + ``ring.npz``.
+
+        The open pane is always written (even empty) so the manifest can
+        rebuild a live pipeline; stale pane files from earlier saves are
+        pruned.  Returns the written pane paths, oldest first.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        panes = list(self._closed)
+        panes.append(
+            extract_shard_result(
+                self._open,
+                self.spec,
+                shard_index=self._pane_seq,
+                num_shards=self.num_panes,
+                start=self._open_start,
+            )
+        )
+        paths = []
+        for pane in panes:
+            path = directory / f"pane-{pane.shard_index:08d}.npz"
+            save_shard_result(pane, path)
+            paths.append(path)
+        np.savez(
+            directory / _MANIFEST,
+            num_panes=np.asarray(self.num_panes),
+            pane_samples=np.asarray(self.pane_samples),
+            open_seq=np.asarray(self._pane_seq),
+            closed_seqs=np.asarray(
+                [p.shard_index for p in self._closed], dtype=np.int64
+            ),
+            samples_seen=np.asarray(self.samples_seen),
+            rotations=np.asarray(self.rotations),
+        )
+        keep = {path.name for path in paths} | {_MANIFEST}
+        for stale in directory.glob("pane-*.npz"):
+            if stale.name not in keep:
+                stale.unlink()
+        return paths
+
+    @classmethod
+    def load(cls, directory) -> "PaneRing":
+        """Restore a ring persisted by :meth:`save`.
+
+        Closed panes load as immutable results; the open pane is restored
+        to a live pipeline (counters, moments, sampler stats, tracker), so
+        ingestion continues where it left off.
+        """
+        directory = Path(directory)
+        with np.load(directory / _MANIFEST, allow_pickle=False) as manifest:
+            num_panes = int(manifest["num_panes"])
+            pane_samples = int(manifest["pane_samples"])
+            open_seq = int(manifest["open_seq"])
+            closed_seqs = manifest["closed_seqs"].astype(np.int64).tolist()
+            samples_seen = int(manifest["samples_seen"])
+            rotations = int(manifest["rotations"])
+        open_result = load_shard_result(directory / f"pane-{open_seq:08d}.npz")
+        ring = cls(
+            open_result.spec, num_panes=num_panes, pane_samples=pane_samples
+        )
+        for seq in closed_seqs:
+            ring._closed.append(
+                load_shard_result(directory / f"pane-{seq:08d}.npz")
+            )
+        ring._open = _restore_sketcher(open_result)
+        ring._open_start = open_result.start
+        ring._pane_seq = open_seq
+        ring.samples_seen = samples_seen
+        ring.rotations = rotations
+        return ring
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PaneRing(panes={len(self._closed)}+open, "
+            f"pane_samples={self.pane_samples}, span={self.window_span}, "
+            f"seen={self.samples_seen})"
+        )

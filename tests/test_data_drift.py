@@ -1,0 +1,125 @@
+"""Drift stream generators: determinism, timetables, ground-truth mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.drift import (
+    AbruptShiftStream,
+    GradualRotationStream,
+    PeriodicChurnStream,
+)
+from repro.hashing.pairs import index_to_pair, num_pairs
+
+
+DIM, N = 60, 512
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: AbruptShiftStream(DIM, N, alpha=0.02, seed=21),
+            lambda: GradualRotationStream(DIM, N, alpha=0.02, seed=21),
+            lambda: PeriodicChurnStream(
+                DIM, N, period=64, num_phases=3, alpha=0.02, seed=21
+            ),
+        ],
+        ids=["abrupt", "gradual", "periodic"],
+    )
+    def test_same_seed_same_stream(self, factory):
+        a, b = factory(), factory()
+        np.testing.assert_array_equal(a.generate(), b.generate())
+        np.testing.assert_array_equal(a.phases(), b.phases())
+        for phase in range(a.num_phases):
+            np.testing.assert_array_equal(
+                a.signal_pairs(phase), b.signal_pairs(phase)
+            )
+
+    def test_different_seed_different_stream(self):
+        a = AbruptShiftStream(DIM, N, seed=1)
+        b = AbruptShiftStream(DIM, N, seed=2)
+        assert not np.array_equal(a.generate(), b.generate())
+
+
+class TestTimetables:
+    def test_abrupt_switch(self):
+        stream = AbruptShiftStream(DIM, N, switch_at=100, seed=0)
+        phases = stream.phases()
+        assert (phases[:100] == 0).all()
+        assert (phases[100:] == 1).all()
+        assert stream.phase_of(99) == 0 and stream.phase_of(100) == 1
+        with pytest.raises(ValueError, match="switch_at"):
+            AbruptShiftStream(DIM, N, switch_at=N + 1)
+
+    def test_gradual_ramp_is_monotone_in_aggregate(self):
+        stream = GradualRotationStream(
+            DIM, 4000, start=1000, stop=3000, seed=3
+        )
+        phases = stream.phases()
+        assert (phases[:1000] == 0).all()
+        assert (phases[3000:] == 1).all()
+        transition = phases[1000:3000]
+        # The linear ramp must show up in aggregate: each third of the
+        # transition contains more phase-1 samples than the previous.
+        thirds = [transition[i * 666 : (i + 1) * 666].mean() for i in range(3)]
+        assert thirds[0] < thirds[1] < thirds[2]
+
+    def test_periodic_cycle(self):
+        stream = PeriodicChurnStream(
+            DIM, N, period=32, num_phases=4, seed=0
+        )
+        phases = stream.phases()
+        assert (phases[:32] == 0).all()
+        assert (phases[32:64] == 1).all()
+        assert (phases[128:160] == 0).all()  # wrapped around
+        with pytest.raises(ValueError, match="period"):
+            PeriodicChurnStream(DIM, N, period=0)
+
+
+class TestGroundTruth:
+    def test_phases_relocate_but_preserve_signal_count(self):
+        stream = AbruptShiftStream(DIM, N, alpha=0.02, seed=7)
+        before = stream.signal_pairs(0)
+        after = stream.signal_pairs(1)
+        assert before.size == after.size == stream.num_signal_pairs
+        assert not np.array_equal(before, after)
+        # Valid flat keys with i < j after the permutation.
+        for keys in (before, after):
+            assert keys.min() >= 0 and keys.max() < num_pairs(DIM)
+            i, j = index_to_pair(keys, DIM)
+            assert (i < j).all()
+        assert stream.signal_pairs(0).size == np.unique(before).size
+
+    def test_signal_pairs_at_follows_the_timetable(self):
+        stream = AbruptShiftStream(DIM, N, switch_at=N // 2, seed=7)
+        np.testing.assert_array_equal(
+            stream.signal_pairs_at(0), stream.signal_pairs(0)
+        )
+        np.testing.assert_array_equal(
+            stream.signal_pairs_at(N - 1), stream.signal_pairs(1)
+        )
+        with pytest.raises(ValueError, match="phase"):
+            stream.signal_pairs(2)
+
+    def test_phase_zero_matches_base_model_empirically(self):
+        """Phase-0 samples must realise the base model's correlations."""
+        stream = AbruptShiftStream(DIM, 4000, switch_at=4000, seed=9)
+        data = stream.generate()
+        corr = np.corrcoef(data, rowvar=False)
+        truth = stream.model.true_correlation()
+        strong = truth > 0.4
+        np.fill_diagonal(strong, False)
+        # Signal cells correlate strongly, noise cells do not.
+        assert corr[strong].mean() > 0.3
+        noise = ~strong
+        np.fill_diagonal(noise, False)
+        assert abs(corr[noise].mean()) < 0.05
+
+    def test_post_shift_samples_realise_permuted_signals(self):
+        stream = AbruptShiftStream(DIM, 4000, switch_at=0, seed=9)
+        data = stream.generate()  # entirely phase 1
+        corr = np.corrcoef(data, rowvar=False)
+        i, j = index_to_pair(stream.signal_pairs(1), DIM)
+        assert corr[i, j].mean() > 0.3

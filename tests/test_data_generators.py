@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.covariance.ground_truth import flat_true_correlations, pair_correlations
 from repro.data.dna import DNAKmerStream

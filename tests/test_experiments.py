@@ -1,6 +1,5 @@
 """Tests for the experiment modules — tiny configs, structural assertions."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

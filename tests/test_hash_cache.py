@@ -63,7 +63,6 @@ class TestPipelineIntegration:
         assert est_cached.sketch._cached_keys is not None
 
         est_plain = SketchEstimator(CountSketch(3, 2048, seed=4), n)
-        sk2 = CovarianceSketcher(d, est_plain, mode="covariance", batch_size=32)
         # bypass caching by exceeding nothing — force distinct key arrays
         p = d * (d - 1) // 2
         for start in range(0, n, 32):

@@ -1,6 +1,5 @@
 """Tests for the experiments CLI (repro.experiments.runner)."""
 
-import pytest
 
 from repro.experiments import sweep_sketch_size
 from repro.experiments.runner import EXPERIMENTS, main, run_experiment

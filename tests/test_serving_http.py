@@ -15,7 +15,6 @@ from repro.serving import (
     QueryEngine,
     ServingClient,
     ServingEstimator,
-    SketchSnapshot,
     serve_in_background,
 )
 from repro.sketch.count_sketch import CountSketch
