@@ -38,6 +38,7 @@ _SUITE_MODULES = (
     "bench_sharded",
     "bench_serving",
     "bench_streaming",
+    "bench_memory",
 )
 
 for _module in _SUITE_MODULES:

@@ -173,23 +173,33 @@ def build_estimator(
     observer=None,
     filter_capacity: int | None = None,
     cold_threshold: float | None = None,
+    storage: str = "float64",
+    quantum: float | None = None,
 ) -> SketchEstimator:
-    """Construct any of the four comparable estimators at a common budget."""
+    """Construct any of the four comparable estimators at a common budget.
+
+    ``storage``/``quantum`` select the counter tier of the backing sketch
+    (:mod:`repro.sketch.storage`): ``"int16"``/``"int32"`` fixed-point
+    tables hold the same ``(K, R)`` shape at 2/4 bytes per counter and
+    widen exactly on saturation.  All four methods accept it (the Cold
+    Filter gate stays float — only its main sketch is quantized).
+    """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}, got {method!r}")
     common = dict(
         track_top=track_top, two_sided=two_sided, observer=observer
     )
+    tier = dict(dtype=storage, quantum=quantum)
     if method == "ascs":
         if plan is None:
             raise ValueError("method='ascs' requires a plan (run Algorithm 3 first)")
-        sketch = CountSketch(num_tables, num_buckets, seed=seed)
+        sketch = CountSketch(num_tables, num_buckets, seed=seed, **tier)
         schedule = ThresholdSchedule.from_plan(plan, total_samples)
         return ActiveSamplingCountSketch(
             sketch, total_samples, schedule, name="ASCS", **common
         )
     if method == "cs":
-        sketch = CountSketch(num_tables, num_buckets, seed=seed)
+        sketch = CountSketch(num_tables, num_buckets, seed=seed, **tier)
         return SketchEstimator(sketch, total_samples, name="CS", **common)
     if method == "asketch":
         capacity = filter_capacity or max(32, num_buckets // 64)
@@ -201,6 +211,7 @@ def build_estimator(
             filter_capacity=capacity,
             seed=seed,
             two_sided=two_sided,
+            **tier,
         )
         return SketchEstimator(sketch, total_samples, name="ASketch", **common)
     # coldfilter
@@ -216,6 +227,7 @@ def build_estimator(
         filter_tables=gate_tables,
         threshold=threshold,
         seed=seed,
+        **tier,
     )
     return SketchEstimator(sketch, total_samples, name="ColdFilter", **common)
 
@@ -279,6 +291,8 @@ def sketch_correlations(
     sigma: float | None = None,
     two_sided: bool = False,
     decay: float | None = None,
+    storage: str = "float64",
+    quantum: float | None = None,
     seed: int = 0,
 ) -> SketchResult:
     """One-pass sparse correlation estimation with a memory budget.
@@ -307,6 +321,12 @@ def sketch_correlations(
         :mod:`repro.streaming`.  Supported for ``method="cs"`` only: the
         ASCS threshold schedule and the filter baselines are calibrated
         against undecayed mass.
+    storage, quantum:
+        Counter tier of the backing sketch (:mod:`repro.sketch.storage`).
+        ``storage="int16"`` stores fixed-point counters at 2 bytes each —
+        4x the buckets of float64 at the same byte budget — widening
+        exactly on saturation; :func:`repro.sketch.planner.plan` picks
+        these (plus ``K``/``R``) from a byte budget directly.
 
     Returns
     -------
@@ -336,6 +356,8 @@ def sketch_correlations(
             batch_size=batch_size,
             track_top=max(4 * top_k, 64),
             two_sided=two_sided,
+            storage=storage,
+            quantum=quantum,
         )
         sketcher.fit_dense(dense)
         i, j, estimates = sketcher.top_pairs(top_k)
@@ -386,6 +408,8 @@ def sketch_correlations(
         seed=seed,
         two_sided=two_sided,
         track_top=max(4 * top_k, 64),
+        storage=storage,
+        quantum=quantum,
     )
     sketcher = CovarianceSketcher(
         d, estimator, mode=mode, centering="none", batch_size=batch_size

@@ -169,6 +169,8 @@ def fit_sparse_sharded(
     std_floor: float = 1e-6,
     track_top: int = 0,
     two_sided: bool = False,
+    storage: str = "float64",
+    quantum: float | None = None,
     schedule: ThresholdSchedule | tuple | None = None,
     n_workers: int = 1,
     backend: str = "serial",
@@ -192,6 +194,11 @@ def fit_sparse_sharded(
     method:
         ``"cs"`` or ``"ascs"`` — the mergeable estimators.  ``"ascs"``
         requires ``schedule``.
+    storage, quantum:
+        Counter tier of every shard's sketch (:mod:`repro.sketch.storage`)
+        — part of the shared spec, so all shards store counters in the
+        same unit and the reducer's summation stays exact (quantized
+        shards widen on merge instead of wrapping).
     schedule:
         A :class:`repro.core.ThresholdSchedule` or its
         ``(exploration_length, tau0, theta, total_samples)`` tuple.
@@ -238,6 +245,8 @@ def fit_sparse_sharded(
         std_floor=std_floor,
         track_top=track_top,
         two_sided=two_sided,
+        storage=storage,
+        quantum=quantum,
         schedule=schedule,
     )
     partition = partition_batches(n, batch_size, n_workers)

@@ -89,7 +89,10 @@ def merge_shard_results(shards: Sequence[ShardResult]) -> CovarianceSketcher:
     if any(s.table.shape != sketch.table.shape for s in shards):
         raise ValueError("shard table shape does not match the spec's sketch")
     for shard in shards:
-        sketch.table += shard.table
+        # Storage-aware summation: float tables add in place exactly as
+        # before; quantized tables widen (exactly) instead of letting a
+        # narrow integer add wrap silently.
+        sketch.add_table(shard.table)
 
     estimator.samples_seen = int(sum(s.samples_seen for s in shards))
     estimator.updates_examined = int(sum(s.updates_examined for s in shards))

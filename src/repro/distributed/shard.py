@@ -73,6 +73,12 @@ class ShardSpec:
         ``method="ascs"``; ``None`` for ``"cs"``.
     num_tables, num_buckets, seed, family:
         Backing :class:`repro.sketch.CountSketch` parameters.
+    storage, quantum:
+        Counter storage of the backing sketch (see
+        :mod:`repro.sketch.storage`): ``"float64"`` (default),
+        ``"float32"``, or quantized ``"int16"``/``"int32"`` with a
+        fixed-point ``quantum``.  Part of the merge fingerprint — every
+        shard must store counters in the same unit.
     mode, batch_size, std_floor:
         :class:`repro.covariance.CovarianceSketcher` parameters.
     track_top, two_sided:
@@ -86,6 +92,8 @@ class ShardSpec:
     num_buckets: int = 4096
     seed: int = 0
     family: str = "multiply-shift"
+    storage: str = "float64"
+    quantum: float | None = None
     mode: str = "covariance"
     batch_size: int = 32
     std_floor: float = 1e-6
@@ -94,6 +102,8 @@ class ShardSpec:
     schedule: tuple[int, float, float, int] | None = None
 
     def __post_init__(self):
+        if self.quantum is not None:
+            object.__setattr__(self, "quantum", float(self.quantum))
         if self.method not in MERGEABLE_METHODS:
             raise ValueError(
                 f"sharded ingestion supports methods {MERGEABLE_METHODS}; "
@@ -126,7 +136,12 @@ class ShardSpec:
     def build_estimator(self) -> SketchEstimator:
         """A fresh zero-state estimator following this spec."""
         sketch = CountSketch(
-            self.num_tables, self.num_buckets, seed=self.seed, family=self.family
+            self.num_tables,
+            self.num_buckets,
+            seed=self.seed,
+            family=self.family,
+            dtype=self.storage,
+            quantum=self.quantum,
         )
         common = dict(track_top=self.track_top, two_sided=self.two_sided)
         if self.method == "ascs":
@@ -262,7 +277,7 @@ def sketch_shard(
 # ----------------------------------------------------------------------
 # Serialisation (.npz, no pickling — mirrors repro.sketch.serialization)
 # ----------------------------------------------------------------------
-_SPEC_STR_FIELDS = ("method", "family", "mode")
+_SPEC_STR_FIELDS = ("method", "family", "storage", "mode")
 
 
 def save_shard_result(result: ShardResult, path) -> None:
@@ -278,6 +293,12 @@ def save_shard_result(result: ShardResult, path) -> None:
         if f.name == "schedule":
             payload["spec_schedule"] = (
                 np.full(4, np.nan) if value is None else np.asarray(value, dtype=np.float64)
+            )
+        elif f.name == "quantum":
+            # None encodes as NaN (like the optional schedule): np.asarray
+            # on None would produce an object array savez cannot store.
+            payload["spec_quantum"] = np.asarray(
+                np.nan if value is None else value, dtype=np.float64
             )
         else:
             payload[f"spec_{f.name}"] = np.asarray(value)
@@ -318,9 +339,17 @@ def load_shard_result(path) -> ShardResult:
         for f in fields(ShardSpec):
             if f.name == "schedule":
                 continue
-            raw = data[f"spec_{f.name}"]
+            member = f"spec_{f.name}"
+            if member not in data:
+                # Pre-memory-tier file (no storage/quantum members): the
+                # field keeps its dataclass default — float64, unquantized.
+                continue
+            raw = data[member]
             if f.name in _SPEC_STR_FIELDS:
                 spec_kwargs[f.name] = str(raw)
+            elif f.name == "quantum":
+                value = float(raw)
+                spec_kwargs[f.name] = None if np.isnan(value) else value
             elif f.name in ("std_floor",):
                 spec_kwargs[f.name] = float(raw)
             elif f.name == "two_sided":

@@ -35,7 +35,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.hashing.pairs import index_to_pair, num_pairs, pair_to_index
-from repro.sketch.serialization import sketch_from_arrays, sketch_to_arrays
+from repro.sketch.serialization import (
+    mmap_npz_array,
+    sketch_from_arrays,
+    sketch_to_arrays,
+)
 from repro.sketch.topk import scan_top_keys
 
 __all__ = ["SketchSnapshot", "CheckpointManager"]
@@ -361,7 +365,7 @@ class SketchSnapshot:
     # ------------------------------------------------------------------
     # Persistence (atomic .npz)
     # ------------------------------------------------------------------
-    def save(self, path) -> Path:
+    def save(self, path, *, compress: bool = False) -> Path:
         """Atomically persist to ``path`` (single ``.npz`` file).
 
         The payload is written to a temporary file in the target directory
@@ -369,6 +373,11 @@ class SketchSnapshot:
         sees either the old complete file or the new complete file — never
         a torn write.  The backing sketch must be a serialisable kind
         (see :mod:`repro.sketch.serialization`).
+
+        Members are *stored* (uncompressed) by default so :meth:`load`
+        can map the counter table zero-copy (``mmap=True``); counter
+        tables are high-entropy floats, so deflate buys little anyway.
+        Pass ``compress=True`` to trade mmap-ability for size.
         """
         path = Path(path)
         payload = {
@@ -390,7 +399,7 @@ class SketchSnapshot:
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                np.savez_compressed(handle, **payload)
+                (np.savez_compressed if compress else np.savez)(handle, **payload)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -399,7 +408,7 @@ class SketchSnapshot:
         return path
 
     @classmethod
-    def load(cls, path) -> "SketchSnapshot":
+    def load(cls, path, *, mmap: bool = False) -> "SketchSnapshot":
         """Restore a snapshot written by :meth:`save`.
 
         The sketch is rebuilt (same hashes, exact counters) and re-frozen;
@@ -407,14 +416,27 @@ class SketchSnapshot:
         every query answers exactly as the original snapshot did.  The
         loaded snapshot gets a fresh ``snapshot_id`` (identity is
         per-process).
+
+        With ``mmap=True`` the counter table — by far the bulk of a
+        snapshot — is a read-only ``np.memmap`` of the archive member
+        instead of a materialized copy: opening costs two header reads
+        regardless of snapshot size, pages fault in on first query, and a
+        :class:`CheckpointManager` hot-swap never holds two resident
+        copies of the counters.  Requires the default uncompressed save;
+        writes through any path hit the read-only-mmap guard
+        (:func:`repro.sketch.base.reject_readonly_counters`).
         """
         with np.load(path, allow_pickle=False) as data:
-            sketch_state = {
-                name[len(_SKETCH_PREFIX) :]: data[name]
-                for name in data.files
-                if name.startswith(_SKETCH_PREFIX)
-            }
-            sketch = sketch_from_arrays(sketch_state)
+            sketch_state = {}
+            for name in data.files:
+                if not name.startswith(_SKETCH_PREFIX):
+                    continue
+                key = name[len(_SKETCH_PREFIX) :]
+                if mmap and (key == "table" or key.endswith("_table")):
+                    sketch_state[key] = mmap_npz_array(path, name)
+                else:
+                    sketch_state[key] = data[name]
+            sketch = sketch_from_arrays(sketch_state, copy=not mmap)
             if hasattr(sketch, "freeze"):
                 sketch.freeze()
             return cls._assemble(
@@ -444,6 +466,7 @@ class SketchSnapshot:
             "index_size": int(self.index_size),
             "index_exact": self.index_exact,
             "memory_floats": int(self.sketch.memory_floats),
+            "memory_bytes": int(self.sketch.memory_bytes),
         }
 
 
@@ -549,7 +572,13 @@ class CheckpointManager:
             old.unlink(missing_ok=True)
         return path
 
-    def load_latest(self) -> SketchSnapshot | None:
-        """Load the newest checkpoint, or ``None`` when the history is empty."""
+    def load_latest(self, *, mmap: bool = False) -> SketchSnapshot | None:
+        """Load the newest checkpoint, or ``None`` when the history is empty.
+
+        ``mmap=True`` maps the counter table zero-copy (see
+        :meth:`SketchSnapshot.load`) — the hot-swap path a serving process
+        uses to roll to a new multi-GB checkpoint without ever holding two
+        resident copies.
+        """
         latest = self.latest()
-        return None if latest is None else SketchSnapshot.load(latest)
+        return None if latest is None else SketchSnapshot.load(latest, mmap=mmap)

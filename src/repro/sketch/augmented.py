@@ -40,6 +40,10 @@ class AugmentedSketch(ValueSketch):
         amortised cost O(1) per update.
     two_sided:
         Rank filter membership by ``|value|`` instead of signed value.
+    dtype, quantum:
+        Counter storage of the backing :class:`CountSketch` (see
+        :mod:`repro.sketch.storage`); the exact filter keeps float64
+        precision regardless — it holds only ``filter_capacity`` values.
     """
 
     def __init__(
@@ -52,23 +56,39 @@ class AugmentedSketch(ValueSketch):
         family: str = "multiply-shift",
         exchange_every: int = 1,
         two_sided: bool = False,
+        dtype=np.float64,
+        quantum: float | None = None,
     ):
         if filter_capacity < 1:
             raise ValueError(f"filter_capacity must be >= 1, got {filter_capacity}")
         self.sketch = CountSketch(
-            num_tables, num_buckets, seed=seed, family=family
+            num_tables, num_buckets, seed=seed, family=family,
+            dtype=dtype, quantum=quantum,
         )
         self.filter_capacity = int(filter_capacity)
         self.exchange_every = max(1, int(exchange_every))
         self.two_sided = bool(two_sided)
         self._filter: dict[int, float] = {}
         self._inserts_since_exchange = 0
+        self._frozen = False
 
     # ------------------------------------------------------------------
     def _rank(self, values: np.ndarray) -> np.ndarray:
         return np.abs(values) if self.two_sided else values
 
+    def _guard_frozen(self) -> None:
+        # The exact filter is a plain dict, so numpy's writeable flag
+        # cannot protect it: the freeze guarantee needs an explicit gate
+        # *before* any state is touched (a filtered key's exact counter
+        # would otherwise mutate even though the sketch path raises).
+        if self._frozen:
+            raise ValueError(
+                "sketch counters are read-only (frozen serving snapshot); "
+                "inserts must target the live write-side sketch"
+            )
+
     def insert(self, keys, values) -> None:
+        self._guard_frozen()
         keys, values = validate_batch(keys, values)
         if keys.size == 0:
             return
@@ -139,9 +159,36 @@ class AugmentedSketch(ValueSketch):
         return out
 
     def reset(self) -> None:
+        self._guard_frozen()
         self.sketch.reset()
         self._filter.clear()
         self._inserts_since_exchange = 0
+
+    def freeze(self) -> "AugmentedSketch":
+        """Make the whole state read-only: backing counters *and* filter.
+
+        Queries keep working; ``insert``/``merge``/``reset`` raise before
+        touching anything, so a frozen ASketch can never be left in a
+        half-mutated state (the filter is exact, the sketch rejected).
+        """
+        self.sketch.freeze()
+        self._frozen = True
+        return self
+
+    def copy(self) -> "AugmentedSketch":
+        clone = AugmentedSketch(
+            self.sketch.num_tables,
+            self.sketch.num_buckets,
+            filter_capacity=self.filter_capacity,
+            seed=self.sketch.seed,
+            family=self.sketch.family,
+            exchange_every=self.exchange_every,
+            two_sided=self.two_sided,
+        )
+        clone.sketch = self.sketch.copy()
+        clone._filter = dict(self._filter)
+        clone._inserts_since_exchange = self._inserts_since_exchange
+        return clone
 
     def merge(self, other: "AugmentedSketch") -> "AugmentedSketch":
         """Merge another ASketch: sum the sketches, fold the exact filters.
@@ -156,6 +203,7 @@ class AugmentedSketch(ValueSketch):
         same sense ASketch itself is; compatibility mismatches raise
         ``ValueError``.
         """
+        self._guard_frozen()
         ensure_mergeable(
             self, other, ("filter_capacity", "two_sided", "exchange_every")
         )
@@ -186,6 +234,21 @@ class AugmentedSketch(ValueSketch):
                 np.asarray(spill_keys, dtype=np.int64),
                 np.asarray(spill_values, dtype=np.float64),
             )
+        # Reclaim sketched mass hiding under exact slots: the other side
+        # may have held a filtered key of ours as an ordinary *sketched*
+        # key, and queries answer filter slots verbatim — mass left in the
+        # merged sketch under such a key would simply vanish from view.
+        # Pull it into the slot (the same promotion trade _exchange makes).
+        if filt:
+            keys = np.fromiter(filt.keys(), dtype=np.int64, count=len(filt))
+            residual = self.sketch.query(keys)
+            hiding = residual != 0.0
+            if hiding.any():
+                self.sketch.insert(keys[hiding], -residual[hiding])
+                for key, est in zip(
+                    keys[hiding].tolist(), residual[hiding].tolist()
+                ):
+                    filt[key] += est
         return self
 
     @property
@@ -196,6 +259,11 @@ class AugmentedSketch(ValueSketch):
     @property
     def memory_floats(self) -> int:
         return self.sketch.memory_floats + 2 * self.filter_capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        # Filter slots stay float64: 8-byte key + 8-byte value per slot.
+        return self.sketch.memory_bytes + 16 * self.filter_capacity
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

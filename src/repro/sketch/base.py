@@ -11,7 +11,42 @@ import abc
 
 import numpy as np
 
-__all__ = ["ValueSketch", "ensure_mergeable", "validate_batch", "scatter_add_flat"]
+__all__ = [
+    "ValueSketch",
+    "ensure_mergeable",
+    "validate_batch",
+    "scatter_add_flat",
+    "reject_readonly_counters",
+]
+
+
+def reject_readonly_counters(flat: np.ndarray) -> None:
+    """Raise ``ValueError`` if ``flat`` must never be written.
+
+    Two distinct hazards funnel through here:
+
+    * an explicitly frozen table (``writeable`` flag cleared by
+      ``freeze()``) — ``ufunc.at`` ignores the flag on some numpy
+      versions, so numpy's own check cannot be relied on;
+    * a counter array backed by a read-only (``"r"``) or copy-on-write
+      (``"c"``) ``np.memmap`` — the mmap-loaded serving snapshot path.
+      Mode ``"c"`` is the insidious one: its ``writeable`` flag is True,
+      so a write would *succeed* into private COW pages and silently
+      diverge from the file every other process maps.
+    """
+    readonly = not flat.flags.writeable
+    if not readonly:
+        base = flat
+        while base is not None:
+            if isinstance(base, np.memmap) and getattr(base, "mode", None) in ("r", "c"):
+                readonly = True
+                break
+            base = getattr(base, "base", None)
+    if readonly:
+        raise ValueError(
+            "sketch counters are read-only (frozen or mmap-backed serving "
+            "snapshot); inserts must target the live write-side sketch"
+        )
 
 
 def ensure_mergeable(left, right, attrs: tuple[str, ...]) -> None:
@@ -60,16 +95,14 @@ def scatter_add_flat(
       cheapest for tiny batches where allocating a dense accumulator
       dominates.
 
-    Frozen (read-only) tables are rejected explicitly: ``ufunc.at``
-    ignores the ``writeable`` flag on some numpy versions, so relying on
-    numpy's own check would let the small-batch branch silently mutate a
-    serving snapshot.
+    Frozen tables and read-only/COW mmap views are rejected explicitly
+    (see :func:`reject_readonly_counters`): ``ufunc.at`` ignores the
+    ``writeable`` flag on some numpy versions, and a copy-on-write mmap
+    would accept the write into private pages, so relying on numpy's own
+    checks would let the small-batch branch silently mutate (or appear to
+    mutate) a serving snapshot.
     """
-    if not flat.flags.writeable:
-        raise ValueError(
-            "sketch counters are read-only (frozen serving snapshot); "
-            "inserts must target the live write-side sketch"
-        )
+    reject_readonly_counters(flat)
     if use_bincount:
         acc = np.bincount(flat_indices, weights=weights, minlength=flat.size)
         flat += acc.astype(flat.dtype, copy=False)

@@ -42,6 +42,12 @@ class ColdFilterSketch(ValueSketch):
         Hash tables of the gate (Cold Filter uses 2-3 cheap ones).
     threshold:
         Absolute-mass level at which a key graduates to the main sketch.
+    dtype, quantum:
+        Counter storage of the main :class:`CountSketch` (see
+        :mod:`repro.sketch.storage`).  The gate stays float64: its
+        conservative-update clamp is a non-linear in-place pass that
+        quantized storage cannot express (and it is already charged at a
+        quarter-float per counter in the budget accounting).
     """
 
     def __init__(
@@ -54,10 +60,15 @@ class ColdFilterSketch(ValueSketch):
         threshold: float = 1.0,
         seed: int = 0,
         family: str = "multiply-shift",
+        dtype=np.float64,
+        quantum: float | None = None,
     ):
         if threshold <= 0:
             raise ValueError(f"threshold must be positive, got {threshold}")
-        self.sketch = CountSketch(num_tables, num_buckets, seed=seed, family=family)
+        self.sketch = CountSketch(
+            num_tables, num_buckets, seed=seed, family=family,
+            dtype=dtype, quantum=quantum,
+        )
         self.threshold = float(threshold)
         gate_r = int(filter_buckets) if filter_buckets else num_buckets
         self.gate = CountMinSketch(
@@ -108,6 +119,12 @@ class ColdFilterSketch(ValueSketch):
         self.sketch.reset()
         self.gate.reset()
 
+    def freeze(self) -> "ColdFilterSketch":
+        """Freeze both layers (queries keep working, writes raise)."""
+        self.sketch.freeze()
+        self.gate.freeze()
+        return self
+
     def merge(self, other: "ColdFilterSketch") -> "ColdFilterSketch":
         """Cold Filter states cannot merge; raise a clear ``ValueError``.
 
@@ -136,6 +153,11 @@ class ColdFilterSketch(ValueSketch):
         # at a quarter of a float, rounded up, to keep budgets comparable.
         gate_floats = (self.gate.memory_floats + 3) // 4
         return self.sketch.memory_floats + gate_floats
+
+    @property
+    def memory_bytes(self) -> int:
+        """Actual resident bytes (the gate is physically float64 here)."""
+        return self.sketch.memory_bytes + self.gate.memory_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -14,9 +14,10 @@ from repro.hashing.families import MultiTableHasher
 from repro.sketch.base import (
     ValueSketch,
     ensure_mergeable,
-    scatter_add_flat,
+    reject_readonly_counters,
     validate_batch,
 )
+from repro.sketch.storage import CounterStore
 
 __all__ = ["CountMinSketch"]
 
@@ -35,6 +36,11 @@ class CountMinSketch(ValueSketch):
     cap:
         Optional saturation value for the counters (Cold Filter uses small
         saturating counters in layer 1).  ``None`` means unbounded.
+    dtype, quantum:
+        Counter storage, as for :class:`repro.sketch.CountSketch`.
+        Conservative update and ``cap`` both clamp counters through
+        non-linear in-place passes expressed in raw units, so they require
+        plain float storage; combining them with a quantized dtype raises.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class CountMinSketch(ValueSketch):
         conservative: bool = False,
         cap: float | None = None,
         dtype=np.float64,
+        quantum: float | None = None,
     ):
         if num_tables < 1:
             raise ValueError(f"num_tables must be >= 1, got {num_tables}")
@@ -58,10 +65,16 @@ class CountMinSketch(ValueSketch):
         self.family = family
         self.conservative = bool(conservative)
         self.cap = None if cap is None else float(cap)
-        self.table = np.zeros((self.num_tables, self.num_buckets), dtype=dtype)
-        # Flat view sharing the table's memory — the fused kernels address
-        # counter (e, b) as flat[e * R + b].
-        self._flat = self.table.reshape(-1)
+        # The storage backend owns the (K, R) table and its flat view; the
+        # fused kernels address counter (e, b) as raw[e * R + b].
+        self._store = CounterStore(
+            self.num_tables, self.num_buckets, dtype=dtype, quantum=quantum
+        )
+        if self._store.quantized and (self.conservative or self.cap is not None):
+            raise ValueError(
+                "conservative update and cap require float counter storage; "
+                "quantized (int16/int32) tables are insert-linear only"
+            )
         self._offsets_u64 = (
             np.arange(self.num_tables, dtype=np.uint64) * np.uint64(self.num_buckets)
         )[:, None]
@@ -73,6 +86,25 @@ class CountMinSketch(ValueSketch):
             self.num_buckets,
             [int(children[e].generate_state(1)[0]) for e in range(self.num_tables)],
         )
+
+    @property
+    def table(self) -> np.ndarray:
+        """The ``(K, R)`` counter table (raw storage units)."""
+        return self._store.matrix
+
+    @property
+    def _flat(self) -> np.ndarray:
+        return self._store.raw
+
+    @property
+    def quantum(self) -> float | None:
+        """Fixed-point step of quantized storage (``None`` for float)."""
+        return self._store.quantum
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Current counter dtype (may have widened past the declared one)."""
+        return self._store.dtype
 
     def _flat_indices(self, keys: np.ndarray) -> np.ndarray:
         """Fused ``(K, n)`` flat counter indices ``e*R + h_e(key)``."""
@@ -87,12 +119,9 @@ class CountMinSketch(ValueSketch):
         if (values < 0).any():
             raise ValueError("CountMinSketch accepts non-negative values only")
         if self.conservative:
-            if not self._flat.flags.writeable:
-                # np.maximum.at ignores the writeable flag on some numpy
-                # versions — enforce frozen-snapshot immutability ourselves.
-                raise ValueError(
-                    "sketch counters are read-only (frozen serving snapshot)"
-                )
+            # np.maximum.at ignores the writeable flag on some numpy
+            # versions — enforce frozen-snapshot immutability ourselves.
+            reject_readonly_counters(self._flat)
             # Conservative update must be applied per distinct key; aggregate
             # duplicate keys in the batch first so intra-batch order does not
             # change the result.
@@ -109,8 +138,7 @@ class CountMinSketch(ValueSketch):
         else:
             fi = self._flat_indices(keys)
             # Always bincount, matching the legacy per-table path exactly.
-            scatter_add_flat(
-                self._flat,
+            self._store.scatter_add(
                 fi.ravel(),
                 np.broadcast_to(values, fi.shape).ravel(),
                 use_bincount=True,
@@ -122,11 +150,11 @@ class CountMinSketch(ValueSketch):
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
-        gathered = self._flat[self._flat_indices(keys)]
-        return np.min(gathered, axis=0).astype(np.float64)
+        gathered = self._store.gather(self._flat_indices(keys))
+        return np.min(gathered, axis=0)
 
     def reset(self) -> None:
-        self.table[:] = 0.0
+        self._store.zero()
 
     def freeze(self) -> "CountMinSketch":
         """Make the counter storage read-only (in place) and return ``self``.
@@ -134,30 +162,14 @@ class CountMinSketch(ValueSketch):
         Queries keep working (gathers never write); inserts, merges and
         resets raise — the serving-snapshot immutability guarantee.
         """
-        self.table.flags.writeable = False
-        self._flat.flags.writeable = False
+        self._store.freeze()
         return self
-
-    def __getstate__(self):
-        # _flat is a view of table; pickling would serialise it as an
-        # independent array and silently decouple the two.
-        state = self.__dict__.copy()
-        del state["_flat"]
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._flat = self.table.reshape(-1)
 
     def _check_compatible(self, other: "CountMinSketch") -> None:
         ensure_mergeable(
             self, other, ("num_tables", "num_buckets", "seed", "family", "cap")
         )
-        if self.table.dtype != other.table.dtype:
-            raise ValueError(
-                "CountMinSketch sketches are mergeable only with identical "
-                f"counter dtype; {self.table.dtype} != {other.table.dtype}"
-            )
+        self._store.check_mergeable(other._store, "CountMinSketch")
 
     def merge(self, other: "CountMinSketch") -> "CountMinSketch":
         # Compatibility first, so a shape/seed mismatch is reported as such
@@ -168,14 +180,36 @@ class CountMinSketch(ValueSketch):
             # across the key's row at insert time — an order-dependent,
             # non-linear state that counter summation cannot reproduce.
             raise ValueError("conservative-update count-min sketches cannot merge")
-        self.table += other.table
+        self._store.merge_from(other._store)
         if self.cap is not None:
             np.minimum(self.table, self.cap, out=self.table)
         return self
 
+    def scale(self, factor: float) -> "CountMinSketch":
+        """Multiply every counter value by ``factor`` in place (decay flush)."""
+        self._store.scale(factor)
+        return self
+
+    def copy(self) -> "CountMinSketch":
+        clone = CountMinSketch(
+            self.num_tables,
+            self.num_buckets,
+            seed=self.seed,
+            family=self.family,
+            conservative=self.conservative,
+            cap=self.cap,
+        )
+        clone._store = self._store.copy()
+        return clone
+
     @property
     def memory_floats(self) -> int:
         return self.num_tables * self.num_buckets
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident counter bytes — itemsize-aware, unlike ``memory_floats``."""
+        return self._store.nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

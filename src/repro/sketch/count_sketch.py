@@ -22,12 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.families import MultiTableHasher, _sign_bits_to_float
-from repro.sketch.base import (
-    ValueSketch,
-    ensure_mergeable,
-    scatter_add_flat,
-    validate_batch,
-)
+from repro.sketch.base import ValueSketch, ensure_mergeable, validate_batch
+from repro.sketch.storage import CounterStore
 
 __all__ = ["CountSketch"]
 
@@ -92,8 +88,15 @@ class CountSketch(ValueSketch):
     family:
         Hash family name (see :func:`repro.hashing.make_family`).
     dtype:
-        Counter dtype; ``float64`` by default, ``float32`` halves memory at
-        the cost of accumulation precision.
+        Counter storage (see :mod:`repro.sketch.storage`): ``float64`` by
+        default; ``float32`` halves memory at the cost of accumulation
+        precision; ``int16``/``int32`` store fixed-point multiples of
+        ``quantum`` at 2/4 bytes per counter, widening automatically (and
+        exactly) on saturation.
+    quantum:
+        Fixed-point step for quantized storage
+        (:data:`repro.sketch.storage.DEFAULT_QUANTUM` when omitted for an
+        integer dtype).
     """
 
     def __init__(
@@ -104,6 +107,7 @@ class CountSketch(ValueSketch):
         seed: int = 0,
         family: str = "multiply-shift",
         dtype=np.float64,
+        quantum: float | None = None,
     ):
         if num_tables < 1:
             raise ValueError(f"num_tables must be >= 1, got {num_tables}")
@@ -113,10 +117,11 @@ class CountSketch(ValueSketch):
         self.num_buckets = int(num_buckets)
         self.seed = int(seed)
         self.family = family
-        self.table = np.zeros((self.num_tables, self.num_buckets), dtype=dtype)
-        # Flat view sharing the table's memory — the fused insert/query
-        # kernels address counter (e, b) as flat[e * R + b].
-        self._flat = self.table.reshape(-1)
+        # The storage backend owns the (K, R) table and its flat view; the
+        # fused kernels address counter (e, b) as raw[e * R + b].
+        self._store = CounterStore(
+            self.num_tables, self.num_buckets, dtype=dtype, quantum=quantum
+        )
         self._offsets_u64 = (
             np.arange(self.num_tables, dtype=np.uint64) * np.uint64(self.num_buckets)
         )[:, None]
@@ -142,6 +147,28 @@ class CountSketch(ValueSketch):
         self._cached_keys: np.ndarray | None = None
         self._cached_flat_indices: np.ndarray | None = None
         self._cached_signs: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Storage views
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> np.ndarray:
+        """The ``(K, R)`` counter table (raw storage units)."""
+        return self._store.matrix
+
+    @property
+    def _flat(self) -> np.ndarray:
+        return self._store.raw
+
+    @property
+    def quantum(self) -> float | None:
+        """Fixed-point step of quantized storage (``None`` for float)."""
+        return self._store.quantum
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Current counter dtype (may have widened past the declared one)."""
+        return self._store.dtype
 
     # ------------------------------------------------------------------
     # Hash caching
@@ -235,8 +262,7 @@ class CountSketch(ValueSketch):
         # for tiny batches the dense bincount allocation dominates.  The
         # threshold matches the pre-fusion per-table rule so the float
         # accumulation order (hence the result) is unchanged.
-        scatter_add_flat(
-            self._flat,
+        self._store.scatter_add(
             flat_indices.ravel(),
             signed.ravel(),
             use_bincount=flat_indices.shape[1] * 16 >= self.num_buckets,
@@ -245,17 +271,16 @@ class CountSketch(ValueSketch):
     def _estimates(self, hashed) -> np.ndarray:
         """Per-table signed estimates ``(K, n)`` via one fancy-index gather."""
         flat_indices, bits, signs = hashed
-        gathered = self._flat[flat_indices]
-        if gathered.dtype != np.float64:
-            # float32 tables: estimates stay float64, as the per-table
-            # legacy loop produced (f32 counters upcast exactly).
-            gathered = gathered.astype(np.float64)
+        # Estimates stay float64 whatever the storage (f32 counters upcast
+        # exactly; quantized counters dequantize), as the per-table legacy
+        # loop produced.
+        gathered = self._store.gather(flat_indices)
         if signs is not None:
             return gathered * signs
         return _apply_sign(bits, gathered)
 
     def reset(self) -> None:
-        self.table[:] = 0.0
+        self._store.zero()
 
     def freeze(self) -> "CountSketch":
         """Make the counter storage read-only (in place) and return ``self``.
@@ -265,28 +290,43 @@ class CountSketch(ValueSketch):
         the guarantee serving snapshots rely on: a query-side view can never
         be mutated by a stray write path.
         """
-        self.table.flags.writeable = False
-        self._flat.flags.writeable = False
+        self._store.freeze()
         return self
+
     def _check_compatible(self, other: "CountSketch") -> None:
         ensure_mergeable(
             self, other, ("num_tables", "num_buckets", "seed", "family")
         )
-        if self.table.dtype != other.table.dtype:
-            raise ValueError(
-                "CountSketch sketches are mergeable only with identical "
-                f"counter dtype; {self.table.dtype} != {other.table.dtype}"
-            )
+        self._store.check_mergeable(other._store, "CountSketch")
 
     def merge(self, other: "CountSketch") -> "CountSketch":
         """Add another sketch's counters in place (distributed aggregation)."""
         self._check_compatible(other)
-        self.table += other.table
+        self._store.merge_from(other._store)
+        return self
+
+    def add_table(self, table: np.ndarray) -> "CountSketch":
+        """Sum a raw counter table (same shape/unit) in place.
+
+        The reducer-side half of the merge law for persisted shard states:
+        quantized storage widens exactly as ingesting the same mass would,
+        instead of silently wrapping a narrow integer add.
+        """
+        self._store.add_raw(table)
+        return self
+
+    def load_table(self, table: np.ndarray) -> "CountSketch":
+        """Replace the counters with a persisted raw table (adopting width)."""
+        self._store.load_raw(table)
         return self
 
     def scale(self, factor: float) -> "CountSketch":
-        """Multiply every counter by ``factor`` in place."""
-        self.table *= float(factor)
+        """Multiply every counter value by ``factor`` in place.
+
+        Quantized storage folds the factor into its quantum (exact); float
+        storage scales the table as before.
+        """
+        self._store.scale(factor)
         return self
 
     def copy(self) -> "CountSketch":
@@ -295,24 +335,9 @@ class CountSketch(ValueSketch):
             self.num_buckets,
             seed=self.seed,
             family=self.family,
-            dtype=self.table.dtype,
         )
-        clone.table[:] = self.table
+        clone._store = self._store.copy()
         return clone
-
-    # ------------------------------------------------------------------
-    # Pickling
-    # ------------------------------------------------------------------
-    def __getstate__(self):
-        # _flat is a view of table; pickling would serialise it as an
-        # independent array and silently decouple the two.
-        state = self.__dict__.copy()
-        del state["_flat"]
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._flat = self.table.reshape(-1)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -321,12 +346,23 @@ class CountSketch(ValueSketch):
     def memory_floats(self) -> int:
         return self.num_tables * self.num_buckets
 
+    @property
+    def memory_bytes(self) -> int:
+        """Resident counter bytes — itemsize-aware, unlike ``memory_floats``."""
+        return self._store.nbytes
+
     def l2_norm(self) -> float:
-        """Frobenius norm of the counter matrix — tracks stream energy."""
+        """Frobenius norm of the counter values — tracks stream energy."""
+        if self._store.quantum is not None:
+            return float(np.linalg.norm(self.table.astype(np.float64)) * self._store.quantum)
         return float(np.linalg.norm(self.table))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        storage = (
+            "" if self._store.quantum is None and self._store.dtype == np.float64
+            else f", storage={self._store!r}"
+        )
         return (
             f"CountSketch(K={self.num_tables}, R={self.num_buckets}, "
-            f"family={self.family!r}, seed={self.seed})"
+            f"family={self.family!r}, seed={self.seed}{storage})"
         )

@@ -46,16 +46,23 @@ def _rescale_backing(sketch, factor: float) -> None:
 
     Counter tables scale linearly; an :class:`AugmentedSketch` additionally
     holds exact filter values in the same unit as its counters, so both must
-    scale together or filtered keys would stop decaying.
+    scale together or filtered keys would stop decaying.  Scaling goes
+    through the sketch's storage-aware ``scale`` when available (quantized
+    backings never reach here — the constructor rejects them under decay —
+    but the storage-aware path keeps this helper correct for any future
+    float-tier variant).
     """
     inner = getattr(sketch, "sketch", None)
     if inner is not None:  # AugmentedSketch: backing CS + exact filter
-        inner.table *= factor
+        inner.scale(factor)
         filt = sketch._filter
         for key in filt:
             filt[key] *= factor
         return
-    sketch.table *= factor
+    if hasattr(sketch, "scale"):
+        sketch.scale(factor)
+    else:
+        sketch.table *= factor
 
 
 class DecayedSketch:
@@ -86,6 +93,21 @@ class DecayedSketch:
             raise ValueError(
                 "cannot decay a capped CountMinSketch: the cap is applied in "
                 "stored units and would no longer bound the decayed value"
+            )
+        backing = getattr(sketch, "sketch", sketch)  # unwrap ASketch
+        if gamma < 1.0 and getattr(backing, "quantum", None) is not None:
+            # Stored magnitudes grow like 1/scale between flushes (inserts
+            # store v/scale), so fresh mass needs ever more integer range:
+            # an int16 table widens to float64 within a handful of ticks,
+            # silently voiding the compact tier.  Fixed-point cannot span
+            # decay's unbounded dynamic range without lossy
+            # renormalisation, so refuse rather than degrade.
+            raise ValueError(
+                "cannot decay a quantized (int16/int32) sketch: decayed "
+                "inserts store values scaled by 1/gamma^ticks, which "
+                "outgrows any fixed-point range and forces immediate "
+                "promotion to float64; use float32 storage to halve "
+                "decayed-table memory instead"
             )
         self.sketch = sketch
         self.gamma = float(gamma)

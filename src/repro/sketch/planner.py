@@ -1,0 +1,244 @@
+"""Capacity planner for the compact memory tier.
+
+The paper sizes sketches in *counters* (``M`` floats, ``R = M / K``); the
+memory tier makes *bytes per counter* the real lever: at a fixed byte
+budget, int16 fixed-point storage buys 4x the buckets of float64, and
+collision noise shrinks linearly in ``R`` (Lemma 1's ``1/R`` variance),
+while the quantization it introduces is bounded by half a quantum — orders
+of magnitude below the paper's signal strengths.
+
+:func:`plan` turns ``(n_features, memory budget)`` into a concrete
+``(K, R, dtype, quantum)`` recommendation::
+
+    from repro.sketch.planner import plan
+
+    p = plan(n_features=1_000_000, budget_mb=64)
+    sketch = p.build_sketch(seed=7)          # ready for SketchEstimator
+    p.predicted_bytes_per_counter            # 2.0 for int16
+    p.measured_bytes_per_counter(sketch)     # == 2.0 until promotion
+
+and reports the prediction the benchmarks verify: predicted vs measured
+bytes/counter (``benchmarks/bench_memory.py`` commits the measured
+numbers to ``BENCH_memory.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.pairs import num_pairs
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.storage import STORAGE_DTYPES, resolve_storage
+
+__all__ = ["CapacityPlan", "plan"]
+
+#: Storage candidates, narrowest first — the order :func:`plan` tries.
+_CANDIDATES = ("int16", "int32", "float32", "float64")
+
+#: Default ratio of the int range reserved above ``value_range``: with
+#: headroom 1.25, values may overshoot the declared range by 25% before
+#: the (exact, automatic) widening kicks in.
+DEFAULT_HEADROOM = 1.25
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """A concrete sketch sizing for one (features, budget) problem.
+
+    Attributes
+    ----------
+    n_features, num_pairs:
+        The problem: ``d`` features stream ``d*(d-1)/2`` pair keys.
+    budget_bytes:
+        The byte budget the plan was fitted to.
+    num_tables, num_buckets, storage, quantum:
+        The recommendation: build with :meth:`build_sketch`.
+    predicted_bytes_per_counter:
+        Bytes each counter occupies while the declared dtype holds
+        (quantized tables widen — exactly — if the stream saturates them;
+        :meth:`measured_bytes_per_counter` reports the realised figure).
+    counters_vs_float64:
+        How many more counters this storage affords than float64 at the
+        same budget (4.0 for int16).
+    predicted_snr_gain_db:
+        Collision-noise reduction vs a float64 plan at the same budget:
+        variance scales as ``1/R`` (Lemma 1), so
+        ``10 * log10(counters_vs_float64)``.
+    quantization_step_rel:
+        ``quantum / value_range`` — the relative resolution floor
+        quantization adds (0 for float storage).
+    """
+
+    n_features: int
+    num_pairs: int
+    budget_bytes: int
+    num_tables: int
+    num_buckets: int
+    storage: str
+    quantum: float | None
+    predicted_bytes_per_counter: float
+    counters_vs_float64: float
+    predicted_snr_gain_db: float
+    quantization_step_rel: float
+
+    @property
+    def total_counters(self) -> int:
+        return self.num_tables * self.num_buckets
+
+    @property
+    def predicted_total_bytes(self) -> int:
+        return int(self.total_counters * self.predicted_bytes_per_counter)
+
+    def build_sketch(self, *, seed: int = 0, family: str = "multiply-shift") -> CountSketch:
+        """A :class:`~repro.sketch.CountSketch` following this plan."""
+        return CountSketch(
+            self.num_tables,
+            self.num_buckets,
+            seed=seed,
+            family=family,
+            dtype=self.storage,
+            quantum=self.quantum,
+        )
+
+    def measured_bytes_per_counter(self, sketch) -> float:
+        """Realised bytes/counter of a (possibly fitted) sketch.
+
+        Compare with :attr:`predicted_bytes_per_counter`: a gap means the
+        stream saturated the declared dtype and the table widened.
+        """
+        return sketch.memory_bytes / sketch.memory_floats
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (benchmarks embed this in their reports)."""
+        return {
+            "n_features": self.n_features,
+            "num_pairs": self.num_pairs,
+            "budget_bytes": self.budget_bytes,
+            "num_tables": self.num_tables,
+            "num_buckets": self.num_buckets,
+            "storage": self.storage,
+            "quantum": self.quantum,
+            "predicted_bytes_per_counter": self.predicted_bytes_per_counter,
+            "counters_vs_float64": self.counters_vs_float64,
+            "predicted_snr_gain_db": self.predicted_snr_gain_db,
+        }
+
+
+def plan(
+    n_features: int,
+    budget_mb: float,
+    *,
+    num_tables: int = 5,
+    storage: str | None = None,
+    value_range: float = 1.0,
+    target_f1: float | None = None,
+    quantization_tolerance: float | None = None,
+    headroom: float = DEFAULT_HEADROOM,
+    pow2_buckets: bool = False,
+) -> CapacityPlan:
+    """Recommend ``(K, R, dtype, quantum)`` for a byte budget.
+
+    Parameters
+    ----------
+    n_features:
+        Feature dimension ``d`` of the covariance problem (the key space
+        is its pair count — reported on the plan for sanity checks).
+    budget_mb:
+        Counter-memory budget in MiB.
+    num_tables:
+        ``K`` (the paper's 5 unless you know better).
+    storage:
+        Pin a storage dtype instead of letting the planner pick.  When
+        ``None`` the narrowest candidate whose relative quantization step
+        is below the tolerance wins — int16 for every realistic
+        correlation workload.
+    value_range:
+        Largest accumulated |counter| the tables must represent without
+        widening.  Sets the fixed-point quantum:
+        ``headroom * value_range / int_max``.  Note a *bucket* holds the
+        signed sum of every colliding key's mass, so on dense signal
+        regimes (many strong pairs per bucket — ``alpha * p / R`` large)
+        counters can stack past the per-estimate bound; exceeding it is
+        always safe — the table widens exactly — it just costs the bytes
+        the narrow rung promised to save (1.0 works for correlation mode
+        with sparse signals; pass the expected stack height otherwise).
+    target_f1, quantization_tolerance:
+        Accuracy demand.  ``quantization_tolerance`` bounds
+        ``quantum / value_range`` directly; ``target_f1`` is a convenience
+        mapping (``1 - target_f1``, clamped to [1e-5, 0.05]) for callers
+        thinking in retrieval terms.  Defaults to 1e-3 — roughly 30x
+        coarser than int16 actually delivers, so int16 is the default
+        recommendation, as it should be.
+    headroom:
+        Saturation margin above ``value_range`` (see
+        :data:`DEFAULT_HEADROOM`).  Exceeding it is safe — the table
+        widens exactly — it just costs the memory the plan promised to
+        save.
+    pow2_buckets:
+        Round ``R`` down to a power of two (bitmask bucket ranges).
+    """
+    if n_features < 2:
+        raise ValueError(f"n_features must be >= 2, got {n_features}")
+    if budget_mb <= 0:
+        raise ValueError(f"budget_mb must be > 0, got {budget_mb}")
+    if num_tables < 1:
+        raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+    if value_range <= 0:
+        raise ValueError(f"value_range must be > 0, got {value_range}")
+    if headroom < 1.0:
+        raise ValueError(f"headroom must be >= 1, got {headroom}")
+    if quantization_tolerance is None:
+        if target_f1 is not None:
+            if not 0.0 < target_f1 < 1.0:
+                raise ValueError(f"target_f1 must be in (0, 1), got {target_f1}")
+            quantization_tolerance = min(max(1.0 - target_f1, 1e-5), 0.05)
+        else:
+            quantization_tolerance = 1e-3
+
+    budget_bytes = int(budget_mb * (1 << 20))
+
+    def step_rel(name: str) -> float:
+        dtype = np.dtype(name)
+        if dtype.kind != "i":
+            return 0.0
+        return headroom / float(np.iinfo(dtype).max)
+
+    if storage is not None:
+        chosen = resolve_storage(storage).name
+    else:
+        chosen = "float64"
+        for candidate in _CANDIDATES:
+            if step_rel(candidate) <= quantization_tolerance:
+                chosen = candidate
+                break
+    if chosen not in STORAGE_DTYPES:  # pragma: no cover - resolve_storage guards
+        raise ValueError(f"unsupported storage {chosen!r}")
+
+    itemsize = np.dtype(chosen).itemsize
+    num_buckets = max(16, budget_bytes // (num_tables * itemsize))
+    if pow2_buckets:
+        num_buckets = 1 << (int(num_buckets).bit_length() - 1)
+    buckets_f64 = max(16, budget_bytes // (num_tables * 8))
+    if pow2_buckets:
+        buckets_f64 = 1 << (int(buckets_f64).bit_length() - 1)
+
+    quantum = None
+    if np.dtype(chosen).kind == "i":
+        quantum = headroom * value_range / float(np.iinfo(np.dtype(chosen)).max)
+
+    gain = num_buckets / buckets_f64
+    return CapacityPlan(
+        n_features=int(n_features),
+        num_pairs=int(num_pairs(int(n_features))),
+        budget_bytes=budget_bytes,
+        num_tables=int(num_tables),
+        num_buckets=int(num_buckets),
+        storage=chosen,
+        quantum=quantum,
+        predicted_bytes_per_counter=float(itemsize),
+        counters_vs_float64=float(gain),
+        predicted_snr_gain_db=float(10.0 * np.log10(gain)) if gain > 0 else 0.0,
+        quantization_step_rel=float(step_rel(chosen)),
+    )

@@ -6,7 +6,8 @@ merges, a query engine freezes.  This module round-trips sketches through
 ``.npz`` files (``allow_pickle=False`` throughout): hash functions are
 reconstructed from the stored seed and family name, so a loaded sketch
 answers queries (and merges) exactly like the original, and counter dtypes
-survive the round-trip bit-for-bit.
+— including quantized (fixed-point) storage and its ``quantum`` — survive
+the round-trip bit-for-bit.
 
 Two layers of API:
 
@@ -16,12 +17,22 @@ Two layers of API:
 * :func:`save_sketch` / :func:`load_sketch` — the file round-trip.
 
 Kinds live in a **registry** (:func:`register_kind`): each kind supplies a
-type test, an encoder and a decoder.  The built-in kinds are
-``count-sketch``, ``count-min``, ``augmented`` and ``decayed`` (the
-:class:`repro.sketch.DecayedSketch` wrapper, which nests its backing
-sketch's arrays under an ``inner_`` prefix).  Higher layers — sliding-window
-pane persistence, serving snapshots — write through the same registry, so a
-new sketch kind becomes persistable everywhere by registering once.
+type test, an encoder and a decoder, plus the conformance metadata the
+registry-wide test suite (``tests/test_conformance.py``) consumes — an
+example factory and a declared merge law, so every kind registered here is
+automatically held to the save/load, freeze and merge contracts.  The
+built-in kinds are ``count-sketch``, ``count-min``, ``augmented`` and
+``decayed`` (the :class:`repro.sketch.DecayedSketch` wrapper, which nests
+its backing sketch's arrays under an ``inner_`` prefix).  Higher layers —
+sliding-window pane persistence, serving snapshots — write through the same
+registry, so a new sketch kind becomes persistable everywhere (and
+conformance-tested) by registering once.
+
+Decoders accept ``copy=False`` to **adopt** the provided counter table
+without copying — the zero-copy mmap path: hand them a read-only
+``np.memmap`` of an uncompressed ``.npz`` member
+(:func:`mmap_npz_array`) and the rebuilt sketch serves queries straight
+from the page cache, with writes rejected by the frozen-table guard.
 
 ``ColdFilterSketch`` is deliberately unsupported: its conservative-update
 gate is order-dependent state that cannot be reconstructed faithfully from
@@ -30,6 +41,7 @@ counters alone (the same reason it refuses to merge).
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -47,25 +59,56 @@ __all__ = [
     "sketch_from_arrays",
     "register_kind",
     "supported_kinds",
+    "kind_registry",
+    "mmap_npz_array",
     "SUPPORTED_KINDS",
+    "KindSpec",
 ]
 
 #: Prefix under which the ``decayed`` kind nests its backing sketch arrays.
 _INNER_PREFIX = "inner_"
 
+#: Valid ``KindSpec.merge_law`` declarations, and what conformance enforces:
+#: ``exact`` — merge is associative/commutative counter summation,
+#: bit-identical to a one-shot run on exactly-representable streams;
+#: ``approximate`` — merge succeeds and preserves heavy-key estimates, but
+#: order may matter (e.g. ASketch filter folding);
+#: ``unsupported`` — ``merge`` must raise ``ValueError`` citing
+#: ``merge_reason``.
+MERGE_LAWS = ("exact", "approximate", "unsupported")
+
 
 @dataclass(frozen=True)
-class _KindSpec:
-    """One serialisable sketch kind: how to recognise, encode and decode it."""
+class KindSpec:
+    """One serialisable sketch kind: recognition, codec and conformance.
+
+    Attributes
+    ----------
+    name, cls:
+        Registry key and the exact type it matches.
+    to_arrays / from_arrays:
+        The codec pair.  ``from_arrays(data, copy=...)`` must honour
+        ``copy=False`` by adopting the counter table array it is given.
+    make:
+        ``make(seed) -> sketch`` — a small example instance for the
+        registry-wide conformance suite.  Kinds without one fail
+        conformance explicitly rather than silently escaping it.
+    merge_law, merge_reason:
+        Declared merge semantics (:data:`MERGE_LAWS`); ``merge_reason``
+        is required for (and only for) ``unsupported``.
+    """
 
     name: str
     cls: type
     to_arrays: Callable[[object], dict]
-    from_arrays: Callable[[Mapping[str, np.ndarray]], object]
+    from_arrays: Callable[..., object]
+    make: Callable[[int], object] | None = None
+    merge_law: str = "exact"
+    merge_reason: str | None = None
 
 
 #: kind name -> spec, in registration order (error messages enumerate these).
-_KINDS: dict[str, _KindSpec] = {}
+_KINDS: dict[str, KindSpec] = {}
 
 
 def register_kind(
@@ -73,7 +116,10 @@ def register_kind(
     *,
     cls: type,
     to_arrays: Callable[[object], dict],
-    from_arrays: Callable[[Mapping[str, np.ndarray]], object],
+    from_arrays: Callable[..., object],
+    make: Callable[[int], object] | None = None,
+    merge_law: str = "exact",
+    merge_reason: str | None = None,
 ) -> None:
     """Register a sketch kind with the serialisation registry.
 
@@ -81,9 +127,27 @@ def register_kind(
     wrapper/backing relationships, e.g. an :class:`AugmentedSketch`'s
     backing :class:`CountSketch`, or a :class:`DecayedSketch`'s wrapped
     inner sketch.
+
+    Registration is also enrolment: ``tests/test_conformance.py``
+    parametrizes over this registry, so every kind registered here is
+    automatically checked for save/load bit-identity, freeze immutability
+    and its declared merge law.  Supply ``make`` (an example factory) and
+    an honest ``merge_law``.
     """
-    _KINDS[name] = _KindSpec(
-        name=name, cls=cls, to_arrays=to_arrays, from_arrays=from_arrays
+    if merge_law not in MERGE_LAWS:
+        raise ValueError(f"merge_law must be one of {MERGE_LAWS}, got {merge_law!r}")
+    if (merge_law == "unsupported") != (merge_reason is not None):
+        raise ValueError(
+            "merge_reason is required exactly when merge_law='unsupported'"
+        )
+    _KINDS[name] = KindSpec(
+        name=name,
+        cls=cls,
+        to_arrays=to_arrays,
+        from_arrays=from_arrays,
+        make=make,
+        merge_law=merge_law,
+        merge_reason=merge_reason,
     )
 
 
@@ -91,7 +155,12 @@ def _supported_kinds() -> tuple[str, ...]:
     return tuple(_KINDS)
 
 
-def _kind_of(sketch) -> _KindSpec:
+def kind_registry() -> dict[str, KindSpec]:
+    """A snapshot of the live registry (name -> :class:`KindSpec`)."""
+    return dict(_KINDS)
+
+
+def _kind_of(sketch) -> KindSpec:
     for spec in _KINDS.values():
         if type(sketch) is spec.cls:
             return spec
@@ -117,13 +186,17 @@ def sketch_to_arrays(sketch) -> dict[str, np.ndarray]:
     return out
 
 
-def sketch_from_arrays(data: Mapping[str, np.ndarray]):
+def sketch_from_arrays(data: Mapping[str, np.ndarray], *, copy: bool = True):
     """Rebuild a sketch from :func:`sketch_to_arrays` output.
 
     The rebuilt sketch has identical hash functions (same seed/family) and
-    an exact copy of the counters — the ``table`` dtype is preserved
-    bit-for-bit — so queries, further inserts and merges behave exactly as
-    on the original.
+    an exact copy of the counters — the ``table`` dtype and any fixed-point
+    ``quantum`` are preserved bit-for-bit — so queries, further inserts and
+    merges behave exactly as on the original.
+
+    With ``copy=False`` the counter table array in ``data`` is adopted
+    directly (zero-copy): pass a read-only mmap view and the sketch serves
+    from it without materializing the table in memory.
     """
     kind = str(data["kind"])
     if kind not in _KINDS:
@@ -131,12 +204,19 @@ def sketch_from_arrays(data: Mapping[str, np.ndarray]):
             f"unknown sketch kind {kind!r}; supported kinds are: "
             f"{', '.join(_KINDS)}"
         )
-    return _KINDS[kind].from_arrays(data)
+    return _KINDS[kind].from_arrays(data, copy=copy)
 
 
 # ----------------------------------------------------------------------
 # Built-in kinds
 # ----------------------------------------------------------------------
+def _quantum_from(data) -> float | None:
+    if "quantum" not in data:
+        return None  # pre-memory-tier file: plain float storage
+    quantum = float(data["quantum"])
+    return None if np.isnan(quantum) else quantum
+
+
 def _table_arrays(sketch) -> dict:
     return {
         "num_tables": np.asarray(sketch.num_tables),
@@ -144,6 +224,10 @@ def _table_arrays(sketch) -> dict:
         "seed": np.asarray(sketch.seed),
         "family": np.asarray(sketch.family),
         "table": sketch.table,
+        "quantum": np.asarray(
+            np.nan if sketch.quantum is None else sketch.quantum,
+            dtype=np.float64,
+        ),
     }
 
 
@@ -151,16 +235,20 @@ def _count_sketch_to_arrays(sketch: CountSketch) -> dict:
     return _table_arrays(sketch)
 
 
-def _count_sketch_from_arrays(data) -> CountSketch:
-    table = np.asarray(data["table"])
+def _count_sketch_from_arrays(data, *, copy: bool = True) -> CountSketch:
+    table = np.asarray(data["table"]) if copy else data["table"]
     sketch = CountSketch(
         int(data["num_tables"]),
         int(data["num_buckets"]),
         seed=int(data["seed"]),
         family=str(data["family"]),
         dtype=table.dtype,
+        quantum=_quantum_from(data),
     )
-    sketch.table[:] = table
+    if copy:
+        sketch.table[:] = table
+    else:
+        sketch._store.attach(table)
     return sketch
 
 
@@ -173,8 +261,8 @@ def _count_min_to_arrays(sketch: CountMinSketch) -> dict:
     return out
 
 
-def _count_min_from_arrays(data) -> CountMinSketch:
-    table = np.asarray(data["table"])
+def _count_min_from_arrays(data, *, copy: bool = True) -> CountMinSketch:
+    table = np.asarray(data["table"]) if copy else data["table"]
     cap = float(data["cap"])
     sketch = CountMinSketch(
         int(data["num_tables"]),
@@ -184,8 +272,12 @@ def _count_min_from_arrays(data) -> CountMinSketch:
         conservative=bool(data["conservative"]),
         cap=None if np.isnan(cap) else cap,
         dtype=table.dtype,
+        quantum=_quantum_from(data),
     )
-    sketch.table[:] = table
+    if copy:
+        sketch.table[:] = table
+    else:
+        sketch._store.attach(table)
     return sketch
 
 
@@ -210,7 +302,8 @@ def _augmented_to_arrays(sketch: AugmentedSketch) -> dict:
     return out
 
 
-def _augmented_from_arrays(data) -> AugmentedSketch:
+def _augmented_from_arrays(data, *, copy: bool = True) -> AugmentedSketch:
+    table = np.asarray(data["table"]) if copy else data["table"]
     sketch = AugmentedSketch(
         int(data["num_tables"]),
         int(data["num_buckets"]),
@@ -219,8 +312,13 @@ def _augmented_from_arrays(data) -> AugmentedSketch:
         family=str(data["family"]),
         exchange_every=int(data["exchange_every"]),
         two_sided=bool(data["two_sided"]),
+        dtype=table.dtype,
+        quantum=_quantum_from(data),
     )
-    sketch.sketch.table[:] = np.asarray(data["table"])
+    if copy:
+        sketch.sketch.table[:] = table
+    else:
+        sketch.sketch._store.attach(table)
     sketch._inserts_since_exchange = int(data["inserts_since_exchange"])
     keys = np.asarray(data["filter_keys"], dtype=np.int64)
     values = np.asarray(data["filter_values"], dtype=np.float64)
@@ -240,14 +338,14 @@ def _decayed_to_arrays(sketch: DecayedSketch) -> dict:
     return out
 
 
-def _decayed_from_arrays(data) -> DecayedSketch:
+def _decayed_from_arrays(data, *, copy: bool = True) -> DecayedSketch:
     inner_state = {
         name[len(_INNER_PREFIX) :]: data[name]
         for name in data
         if name.startswith(_INNER_PREFIX)
     }
     wrapped = DecayedSketch(
-        sketch_from_arrays(inner_state),
+        sketch_from_arrays(inner_state, copy=copy),
         float(data["gamma"]),
         flush_below=float(data["flush_below"]),
     )
@@ -261,24 +359,33 @@ register_kind(
     cls=CountSketch,
     to_arrays=_count_sketch_to_arrays,
     from_arrays=_count_sketch_from_arrays,
+    make=lambda seed: CountSketch(3, 256, seed=seed),
 )
 register_kind(
     "count-min",
     cls=CountMinSketch,
     to_arrays=_count_min_to_arrays,
     from_arrays=_count_min_from_arrays,
+    make=lambda seed: CountMinSketch(3, 256, seed=seed),
 )
 register_kind(
     "augmented",
     cls=AugmentedSketch,
     to_arrays=_augmented_to_arrays,
     from_arrays=_augmented_from_arrays,
+    make=lambda seed: AugmentedSketch(
+        3, 256, filter_capacity=8, seed=seed, exchange_every=2
+    ),
+    # Filter folding consults the partially merged sketch, so merge order
+    # can shift which keys stay exact — heavy keys survive either way.
+    merge_law="approximate",
 )
 register_kind(
     "decayed",
     cls=DecayedSketch,
     to_arrays=_decayed_to_arrays,
     from_arrays=_decayed_from_arrays,
+    make=lambda seed: DecayedSketch(CountSketch(3, 256, seed=seed), 0.5),
 )
 
 
@@ -294,7 +401,7 @@ def supported_kinds() -> tuple[str, ...]:
     return _supported_kinds()
 
 
-def save_sketch(sketch, path) -> None:
+def save_sketch(sketch, path, *, compress: bool = True) -> None:
     """Write a sketch's parameters and counters to ``path`` (``.npz``).
 
     Parameters
@@ -304,11 +411,94 @@ def save_sketch(sketch, path) -> None:
         else raises ``TypeError`` naming the supported kinds.
     path:
         Target file path (numpy appends ``.npz`` if missing).
+    compress:
+        Deflate the archive (default).  Pass ``False`` to store members
+        raw so :func:`load_sketch` can map the counter table zero-copy
+        (``mmap=True``); counter tables are high-entropy, so the size cost
+        is small.
     """
-    np.savez_compressed(path, **sketch_to_arrays(sketch))
+    writer = np.savez_compressed if compress else np.savez
+    writer(path, **sketch_to_arrays(sketch))
 
 
-def load_sketch(path):
-    """Restore a sketch written by :func:`save_sketch`."""
+def load_sketch(path, *, mmap: bool = False):
+    """Restore a sketch written by :func:`save_sketch`.
+
+    With ``mmap=True`` the counter table is a read-only ``np.memmap`` of
+    the (uncompressed) archive member instead of a materialized copy:
+    opening is O(metadata) regardless of table size, pages fault in on
+    demand, and the frozen-table guard rejects any write path.  Requires
+    the file to have been saved with ``compress=False``.
+    """
     with np.load(path, allow_pickle=False) as data:
-        return sketch_from_arrays(data)
+        if not mmap:
+            return sketch_from_arrays(data)
+        state: dict[str, np.ndarray] = {}
+        for name in data.files:
+            if name == "table" or name.endswith("_table"):
+                state[name] = mmap_npz_array(path, name)
+            else:
+                state[name] = data[name]
+        sketch = sketch_from_arrays(state, copy=False)
+        # A mapped sketch is read-only by construction; freeze the whole
+        # state so non-table side structures (an ASketch's exact filter)
+        # reject writes too instead of half-mutating.
+        if hasattr(sketch, "freeze"):
+            sketch.freeze()
+        return sketch
+
+
+def mmap_npz_array(path, member: str) -> np.ndarray:
+    """Zero-copy read-only ``np.memmap`` of one array inside a ``.npz``.
+
+    A ``.npz`` is a zip of ``.npy`` members; when the member is *stored*
+    (``np.savez``, not ``np.savez_compressed``) its bytes sit contiguously
+    in the archive, so the array can be mapped directly: locate the
+    member's data offset from its zip local header, parse the ``.npy``
+    header there, and map the payload.  This is what makes snapshot "load"
+    latency independent of snapshot size — nothing is read eagerly beyond
+    two headers.
+    """
+    if not member.endswith(".npy"):
+        member = member + ".npy"
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member)
+        except KeyError:
+            raise KeyError(
+                f"{path} has no member {member!r}; members: "
+                f"{', '.join(archive.namelist())}"
+            ) from None
+        if info.compress_type != zipfile.ZIP_STORED:
+            raise ValueError(
+                f"cannot mmap {member!r} in {path}: the archive is "
+                "compressed; re-save with compress=False for zero-copy "
+                "loading"
+            )
+        header_offset = info.header_offset
+    with open(path, "rb") as handle:
+        handle.seek(header_offset)
+        local_header = handle.read(30)
+        if local_header[:4] != b"PK\x03\x04":
+            raise ValueError(f"corrupt zip local header in {path}")
+        name_len = int.from_bytes(local_header[26:28], "little")
+        extra_len = int.from_bytes(local_header[28:30], "little")
+        handle.seek(header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:  # pragma: no cover - numpy only writes 1.0/2.0 today
+            shape, fortran, dtype = np.lib.format._read_array_header(
+                handle, version
+            )
+        data_offset = handle.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )

@@ -1,0 +1,391 @@
+"""Pluggable counter storage — the compact memory tier under every sketch.
+
+The paper's budget unit is *counters*, but the binding constraint at
+trillion scale is *bytes per counter*: a float64 table spends 8 bytes on
+values whose useful precision is a few parts in ten thousand.
+:class:`CounterStore` owns a sketch's flat counter array and lets the same
+fused scatter/gather kernels run over four physical layouts:
+
+``float64`` / ``float32``
+    Plain floating counters — the pre-existing behaviour, bit-for-bit.
+    The float64 path delegates straight to
+    :func:`repro.sketch.base.scatter_add_flat`, so every equivalence proof
+    in ``tests/test_fused_kernels.py`` still holds.
+
+``int16`` / ``int32`` (+ ``quantum``)
+    Fixed-point counters: a stored integer ``c`` represents the value
+    ``c * quantum``.  Every insert batch is quantized once
+    (``rint(value / quantum)``), summed per slot exactly, and applied in a
+    single pass.  When any counter *would* leave the dtype's range the
+    whole table widens first — ``int16 -> int32 -> float64`` — and only
+    then applies the batch, so promotion is deterministic (a pure function
+    of the update stream) and **exact**: after promotion the counters are
+    bit-identical to a run that used the wider dtype from the start
+    (``tests/test_storage.py`` fuzzes this at the saturation boundary).
+
+Promotion keeps the quantized unit: the float64 rung still carries its
+``quantum``, it just never saturates.  Per-slot sums are accumulated in
+float64, which represents integers exactly up to ``2**53`` quanta — far
+beyond the int32 rung where the check matters.
+
+Two properties make the quantized tier drop into the existing system:
+
+* **Merge-safe** — two stores with the same ``quantum`` merge exactly
+  whatever their current widths (the narrower side's integers embed in the
+  wider side's); the distributed reducer and the sliding-window pane merge
+  go through :meth:`add_raw`.
+* **Rescale-safe** — scaling a quantized store multiplies ``quantum``
+  instead of the counters, so one-shot renormalisation folds (a snapshot
+  export baking ``T/W`` in, a window normalisation) are *exact*: no
+  integer truncation, ever.  Sustained exponential decay is different —
+  fresh mass quantizes against an ever-shrinking effective unit, so
+  :class:`repro.sketch.DecayedSketch` refuses quantized backings rather
+  than silently widening to float64 (use ``float32`` under decay).
+
+Pick a quantum with :func:`repro.sketch.planner.plan`, or rely on
+:data:`DEFAULT_QUANTUM` (sized for correlation-mode streams, |value| <= 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.base import reject_readonly_counters, scatter_add_flat
+
+__all__ = [
+    "CounterStore",
+    "DEFAULT_QUANTUM",
+    "STORAGE_DTYPES",
+    "resolve_storage",
+]
+
+#: Default fixed-point step for quantized storage when the caller gives
+#: none: ``2**-14`` (~6.1e-5).  An int16 counter then spans ±2.0 — enough
+#: headroom for correlation-mode mean estimates (|value| <= 1) to finish
+#: without promotion, with quantization noise two orders of magnitude
+#: below the paper's signal strengths.  Power of two, so products with
+#: power-of-two decay factors stay exact.
+DEFAULT_QUANTUM = 2.0**-14
+
+#: Declared storage dtypes a sketch can be built with.
+STORAGE_DTYPES = ("float64", "float32", "int16", "int32")
+
+#: Widening ladder for quantized storage.  float64 is the terminal rung:
+#: it never saturates and still represents every integer the int rungs
+#: could hold exactly.
+_LADDER = (np.dtype(np.int16), np.dtype(np.int32), np.dtype(np.float64))
+
+
+def resolve_storage(dtype) -> np.dtype:
+    """Normalise a storage knob (name or numpy dtype) to a ``np.dtype``."""
+    resolved = np.dtype(dtype)
+    if resolved.name not in STORAGE_DTYPES:
+        raise ValueError(
+            f"unsupported counter storage {resolved.name!r}; "
+            f"choose one of {STORAGE_DTYPES}"
+        )
+    return resolved
+
+
+def _next_rung(dtype: np.dtype) -> np.dtype:
+    index = _LADDER.index(dtype)
+    return _LADDER[index + 1]
+
+
+class CounterStore:
+    """Owns a sketch's ``(K, R)`` counter table and its flat view.
+
+    Parameters
+    ----------
+    num_tables, num_buckets:
+        Table shape; the flat view addresses counter ``(e, b)`` as
+        ``raw[e * num_buckets + b]`` (the fused-kernel contract).
+    dtype:
+        Declared storage (:data:`STORAGE_DTYPES`).  Integer dtypes may
+        widen later; :attr:`declared_dtype` keeps the original request.
+    quantum:
+        Fixed-point step for integer dtypes (default
+        :data:`DEFAULT_QUANTUM`).  Also accepted with ``float64`` — the
+        promotion terminal — so serialized promoted stores round-trip;
+        rejected for ``float32`` (not on the ladder).
+    """
+
+    def __init__(self, num_tables: int, num_buckets: int, dtype=np.float64, quantum=None):
+        dtype = resolve_storage(dtype)
+        if quantum is not None:
+            quantum = float(quantum)
+            if not quantum > 0.0:
+                raise ValueError(f"quantum must be > 0, got {quantum}")
+            if dtype == np.dtype(np.float32):
+                raise ValueError(
+                    "quantized storage widens along int16 -> int32 -> float64; "
+                    "float32 cannot carry a quantum"
+                )
+        elif dtype.kind == "i":
+            quantum = DEFAULT_QUANTUM
+        self.num_tables = int(num_tables)
+        self.num_buckets = int(num_buckets)
+        self.declared_dtype = dtype
+        self.quantum = quantum
+        self.matrix = np.zeros((self.num_tables, self.num_buckets), dtype=dtype)
+        self.raw = self.matrix.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The *current* storage dtype (may be wider than declared)."""
+        return self.raw.dtype
+
+    @property
+    def quantized(self) -> bool:
+        return self.quantum is not None
+
+    @property
+    def size(self) -> int:
+        return self.raw.size
+
+    @property
+    def nbytes(self) -> int:
+        """Resident counter bytes — the memory-tier accounting unit."""
+        return self.raw.nbytes
+
+    @property
+    def bytes_per_counter(self) -> float:
+        return self.raw.dtype.itemsize
+
+    @property
+    def frozen(self) -> bool:
+        return not self.raw.flags.writeable
+
+    def freeze(self) -> "CounterStore":
+        """Make both views read-only; every mutator refuses afterwards."""
+        self.matrix.flags.writeable = False
+        self.raw.flags.writeable = False
+        return self
+
+    def _guard_writable(self) -> None:
+        reject_readonly_counters(self.raw)
+
+    # ------------------------------------------------------------------
+    # Hot paths
+    # ------------------------------------------------------------------
+    def scatter_add(self, flat_indices: np.ndarray, weights: np.ndarray, *, use_bincount: bool) -> None:
+        """Accumulate ``weights`` (value units) at ``flat_indices``.
+
+        The float path is byte-for-byte the pre-storage-tier behaviour
+        (same strategy crossover, same rounding order).  The quantized
+        path aggregates each slot's integer delta once per batch, so
+        intra-batch duplicate order can never matter, then widens if any
+        resulting counter would leave the current dtype's range.
+        """
+        if self.quantum is None:
+            scatter_add_flat(self.raw, flat_indices, weights, use_bincount=use_bincount)
+            return
+        self._guard_writable()
+        q = np.rint(np.asarray(weights, dtype=np.float64) / self.quantum)
+        if use_bincount:
+            delta = np.bincount(flat_indices, weights=q, minlength=self.raw.size)
+            touched = np.nonzero(delta)[0]
+            delta = delta[touched]
+        else:
+            # Small batches: aggregate over the touched slots only, so the
+            # cost scales with the batch, not the table (the same crossover
+            # the float tier's strategy flag encodes).
+            touched, inverse = np.unique(flat_indices, return_inverse=True)
+            delta = np.bincount(inverse, weights=q)
+            nonzero = delta != 0.0
+            touched, delta = touched[nonzero], delta[nonzero]
+        self._apply_touched_delta(touched, delta)
+
+    def gather(self, flat_indices: np.ndarray) -> np.ndarray:
+        """Counter values (float64, value units) at ``flat_indices``."""
+        gathered = self.raw[flat_indices]
+        if gathered.dtype != np.float64:
+            gathered = gathered.astype(np.float64)
+        if self.quantum is not None and self.quantum != 1.0:
+            gathered *= self.quantum
+        return gathered
+
+    def _apply_integral_delta(self, delta: np.ndarray) -> None:
+        """Add a full-size integral (float64) delta, widening first if needed."""
+        touched = np.nonzero(delta)[0]
+        if touched.size == 0:
+            return
+        self._apply_touched_delta(touched, delta[touched])
+
+    def _apply_touched_delta(self, touched: np.ndarray, delta: np.ndarray) -> None:
+        """Add integral (float64) ``delta`` at unique slots ``touched``.
+
+        The would-be counters are checked against the current integer
+        rung's exact bounds *before* any write: a counter may sit exactly
+        on ``iinfo.max``/``iinfo.min`` without promoting, and the first
+        quantum beyond widens the whole table.  Because the check happens
+        pre-write, the post-promotion counters are identical to an
+        all-wide run — saturation never clips anything.
+
+        The in-range *results* are written back directly rather than
+        casting and adding the delta: a delta can exceed the rung's range
+        even when the resulting counter fits (sign-cancelling updates),
+        and a float64 -> int cast of such a delta saturates.
+        """
+        while self.raw.dtype.kind == "i":
+            info = np.iinfo(self.raw.dtype)
+            candidate = self.raw[touched].astype(np.float64)
+            candidate += delta
+            if candidate.min() >= info.min and candidate.max() <= info.max:
+                self.raw[touched] = candidate.astype(self.raw.dtype)
+                return
+            self._promote(_next_rung(self.raw.dtype))
+        self.raw[touched] += delta
+
+    def _promote(self, dtype: np.dtype) -> None:
+        self.matrix = self.matrix.astype(dtype)
+        self.raw = self.matrix.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Whole-table operations
+    # ------------------------------------------------------------------
+    def zero(self) -> None:
+        self._guard_writable()
+        self.raw[:] = 0
+
+    def scale(self, factor: float) -> None:
+        """Multiply every counter *value* by ``factor``.
+
+        Quantized stores fold the factor into ``quantum`` — the counters
+        are untouched, so a one-shot renormalisation is exact (no integer
+        truncation).  Note later inserts quantize against the *new* unit,
+        which is why sustained per-tick decay is rejected upstream
+        (:class:`~repro.sketch.DecayedSketch`) rather than routed here.
+        Float stores scale in place as before.
+        """
+        self._guard_writable()
+        if self.quantum is not None:
+            self.quantum *= float(factor)
+        else:
+            self.raw *= float(factor)
+
+    def check_mergeable(self, other: "CounterStore", owner: str) -> None:
+        """Raise ``ValueError`` unless ``other`` can sum into this store."""
+        if (self.quantum is None) != (other.quantum is None):
+            raise ValueError(
+                f"{owner} sketches are mergeable only within one storage "
+                "tier; cannot merge quantized and float counter tables"
+            )
+        if self.quantum is not None:
+            if self.quantum != other.quantum:
+                raise ValueError(
+                    f"{owner} sketches are mergeable only with identical "
+                    f"quantum; {self.quantum!r} != {other.quantum!r}"
+                )
+        elif self.raw.dtype != other.raw.dtype:
+            raise ValueError(
+                f"{owner} sketches are mergeable only with identical "
+                f"counter dtype; {self.raw.dtype} != {other.raw.dtype}"
+            )
+
+    def merge_from(self, other: "CounterStore") -> None:
+        """Sum another (pre-checked) store's counters into this one."""
+        self.add_raw(other.raw)
+
+    def add_raw(self, table: np.ndarray) -> None:
+        """Sum a raw counter array (same unit/quantum) into this store.
+
+        Quantized path: the incoming integers join the exact widening
+        machinery, so merging an int16 shard into an int16 store can
+        promote — exactly as ingesting the same mass would have.  Float
+        path: plain in-place addition, bit-identical to the historical
+        ``table += other.table``.
+        """
+        self._guard_writable()
+        flat = np.asarray(table).reshape(-1)
+        if flat.size != self.raw.size:
+            raise ValueError(
+                f"counter table size mismatch: {flat.size} != {self.raw.size}"
+            )
+        if self.quantum is None:
+            self.raw += flat
+        else:
+            self._apply_integral_delta(flat.astype(np.float64))
+
+    def load_raw(self, table: np.ndarray) -> None:
+        """Replace the counters with a raw array (adopting its width).
+
+        Used when restoring persisted state (e.g. a sliding-window pane)
+        into a freshly built store: the persisted table may already have
+        widened past the declared dtype, and a silent down-cast would
+        corrupt it.  The store promotes to the incoming dtype when it is
+        wider; a *narrower* incoming table embeds exactly.
+        """
+        self._guard_writable()
+        incoming = np.asarray(table)
+        if incoming.ndim == 1:
+            incoming = incoming.reshape(self.matrix.shape)
+        if incoming.shape != self.matrix.shape:
+            raise ValueError(
+                f"counter table shape mismatch: {incoming.shape} != {self.matrix.shape}"
+            )
+        if incoming.dtype != self.raw.dtype:
+            if self.quantum is None:
+                raise ValueError(
+                    "cannot load a counter table with a different dtype into "
+                    f"float storage; {incoming.dtype} != {self.raw.dtype}"
+                )
+            if _LADDER.index(incoming.dtype) > _LADDER.index(self.raw.dtype):
+                self._promote(incoming.dtype)
+        self.matrix[:] = incoming
+
+    def attach(self, matrix: np.ndarray) -> None:
+        """Adopt ``matrix`` as the counter table **without copying**.
+
+        The zero-copy snapshot path: ``matrix`` is typically a read-only
+        ``np.memmap`` of an uncompressed ``.npz`` member, so the store is
+        born frozen (queries gather, writes hit the read-only guard).
+        """
+        matrix = np.asarray(matrix)
+        if matrix.shape != (self.num_tables, self.num_buckets):
+            raise ValueError(
+                f"cannot attach table of shape {matrix.shape}; "
+                f"expected {(self.num_tables, self.num_buckets)}"
+            )
+        resolved = matrix.dtype
+        if resolved not in _LADDER and resolved.name not in STORAGE_DTYPES:
+            raise ValueError(f"unsupported counter dtype {resolved}")
+        if not matrix.flags.c_contiguous:
+            raise ValueError("attached counter tables must be C-contiguous")
+        self.matrix = matrix
+        self.raw = matrix.reshape(-1)
+
+    def copy(self) -> "CounterStore":
+        clone = CounterStore(
+            self.num_tables,
+            self.num_buckets,
+            dtype=self.declared_dtype,
+            quantum=self.quantum,
+        )
+        if clone.raw.dtype != self.raw.dtype:
+            clone._promote(self.raw.dtype)
+        clone.matrix[:] = self.matrix
+        return clone
+
+    # ------------------------------------------------------------------
+    # Pickling / deepcopy: raw is a view of matrix — serialising both as
+    # independent arrays would silently decouple them.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["raw"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.raw = self.matrix.reshape(-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        quantum = "" if self.quantum is None else f", quantum={self.quantum:g}"
+        return (
+            f"CounterStore({self.num_tables}x{self.num_buckets}, "
+            f"{self.raw.dtype.name}{quantum})"
+        )

@@ -272,6 +272,8 @@ def make_decaying_sketcher(
     std_floor: float = 1e-6,
     track_top: int = 0,
     two_sided: bool = False,
+    storage: str = "float64",
+    quantum: float | None = None,
 ) -> DecayingSketcher:
     """One-call factory: decayed count sketch + estimator + pipeline.
 
@@ -280,13 +282,23 @@ def make_decaying_sketcher(
     used like any :class:`~repro.covariance.CovarianceSketcher` —
     ``fit_dense`` / ``fit_sparse`` / ``estimate_keys`` / ``top_pairs`` —
     and serves through the snapshot/engine read path unchanged.
+
+    ``storage``/``quantum`` select the counter tier
+    (:mod:`repro.sketch.storage`).  ``float32`` halves decayed-table
+    memory; quantized (int16/int32) backings are rejected by
+    :class:`~repro.sketch.DecayedSketch` — decayed inserts store values
+    scaled by ``1/gamma^ticks``, which outgrows any fixed-point range.
     """
     if (gamma is None) == (half_life is None):
         raise ValueError("specify exactly one of gamma and half_life")
     if gamma is None:
         gamma = decay_from_half_life(half_life)
     sketch = DecayedSketch(
-        CountSketch(num_tables, num_buckets, seed=seed, family=family), gamma
+        CountSketch(
+            num_tables, num_buckets, seed=seed, family=family,
+            dtype=storage, quantum=quantum,
+        ),
+        gamma,
     )
     estimator = DecayedSketchEstimator(
         sketch, total_samples, track_top=track_top, two_sided=two_sided

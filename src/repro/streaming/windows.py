@@ -61,7 +61,9 @@ def _restore_sketcher(result: ShardResult) -> CovarianceSketcher:
     """
     sketcher = result.spec.build_sketcher()
     estimator = sketcher.estimator
-    estimator.sketch.table[:] = result.table
+    # load_table adopts the persisted table's width: a quantized pane that
+    # widened past the spec's declared dtype restores without down-casting.
+    estimator.sketch.load_table(result.table)
     estimator.samples_seen = int(result.samples_seen)
     estimator.updates_examined = int(result.updates_examined)
     estimator.updates_accepted = int(result.updates_accepted)

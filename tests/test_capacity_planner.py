@@ -1,0 +1,116 @@
+"""Tests for the capacity planner (repro.sketch.planner)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import sketch_correlations
+from repro.data.synthetic import BlockCorrelationModel
+from repro.sketch.planner import plan
+
+
+class TestPlanShape:
+    def test_default_recommends_int16(self):
+        p = plan(10**6, 64)
+        assert p.storage == "int16"
+        assert p.predicted_bytes_per_counter == 2.0
+        assert p.quantum is not None and p.quantum > 0
+        # int16 buys ~4x the buckets of float64 at the same budget.
+        assert p.counters_vs_float64 == pytest.approx(4.0, rel=0.01)
+        assert p.predicted_snr_gain_db == pytest.approx(6.02, abs=0.1)
+
+    def test_budget_is_respected(self):
+        p = plan(1000, 8)
+        assert p.predicted_total_bytes <= 8 * (1 << 20)
+        # and not grossly under-used either
+        assert p.predicted_total_bytes >= 0.99 * 8 * (1 << 20)
+
+    def test_bigger_budget_more_buckets(self):
+        assert plan(1000, 64).num_buckets > plan(1000, 8).num_buckets
+
+    def test_pinned_storage_wins(self):
+        p = plan(1000, 8, storage="float64")
+        assert p.storage == "float64"
+        assert p.quantum is None
+        assert p.counters_vs_float64 == pytest.approx(1.0)
+
+    def test_tight_tolerance_forces_wider_storage(self):
+        # int16's relative step is ~3.8e-5 at headroom 1.25; demanding
+        # finer than that must push the pick off the narrowest rung.
+        p = plan(1000, 8, quantization_tolerance=1e-6)
+        assert p.storage != "int16"
+
+    def test_target_f1_maps_to_tolerance(self):
+        assert plan(1000, 8, target_f1=0.9).storage == "int16"
+
+    def test_value_range_sets_quantum(self):
+        narrow = plan(1000, 8, value_range=1.0)
+        wide = plan(1000, 8, value_range=100.0)
+        assert wide.quantum == pytest.approx(100.0 * narrow.quantum)
+
+    def test_pow2_buckets(self):
+        p = plan(1000, 8, pow2_buckets=True)
+        assert p.num_buckets & (p.num_buckets - 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan(1, 8)
+        with pytest.raises(ValueError):
+            plan(1000, 0)
+        with pytest.raises(ValueError):
+            plan(1000, 8, target_f1=1.5)
+        with pytest.raises(ValueError):
+            plan(1000, 8, storage="int8")
+
+
+class TestPlanToSketch:
+    def test_build_sketch_matches_prediction(self):
+        p = plan(10_000, 2)
+        sketch = p.build_sketch(seed=5)
+        assert sketch.num_buckets == p.num_buckets
+        assert sketch.storage_dtype == np.dtype(p.storage)
+        assert sketch.quantum == p.quantum
+        assert p.measured_bytes_per_counter(sketch) == p.predicted_bytes_per_counter
+        assert sketch.memory_bytes == p.predicted_total_bytes
+
+    def test_measured_tracks_promotion(self):
+        p = plan(100, 0.001, value_range=1.0)  # tiny table, int16
+        sketch = p.build_sketch()
+        # Saturate it: measured bytes/counter must report the widened cost.
+        sketch.insert(np.array([1]), np.array([p.quantum * (2**16)]))
+        assert p.measured_bytes_per_counter(sketch) > p.predicted_bytes_per_counter
+
+    def test_quantum_leaves_headroom(self):
+        p = plan(1000, 8, value_range=1.0)
+        sketch = p.build_sketch()
+        # A counter at the declared value range must not promote.
+        sketch.insert(np.array([7]), np.array([1.0]))
+        assert sketch.storage_dtype == np.int16
+
+
+class TestPlannerQuickstartFlow:
+    """The README flow: plan -> fit -> query, on a planned storage tier."""
+
+    def test_plan_fit_retrieve(self):
+        from repro.hashing.pairs import pair_to_index
+
+        model = BlockCorrelationModel.from_alpha(60, alpha=0.05, seed=3)
+        data = model.sample(800, rng=np.random.default_rng(4))
+        p = plan(60, 0.05, num_tables=5)
+        assert p.storage == "int16"
+        result = sketch_correlations(
+            data,
+            p.total_counters,
+            method="cs",
+            num_tables=p.num_tables,
+            storage=p.storage,
+            quantum=p.quantum,
+            top_k=20,
+            seed=9,
+        )
+        # The planned (quantized) run retrieves real signal pairs.
+        truth = set(model.signal_pairs().tolist())
+        got = set(
+            pair_to_index(result.pairs_i, result.pairs_j, 60).tolist()
+        )
+        assert len(truth & got) >= 10
+        assert result.sketcher.estimator.sketch.memory_bytes <= 0.05 * (1 << 20) * 1.01

@@ -1,0 +1,306 @@
+"""Registry-wide sketch conformance suite.
+
+Auto-parametrized over the serialisation kind registry
+(:func:`repro.sketch.serialization.kind_registry`): every registered kind
+— current and future — is held to the same contracts *for free*:
+
+* **save/load bit-identity** — the array codec and the file round-trip
+  reproduce the exact state (dtypes, quantum, filters, decay clock);
+* **freeze immutability** — after ``freeze()``, queries answer unchanged
+  and every mutating entry point raises *without* partial mutation;
+* **merge law** — the kind's *declared* law (``KindSpec.merge_law``):
+  ``exact`` kinds must be associative/commutative bit-for-bit on random
+  shard splits of an exactly-representable stream and equal to a one-shot
+  run; ``approximate`` kinds must merge without error and preserve
+  heavy-key estimates; ``unsupported`` kinds must raise ``ValueError``
+  citing their declared reason;
+* **insert/query vs reference** — estimates of isolated keys in a wide
+  table recover the inserted mass.
+
+A kind registered without conformance metadata (no example factory, or an
+undeclared merge law) fails loudly here instead of silently escaping the
+net.  ``ColdFilterSketch`` — deliberately *not* registered — is pinned at
+the bottom: it must keep declaring both non-serializability and
+non-mergeability with a reason.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sketch.cold_filter import ColdFilterSketch
+from repro.sketch.serialization import (
+    MERGE_LAWS,
+    kind_registry,
+    load_sketch,
+    save_sketch,
+    sketch_from_arrays,
+    sketch_to_arrays,
+)
+
+KINDS = kind_registry()
+
+
+def _make(name, seed=0):
+    spec = KINDS[name]
+    if spec.make is None:
+        pytest.fail(
+            f"kind {name!r} is registered without an example factory; "
+            "register_kind(..., make=...) so the conformance suite can "
+            "exercise it"
+        )
+    return spec.make(seed)
+
+
+def _stream(rng, n=600, key_space=5000, integral=False):
+    """(keys, values) usable by every kind: positive (count-min-safe) and
+    optionally integer-valued (exactly representable partial sums, the
+    precondition for bit-for-bit merge laws)."""
+    keys = rng.integers(0, key_space, size=n)
+    if integral:
+        values = rng.integers(1, 8, size=n).astype(np.float64)
+    else:
+        values = np.abs(rng.standard_normal(n)) + 0.05
+    return keys, values
+
+
+def _insert_stream(sketch, keys, values, batch=100):
+    for start in range(0, keys.size, batch):
+        sketch.insert(keys[start : start + batch], values[start : start + batch])
+
+
+def _assert_state_equal(left, right):
+    """Bit-for-bit comparison through the canonical array encoding."""
+    a, b = sketch_to_arrays(left), sketch_to_arrays(right)
+    assert a.keys() == b.keys()
+    for name in a:
+        av, bv = np.asarray(a[name]), np.asarray(b[name])
+        assert av.dtype == bv.dtype, f"{name}: {av.dtype} != {bv.dtype}"
+        np.testing.assert_array_equal(av, bv, err_msg=name)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(90210)
+
+
+class TestRegistryMetadata:
+    """A registration without conformance metadata must fail loudly."""
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_kind_declares_example_factory(self, name):
+        _make(name)  # fails with the actionable message when absent
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_kind_declares_valid_merge_law(self, name):
+        spec = KINDS[name]
+        assert spec.merge_law in MERGE_LAWS
+        if spec.merge_law == "unsupported":
+            assert spec.merge_reason, (
+                f"kind {name!r} declares merge_law='unsupported' without a "
+                "reason; raise with one so reducers surface it"
+            )
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_factory_matches_registered_class(self, name):
+        assert type(_make(name)) is KINDS[name].cls
+
+
+class TestSaveLoadBitIdentity:
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_file_round_trip(self, name, rng, tmp_path):
+        sketch = _make(name, seed=3)
+        _insert_stream(sketch, *_stream(rng))
+        path = str(tmp_path / f"{name}.npz")
+        save_sketch(sketch, path)
+        loaded = load_sketch(path)
+        _assert_state_equal(loaded, sketch)
+        probe = rng.integers(0, 5000, size=400)
+        np.testing.assert_array_equal(loaded.query(probe), sketch.query(probe))
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_array_round_trip(self, name, rng):
+        sketch = _make(name, seed=5)
+        _insert_stream(sketch, *_stream(rng))
+        rebuilt = sketch_from_arrays(sketch_to_arrays(sketch))
+        _assert_state_equal(rebuilt, sketch)
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_loaded_sketch_ingests_identically(self, name, rng, tmp_path):
+        sketch = _make(name, seed=7)
+        keys, values = _stream(rng)
+        _insert_stream(sketch, keys, values)
+        path = str(tmp_path / f"{name}.npz")
+        save_sketch(sketch, path)
+        loaded = load_sketch(path)
+        more_k, more_v = _stream(rng, n=200)
+        sketch.insert(more_k, more_v)
+        loaded.insert(more_k, more_v)
+        probe = rng.integers(0, 5000, size=300)
+        np.testing.assert_array_equal(loaded.query(probe), sketch.query(probe))
+
+
+class TestFreezeImmutability:
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_freeze_blocks_writes_preserves_reads(self, name, rng):
+        sketch = _make(name, seed=11)
+        keys, values = _stream(rng)
+        _insert_stream(sketch, keys, values)
+        probe = rng.integers(0, 5000, size=300)
+        before = sketch.query(probe).copy()
+        assert hasattr(sketch, "freeze"), (
+            f"kind {name!r} has no freeze(): serving snapshots cannot "
+            "guarantee immutability for it"
+        )
+        sketch.freeze()
+        with pytest.raises(ValueError):
+            sketch.insert(keys[:50], values[:50])
+        # The failed insert must not have half-mutated anything.
+        np.testing.assert_array_equal(sketch.query(probe), before)
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_frozen_reset_raises(self, name, rng):
+        sketch = _make(name, seed=13)
+        _insert_stream(sketch, *_stream(rng))
+        sketch.freeze()
+        with pytest.raises(ValueError):
+            sketch.reset()
+
+
+class TestMergeLaw:
+    def _shards(self, name, rng, num_shards):
+        keys, values = _stream(rng, n=900, integral=True)
+        splits = np.sort(rng.integers(1, 899, size=num_shards - 1))
+        bounds = [0, *splits.tolist(), 900]
+        shards = []
+        for s in range(num_shards):
+            shard = _make(name, seed=17)
+            _insert_stream(
+                shard, keys[bounds[s] : bounds[s + 1]], values[bounds[s] : bounds[s + 1]]
+            )
+            shards.append(shard)
+        one_shot = _make(name, seed=17)
+        _insert_stream(one_shot, keys, values)
+        return shards, one_shot
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_declared_merge_law_holds(self, name, rng):
+        spec = KINDS[name]
+        if spec.merge_law == "unsupported":
+            a, b = _make(name, seed=17), _make(name, seed=17)
+            with pytest.raises(ValueError) as excinfo:
+                a.merge(b)
+            assert spec.merge_reason.split()[0].lower() in str(excinfo.value).lower()
+            return
+        shards, one_shot = self._shards(name, rng, num_shards=3)
+
+        def merged(order):
+            parts = [shards[i].copy() for i in order]
+            acc = parts[0]
+            for part in parts[1:]:
+                acc.merge(part)
+            return acc
+
+        left = merged([0, 1, 2])
+        right = merged([2, 0, 1])
+        if spec.merge_law == "exact":
+            # Associativity + commutativity, bit-for-bit, and equality with
+            # the one-shot run (integer stream => exactly representable).
+            probe = rng.integers(0, 5000, size=500)
+            reference = one_shot.query(probe)
+            _assert_state_equal(left, right)
+            np.testing.assert_array_equal(left.query(probe), reference)
+            np.testing.assert_array_equal(right.query(probe), reference)
+        else:
+            # Approximate law: merge order may shuffle which keys stay
+            # exact, but a planted heavy key's mass must survive any order.
+            planted, mass = 4242, 400.0
+            for shard in shards:
+                shard.insert(np.array([planted]), np.array([mass]))
+            for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+                acc = merged(order)
+                got = acc.query_single(planted)
+                assert got == pytest.approx(3 * mass, rel=0.15), (
+                    f"merge order {order} lost the planted heavy key: "
+                    f"{got} vs {3 * mass}"
+                )
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_random_split_counts(self, name, rng):
+        """Merge law must hold for any shard count, not just 3."""
+        spec = KINDS[name]
+        if spec.merge_law != "exact":
+            pytest.skip("random-split sweep applies to exact merge laws")
+        for num_shards in (2, 4, 6):
+            shards, one_shot = self._shards(name, rng, num_shards=num_shards)
+            acc = shards[0]
+            for part in shards[1:]:
+                acc.merge(part)
+            probe = rng.integers(0, 5000, size=300)
+            np.testing.assert_array_equal(acc.query(probe), one_shot.query(probe))
+
+
+class TestQuantizedVariantsConform:
+    """The compact tier rides the same registry entries (dtype + quantum in
+    the arrays), so the core contracts are re-pinned on quantized tables."""
+
+    def _pair(self, dtype, seed=23):
+        from repro.sketch.count_sketch import CountSketch
+
+        return CountSketch(3, 256, seed=seed, dtype=dtype, quantum=0.25)
+
+    @pytest.mark.parametrize("dtype", ["int16", "int32"])
+    def test_round_trip_preserves_storage(self, dtype, rng, tmp_path):
+        sketch = self._pair(dtype)
+        keys, values = _stream(rng, integral=True)
+        _insert_stream(sketch, keys, values)
+        path = str(tmp_path / f"q{dtype}.npz")
+        save_sketch(sketch, path)
+        loaded = load_sketch(path)
+        assert loaded.storage_dtype == np.dtype(dtype)
+        assert loaded.quantum == 0.25
+        np.testing.assert_array_equal(loaded.table, sketch.table)
+        probe = rng.integers(0, 5000, size=300)
+        np.testing.assert_array_equal(loaded.query(probe), sketch.query(probe))
+
+    def test_promoted_table_round_trips(self, rng, tmp_path):
+        sketch = self._pair("int16")
+        sketch.insert(np.array([1]), np.array([0.25 * (np.iinfo(np.int16).max + 5)]))
+        assert sketch.storage_dtype == np.int32  # promoted
+        path = str(tmp_path / "promoted.npz")
+        save_sketch(sketch, path)
+        loaded = load_sketch(path)
+        assert loaded.storage_dtype == np.int32
+        assert loaded.quantum == 0.25
+        np.testing.assert_array_equal(loaded.table, sketch.table)
+
+    @pytest.mark.parametrize("dtype", ["int16", "int32"])
+    def test_merge_law_exact_on_quantized(self, dtype, rng):
+        keys, values = _stream(rng, n=600, integral=True)
+        full = self._pair(dtype)
+        _insert_stream(full, keys, values)
+        a, b = self._pair(dtype), self._pair(dtype)
+        _insert_stream(a, keys[:250], values[:250])
+        _insert_stream(b, keys[250:], values[250:])
+        ab = a.copy().merge(b)
+        ba = b.copy().merge(a)
+        np.testing.assert_array_equal(ab.table, ba.table)
+        np.testing.assert_array_equal(ab.table, full.table)
+
+
+class TestColdFilterDeclares:
+    """Not registered — but it must *declare* both exclusions, not fail
+    silently (the conformance contract for non-participating kinds)."""
+
+    def test_not_serializable_with_reason(self, tmp_path):
+        gate = ColdFilterSketch(3, 64, threshold=0.5)
+        with pytest.raises(TypeError, match="order-dependent"):
+            save_sketch(gate, str(tmp_path / "cf.npz"))
+
+    def test_not_mergeable_with_reason(self):
+        a = ColdFilterSketch(3, 64, threshold=0.5)
+        b = ColdFilterSketch(3, 64, threshold=0.5)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+    def test_not_registered(self):
+        assert all(spec.cls is not ColdFilterSketch for spec in KINDS.values())

@@ -353,6 +353,28 @@ class TestShardResultRoundTrip:
         np.testing.assert_array_equal(k1, k2)
         np.testing.assert_array_equal(e1, e2)
 
+    def test_loads_pre_memory_tier_files(self, tmp_path, rng):
+        """Regression: shard/pane .npz files written before the storage
+        tier existed (no spec_storage/spec_quantum members) must keep
+        loading, with those fields at their float64/unquantized defaults."""
+        spec = self._spec(method="cs", schedule=None, mode="covariance",
+                          two_sided=False)
+        result = sketch_shard(spec, _shard_samples(rng, 16, spec.dim))
+        path = tmp_path / "old_format.npz"
+        save_shard_result(result, str(path))
+        with np.load(path, allow_pickle=False) as data:
+            stripped = {
+                name: data[name]
+                for name in data.files
+                if name not in ("spec_storage", "spec_quantum")
+            }
+        np.savez_compressed(path, **stripped)
+        loaded = load_shard_result(str(path))
+        assert loaded.spec.storage == "float64"
+        assert loaded.spec.quantum is None
+        assert loaded.spec == spec
+        np.testing.assert_array_equal(loaded.table, result.table)
+
     def test_round_trip_covers_every_dataclass_field(self, tmp_path, rng):
         """Guards against new ShardResult fields silently skipping the
         .npz round trip."""
