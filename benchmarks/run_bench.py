@@ -39,6 +39,7 @@ _SUITE_MODULES = (
     "bench_serving",
     "bench_streaming",
     "bench_memory",
+    "bench_faults",
 )
 
 for _module in _SUITE_MODULES:

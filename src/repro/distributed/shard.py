@@ -40,9 +40,19 @@ from repro.core.ascs import ActiveSamplingCountSketch
 from repro.core.estimator import SketchEstimator
 from repro.core.schedule import ThresholdSchedule
 from repro.covariance.pipeline import CovarianceSketcher
+from repro.durability.integrity import verify_arrays, write_npz
 from repro.sketch.count_sketch import CountSketch
 
-__all__ = ["ShardSpec", "ShardResult", "sketch_shard", "save_shard_result", "load_shard_result"]
+__all__ = [
+    "ShardSpec",
+    "ShardResult",
+    "sketch_shard",
+    "save_shard_result",
+    "load_shard_result",
+    "spec_to_arrays",
+    "spec_from_arrays",
+    "restore_sketcher",
+]
 
 #: Estimator methods whose state merges losslessly enough to shard.
 #: ASketch filters and Cold Filter gates hold order-dependent state, so the
@@ -280,83 +290,120 @@ def sketch_shard(
 _SPEC_STR_FIELDS = ("method", "family", "storage", "mode")
 
 
-def save_shard_result(result: ShardResult, path) -> None:
-    """Persist a :class:`ShardResult` to ``path`` (``.npz``).
+def spec_to_arrays(spec: ShardSpec, *, prefix: str = "spec_") -> dict:
+    """A :class:`ShardSpec` as a flat ``{name: ndarray}`` dict.
 
-    Workers on separate machines write these; the reducer loads and merges.
-    Spec scalars are stored as 0-d arrays and strings as fixed unicode, so
-    no pickled objects are involved (``allow_pickle=False`` round-trip).
+    Scalars are stored as 0-d arrays and strings as fixed unicode, so the
+    dict survives ``np.savez`` with ``allow_pickle=False``.  ``None``
+    optionals (schedule, quantum) encode as NaN.  The durability tier
+    persists a spec alone (the recovery recipe); :func:`save_shard_result`
+    embeds the same members inside each shard file.
     """
     payload: dict[str, np.ndarray] = {}
     for f in fields(ShardSpec):
-        value = getattr(result.spec, f.name)
+        value = getattr(spec, f.name)
         if f.name == "schedule":
-            payload["spec_schedule"] = (
-                np.full(4, np.nan) if value is None else np.asarray(value, dtype=np.float64)
+            payload[prefix + "schedule"] = (
+                np.full(4, np.nan)
+                if value is None
+                else np.asarray(value, dtype=np.float64)
             )
         elif f.name == "quantum":
             # None encodes as NaN (like the optional schedule): np.asarray
             # on None would produce an object array savez cannot store.
-            payload["spec_quantum"] = np.asarray(
+            payload[prefix + "quantum"] = np.asarray(
                 np.nan if value is None else value, dtype=np.float64
             )
         else:
-            payload[f"spec_{f.name}"] = np.asarray(value)
-    np.savez_compressed(
-        path,
-        shard_index=np.asarray(result.shard_index),
-        num_shards=np.asarray(result.num_shards),
-        start=np.asarray(result.start),
-        stop=np.asarray(result.stop),
-        table=result.table,
-        samples_seen=np.asarray(result.samples_seen),
-        updates_examined=np.asarray(result.updates_examined),
-        updates_accepted=np.asarray(result.updates_accepted),
-        moments_count=np.asarray(result.moments_count),
-        moments_sum=result.moments_sum,
-        moments_sumsq=result.moments_sumsq,
-        tracker_keys=result.tracker_keys,
-        tracker_estimates=result.tracker_estimates,
-        **payload,
+            payload[prefix + f.name] = np.asarray(value)
+    return payload
+
+
+def spec_from_arrays(data, *, prefix: str = "spec_") -> ShardSpec:
+    """Rebuild a :class:`ShardSpec` from :func:`spec_to_arrays` output.
+
+    Members missing from ``data`` keep their dataclass defaults, so files
+    written before a spec field existed (e.g. pre-memory-tier shards with
+    no ``storage``/``quantum``) still load.
+    """
+    schedule_raw = data[prefix + "schedule"]
+    schedule = (
+        None
+        if np.isnan(schedule_raw).any()
+        else (
+            int(schedule_raw[0]),
+            float(schedule_raw[1]),
+            float(schedule_raw[2]),
+            int(schedule_raw[3]),
+        )
     )
+    spec_kwargs = {}
+    for f in fields(ShardSpec):
+        if f.name == "schedule":
+            continue
+        member = prefix + f.name
+        if member not in data:
+            continue
+        raw = data[member]
+        if f.name in _SPEC_STR_FIELDS:
+            spec_kwargs[f.name] = str(raw)
+        elif f.name == "quantum":
+            value = float(raw)
+            spec_kwargs[f.name] = None if np.isnan(value) else value
+        elif f.name in ("std_floor",):
+            spec_kwargs[f.name] = float(raw)
+        elif f.name == "two_sided":
+            spec_kwargs[f.name] = bool(raw)
+        else:
+            spec_kwargs[f.name] = int(raw)
+    return ShardSpec(schedule=schedule, **spec_kwargs)
+
+
+def save_shard_result(result: ShardResult, path, *, extra: dict | None = None) -> None:
+    """Persist a :class:`ShardResult` to ``path`` (``.npz``).
+
+    Workers on separate machines write these; the reducer loads and merges.
+    No pickled objects are involved (``allow_pickle=False`` round-trip).
+    The write is atomic (temp file + ``os.replace``) and the archive embeds
+    per-array CRC32s plus a manifest digest
+    (:mod:`repro.durability.integrity`), so a torn or bit-flipped shard
+    file is *detected at load* instead of merging silent garbage.
+
+    ``extra`` members (0-d arrays) ride along inside the archive — the
+    durability tier stores the WAL position a checkpoint covers this way.
+    """
+    payload = {
+        "shard_index": np.asarray(result.shard_index),
+        "num_shards": np.asarray(result.num_shards),
+        "start": np.asarray(result.start),
+        "stop": np.asarray(result.stop),
+        "table": result.table,
+        "samples_seen": np.asarray(result.samples_seen),
+        "updates_examined": np.asarray(result.updates_examined),
+        "updates_accepted": np.asarray(result.updates_accepted),
+        "moments_count": np.asarray(result.moments_count),
+        "moments_sum": result.moments_sum,
+        "moments_sumsq": result.moments_sumsq,
+        "tracker_keys": result.tracker_keys,
+        "tracker_estimates": result.tracker_estimates,
+        **spec_to_arrays(result.spec),
+    }
+    if extra:
+        payload.update({name: np.asarray(value) for name, value in extra.items()})
+    write_npz(path, payload, compress=True)
 
 
 def load_shard_result(path) -> ShardResult:
-    """Restore a :class:`ShardResult` written by :func:`save_shard_result`."""
+    """Restore a :class:`ShardResult` written by :func:`save_shard_result`.
+
+    Files carrying integrity members are CRC-verified
+    (:class:`repro.durability.IntegrityError` names the file and the bad
+    member on mismatch); files from before the durability tier load
+    unverified, exactly as they always did.
+    """
     with np.load(path, allow_pickle=False) as data:
-        schedule_raw = data["spec_schedule"]
-        schedule = (
-            None
-            if np.isnan(schedule_raw).any()
-            else (
-                int(schedule_raw[0]),
-                float(schedule_raw[1]),
-                float(schedule_raw[2]),
-                int(schedule_raw[3]),
-            )
-        )
-        spec_kwargs = {}
-        for f in fields(ShardSpec):
-            if f.name == "schedule":
-                continue
-            member = f"spec_{f.name}"
-            if member not in data:
-                # Pre-memory-tier file (no storage/quantum members): the
-                # field keeps its dataclass default — float64, unquantized.
-                continue
-            raw = data[member]
-            if f.name in _SPEC_STR_FIELDS:
-                spec_kwargs[f.name] = str(raw)
-            elif f.name == "quantum":
-                value = float(raw)
-                spec_kwargs[f.name] = None if np.isnan(value) else value
-            elif f.name in ("std_floor",):
-                spec_kwargs[f.name] = float(raw)
-            elif f.name == "two_sided":
-                spec_kwargs[f.name] = bool(raw)
-            else:
-                spec_kwargs[f.name] = int(raw)
-        spec = ShardSpec(schedule=schedule, **spec_kwargs)
+        verify_arrays(data, source=str(path))
+        spec = spec_from_arrays(data)
         return ShardResult(
             spec=spec,
             shard_index=int(data["shard_index"]),
@@ -373,6 +420,35 @@ def load_shard_result(path) -> ShardResult:
             tracker_keys=data["tracker_keys"].copy(),
             tracker_estimates=data["tracker_estimates"].copy(),
         )
+
+
+def restore_sketcher(result: ShardResult) -> CovarianceSketcher:
+    """Rebuild a live (writable) pipeline from a persisted shard/pane state.
+
+    The inverse of :func:`extract_shard_result`: counters, moment
+    accumulators, sampler statistics and the tracker pool are all restored,
+    so further ingestion behaves exactly as if the state had never been
+    persisted (the tracker restore relies on ``TopKTracker.snapshot``'s
+    replay guarantee).  This is the recovery primitive shared by
+    :class:`repro.streaming.PaneRing` resume and the durability tier's
+    checkpoint + WAL replay (:class:`repro.durability.DurableSketcher`).
+    """
+    sketcher = result.spec.build_sketcher()
+    estimator = sketcher.estimator
+    # load_table adopts the persisted table's width: a quantized pane that
+    # widened past the spec's declared dtype restores without down-casting.
+    estimator.sketch.load_table(result.table)
+    estimator.samples_seen = int(result.samples_seen)
+    estimator.updates_examined = int(result.updates_examined)
+    estimator.updates_accepted = int(result.updates_accepted)
+    if estimator.tracker is not None and result.tracker_keys.size:
+        estimator.tracker.offer(result.tracker_keys, result.tracker_estimates)
+    moments = sketcher.sparse_moments
+    moments._sum[:] = result.moments_sum
+    moments._sumsq[:] = result.moments_sumsq
+    moments.count = int(result.moments_count)
+    sketcher.samples_seen = int(result.samples_seen)
+    return sketcher
 
 
 def spec_with(spec: ShardSpec, **changes) -> ShardSpec:

@@ -1,0 +1,58 @@
+"""Crash-safe durability tier: WAL, checksummed artifacts, fault injection.
+
+The streaming estimator is single-pass over an unreplayable stream —
+state lost to a crash or a corrupt file is gone forever.  This package
+closes that hole in layers:
+
+* :mod:`~repro.durability.integrity` — per-array CRC32 + manifest digest
+  inside every ``.npz`` artifact; atomic :func:`write_npz`;
+  :class:`IntegrityError` naming the file and reason.
+* :mod:`~repro.durability.journal` — :class:`IngestJournal`, the
+  batch-aligned write-ahead log (torn tails dropped, gaps fatal).
+* :mod:`~repro.durability.durable` — :class:`DurableSketcher`, checkpoint
+  + WAL replay around a sketcher or pane ring; recovery is bit-identical
+  to the uninterrupted run.
+* :mod:`~repro.durability.breaker` — :class:`CircuitBreaker` for the
+  serving ingest path (fail fast, 503 + ``Retry-After``).
+* :mod:`~repro.durability.faults` — deterministic fault injection
+  (simulated crashes, disk-full, bit flips, dropped connections) driving
+  the crash-recovery property suite and ``benchmarks/bench_faults.py``.
+"""
+
+from repro.durability.breaker import CircuitBreaker, CircuitOpenError
+from repro.durability.integrity import (
+    INTEGRITY_MEMBERS,
+    IntegrityError,
+    crc32_array,
+    integrity_payload,
+    verify_arrays,
+    write_npz,
+)
+from repro.durability.journal import IngestJournal, journal_end_seq, replay_journal
+
+
+def __getattr__(name):
+    # DurableSketcher sits above repro.distributed (which itself uses the
+    # integrity layer below), so it loads lazily to keep the package
+    # importable from either direction.
+    if name == "DurableSketcher":
+        from repro.durability.durable import DurableSketcher
+
+        return DurableSketcher
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DurableSketcher",
+    "INTEGRITY_MEMBERS",
+    "IntegrityError",
+    "crc32_array",
+    "integrity_payload",
+    "verify_arrays",
+    "write_npz",
+    "IngestJournal",
+    "journal_end_seq",
+    "replay_journal",
+]

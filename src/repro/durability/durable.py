@@ -1,0 +1,454 @@
+"""Crash-safe ingestion: checkpoint + write-ahead log around a sketcher.
+
+:class:`DurableSketcher` wraps a write side — a plain
+:class:`repro.covariance.CovarianceSketcher` built from a
+:class:`repro.distributed.ShardSpec`, or a windowed
+:class:`repro.streaming.PaneRing` — and makes it survive process death:
+
+* every ingest call is journalled to an :class:`~repro.durability.journal.
+  IngestJournal` *before* it is applied (write-ahead discipline);
+* periodic checkpoints persist the full estimator state atomically with
+  integrity checksums, each stamped with the WAL position it covers;
+* :func:`DurableSketcher.recover` (or simply re-opening the directory)
+  loads the newest *valid* checkpoint — quarantining truncated or corrupt
+  ones with a logged reason — and replays the journalled batches past it.
+
+Because ingestion is deterministic at call granularity (``fit_sparse``
+batches on a fixed grid and flushes per call; ASCS gates on the sketch
+state, no RNG), the recovered state is **bit-identical** to the
+uninterrupted run — the property ``tests/test_crash_recovery.py`` proves
+at seeded-random kill points under both float64 and int16 storage.
+
+Layout of a durable directory::
+
+    spec.npz            the recipe (ShardSpec + ring geometry) — recovery
+                        is self-contained, no constructor args needed
+    wal-<seq>.wal       journal segments (see repro.durability.journal)
+    ckpt-<n>.npz        checkpoint n: ShardResult + ``wal_seq`` member
+    ckpt-<n>.ring/      (windowed mode) the PaneRing state; ckpt-<n>.npz
+                        is then a marker written *after* the ring, so a
+                        half-written ring is never considered valid
+    *.corrupt           quarantined artifacts (renamed, never deleted)
+
+The wrapper quacks like the write side it wraps (``dim`` / ``mode`` /
+``samples_seen`` / ``fit_sparse`` / ``estimator`` /
+``export_snapshot_state`` pass through), so it slots directly into
+:class:`repro.serving.ServingEstimator`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+import struct
+import zipfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed.shard import (
+    ShardSpec,
+    extract_shard_result,
+    load_shard_result,
+    restore_sketcher,
+    save_shard_result,
+    spec_from_arrays,
+    spec_to_arrays,
+)
+from repro.durability.integrity import IntegrityError, verify_arrays, write_npz
+from repro.durability.journal import IngestJournal
+from repro.streaming.windows import PaneRing
+
+__all__ = ["DurableSketcher"]
+
+logger = logging.getLogger(__name__)
+
+_RECIPE = "spec.npz"
+_CKPT_RE = re.compile(r"^ckpt-(?P<id>\d{8})\.npz$")
+
+#: Exceptions that mean "this artifact is unreadable", not "this code is
+#: broken" — the checkpoint walk-back quarantines on these and keeps going.
+_CORRUPTION_ERRORS = (
+    IntegrityError,
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+    zlib.error,
+    struct.error,
+)
+
+
+class DurableSketcher:
+    """Checkpoint + WAL wrapper making a sketcher crash-safe.
+
+    Opening a directory that already holds a recipe **recovers** (newest
+    valid checkpoint + journal replay); an empty directory **creates**
+    (``spec`` required).  All state lives under ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        The durable directory (created if missing).
+    spec:
+        The :class:`repro.distributed.ShardSpec` recipe.  Required when
+        creating; optional (and cross-checked) when recovering.
+    num_panes, pane_samples:
+        When given at create time, the write side is a sliding-window
+        :class:`repro.streaming.PaneRing` with this geometry instead of a
+        plain sketcher.  Persisted in the recipe.
+    checkpoint_every:
+        Auto-checkpoint after this many journalled ingest calls
+        (``0`` disables — call :meth:`checkpoint` manually).  Default 64.
+    keep_checkpoints:
+        Checkpoints retained before pruning (older WAL segments fully
+        covered by the *oldest retained* checkpoint are pruned with them,
+        which is why the default keeps 2: the newest checkpoint can be
+        lost to corruption and recovery still has the journal suffix the
+        previous one needs).
+    fsync, rotate_every, open_fn:
+        Passed to :class:`~repro.durability.journal.IngestJournal`
+        (``open_fn`` is the fault-injection hook).
+    """
+
+    def __init__(
+        self,
+        directory,
+        spec: ShardSpec | None = None,
+        *,
+        num_panes: int | None = None,
+        pane_samples: int | None = None,
+        checkpoint_every: int | None = None,
+        keep_checkpoints: int | None = None,
+        fsync: str = "rotate",
+        rotate_every: int = 256,
+        open_fn=open,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        recipe_path = self.directory / _RECIPE
+        if recipe_path.exists():
+            self._load_recipe(recipe_path, spec, num_panes, pane_samples)
+        else:
+            if spec is None:
+                raise ValueError(
+                    f"{self.directory} holds no {_RECIPE} — pass a ShardSpec "
+                    "to create a new durable sketcher"
+                )
+            if (num_panes is None) != (pane_samples is None):
+                raise ValueError(
+                    "windowed mode needs both num_panes and pane_samples"
+                )
+            self.spec = spec
+            self.num_panes = num_panes
+            self.pane_samples = pane_samples
+            self._write_recipe(recipe_path)
+        self.windowed = self.num_panes is not None
+        self.checkpoint_every = 64 if checkpoint_every is None else int(checkpoint_every)
+        self.keep_checkpoints = max(1, 2 if keep_checkpoints is None else int(keep_checkpoints))
+
+        # --- recover state: newest valid checkpoint, then WAL replay ---
+        inner, ckpt_seq, ckpt_id = self._load_latest_checkpoint()
+        self._inner = inner if inner is not None else self._fresh_inner()
+        self.checkpoint_seq = ckpt_seq
+        self.recovered_from = ckpt_id
+        self._next_ckpt = self._next_checkpoint_id()
+        self.journal = IngestJournal(
+            self.directory,
+            prefix="wal",
+            rotate_every=rotate_every,
+            fsync=fsync,
+            open_fn=open_fn,
+        )
+        self.replayed_records = self._replay(after=ckpt_seq)
+        self._records_since_checkpoint = self.replayed_records
+        if self.recovered_from is not None or self.replayed_records:
+            logger.info(
+                "durable recover %s: checkpoint %s + %d replayed record(s), "
+                "samples_seen=%d",
+                self.directory,
+                self.recovered_from,
+                self.replayed_records,
+                self._inner.samples_seen,
+            )
+
+    # ------------------------------------------------------------------
+    # Recipe
+    # ------------------------------------------------------------------
+    def _write_recipe(self, path: Path) -> None:
+        payload = dict(spec_to_arrays(self.spec))
+        payload["windowed"] = np.asarray(int(self.num_panes is not None))
+        payload["num_panes"] = np.asarray(
+            -1 if self.num_panes is None else int(self.num_panes)
+        )
+        payload["pane_samples"] = np.asarray(
+            -1 if self.pane_samples is None else int(self.pane_samples)
+        )
+        write_npz(path, payload)
+
+    def _load_recipe(self, path, spec, num_panes, pane_samples) -> None:
+        with np.load(path, allow_pickle=False) as data:
+            verify_arrays(data, source=str(path))
+            recipe_spec = spec_from_arrays(data)
+            windowed = bool(int(data["windowed"]))
+            recipe_panes = int(data["num_panes"]) if windowed else None
+            recipe_samples = int(data["pane_samples"]) if windowed else None
+        if spec is not None and spec != recipe_spec:
+            raise ValueError(
+                f"{path}: the passed spec differs from the persisted recipe; "
+                "a durable directory is bound to one spec for life"
+            )
+        if num_panes is not None and num_panes != recipe_panes:
+            raise ValueError(
+                f"{path}: num_panes={num_panes} differs from the persisted "
+                f"recipe ({recipe_panes})"
+            )
+        if pane_samples is not None and pane_samples != recipe_samples:
+            raise ValueError(
+                f"{path}: pane_samples={pane_samples} differs from the "
+                f"persisted recipe ({recipe_samples})"
+            )
+        self.spec = recipe_spec
+        self.num_panes = recipe_panes
+        self.pane_samples = recipe_samples
+
+    def _fresh_inner(self):
+        if self.num_panes is not None:
+            return PaneRing(
+                self.spec,
+                num_panes=self.num_panes,
+                pane_samples=self.pane_samples,
+            )
+        return self.spec.build_sketcher()
+
+    @classmethod
+    def recover(cls, directory, **kwargs) -> "DurableSketcher":
+        """Reopen an existing durable directory (explicit-intent spelling:
+        raises if there is nothing to recover)."""
+        if not (Path(directory) / _RECIPE).exists():
+            raise FileNotFoundError(
+                f"{directory} is not a durable directory (no {_RECIPE})"
+            )
+        return cls(directory, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _checkpoints(self) -> list[tuple[int, Path]]:
+        out = []
+        for path in self.directory.iterdir():
+            match = _CKPT_RE.match(path.name)
+            if match:
+                out.append((int(match.group("id")), path))
+        out.sort()
+        return out
+
+    def _next_checkpoint_id(self) -> int:
+        entries = self._checkpoints()
+        return entries[-1][0] + 1 if entries else 0
+
+    def _ring_dir(self, ckpt_id: int) -> Path:
+        return self.directory / f"ckpt-{ckpt_id:08d}.ring"
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        logger.warning(
+            "quarantining corrupt checkpoint %s: %s", path, reason
+        )
+        targets = [path]
+        if self.windowed:
+            ring = self._ring_dir(int(_CKPT_RE.match(path.name).group("id")))
+            if ring.exists():
+                targets.append(ring)
+        for target in targets:
+            try:
+                os.replace(target, target.with_name(target.name + ".corrupt"))
+            except OSError:  # pragma: no cover - quarantine is best-effort
+                logger.warning("could not quarantine %s", target)
+
+    def _load_latest_checkpoint(self):
+        """Newest valid checkpoint as ``(live_write_side, wal_seq, id)``.
+
+        Walks the checkpoints newest-first; truncated, bit-flipped or
+        half-written ones are quarantined (renamed ``*.corrupt``) with a
+        logged reason and the walk continues — the
+        ``CheckpointManager.load_latest`` discipline, applied to ingest
+        state.  Returns ``(None, -1, None)`` when no checkpoint survives.
+        """
+        for ckpt_id, path in reversed(self._checkpoints()):
+            try:
+                if self.windowed:
+                    with np.load(path, allow_pickle=False) as data:
+                        verify_arrays(data, source=str(path))
+                        wal_seq = int(data["wal_seq"])
+                    inner = PaneRing.load(self._ring_dir(ckpt_id))
+                else:
+                    result = load_shard_result(path)
+                    with np.load(path, allow_pickle=False) as data:
+                        wal_seq = (
+                            int(data["wal_seq"]) if "wal_seq" in data.files else -1
+                        )
+                    inner = restore_sketcher(result)
+            except _CORRUPTION_ERRORS as exc:
+                self._quarantine(path, exc)
+                continue
+            return inner, wal_seq, ckpt_id
+        return None, -1, None
+
+    def checkpoint(self) -> Path:
+        """Persist the current state; returns the checkpoint path.
+
+        The covered journal suffix is fsynced first, so the checkpoint
+        never claims a WAL position the disk does not actually hold.  Old
+        checkpoints beyond ``keep_checkpoints`` are pruned, along with the
+        journal segments fully covered by the oldest retained checkpoint.
+        """
+        self.journal.sync()
+        wal_seq = self.journal.last_seq
+        ckpt_id = self._next_ckpt
+        path = self.directory / f"ckpt-{ckpt_id:08d}.npz"
+        if self.windowed:
+            # Ring first, tiny marker last + atomically: recovery treats a
+            # checkpoint as existing only once its marker is complete.
+            self._inner.save(self._ring_dir(ckpt_id))
+            write_npz(path, {"ring": np.asarray(1), "wal_seq": np.asarray(wal_seq)})
+        else:
+            result = extract_shard_result(self._inner, self.spec)
+            save_shard_result(result, path, extra={"wal_seq": wal_seq})
+        self._next_ckpt = ckpt_id + 1
+        self.checkpoint_seq = wal_seq
+        self._records_since_checkpoint = 0
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        entries = self._checkpoints()
+        drop, keep = entries[: -self.keep_checkpoints], entries[-self.keep_checkpoints :]
+        for ckpt_id, path in drop:
+            path.unlink(missing_ok=True)
+            ring = self._ring_dir(ckpt_id)
+            if ring.exists():
+                for pane in ring.iterdir():
+                    pane.unlink()
+                ring.rmdir()
+        if keep:
+            oldest_path = keep[0][1]
+            with np.load(oldest_path, allow_pickle=False) as data:
+                covered = int(data["wal_seq"]) if "wal_seq" in data.files else -1
+            if covered >= 0:
+                self.journal.prune_through(covered)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay(self, *, after: int) -> int:
+        """Apply journalled records past ``after``; returns the count.
+
+        Enforces continuity between the checkpoint and the journal: the
+        first replayed record must be ``after + 1`` — a gap means the WAL
+        was pruned past what this checkpoint covers (all newer checkpoints
+        were lost), which is unrecoverable without silent divergence.
+        """
+        expected = after + 1
+        replayed = 0
+        for seq, samples in self.journal.records(after=after):
+            if seq != expected:
+                raise IntegrityError(
+                    f"{self.directory}: checkpoint covers WAL record {after} "
+                    f"but the journal resumes at {seq} — records "
+                    f"{expected}..{seq - 1} were pruned or lost; recovery "
+                    "cannot reconstruct the stream bit-identically"
+                )
+            self._inner.fit_sparse(iter(samples))
+            expected = seq + 1
+            replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Write side (the ServingEstimator duck-type surface)
+    # ------------------------------------------------------------------
+    def fit_sparse(self, samples) -> "DurableSketcher":
+        """Journal one ingest batch, then apply it.
+
+        The batch is materialised (the journal and the estimator both
+        consume it), durably appended, and only then fed to the wrapped
+        write side — so a crash at any byte leaves either "not
+        acknowledged, not applied" (safe to resend) or "acknowledged and
+        replayable".  Empty batches are not journalled.
+        """
+        batch = samples if isinstance(samples, list) else list(samples)
+        if not batch:
+            return self
+        self.journal.append(batch)
+        self._inner.fit_sparse(iter(batch))
+        self._records_since_checkpoint += 1
+        if self.checkpoint_every and (
+            self._records_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return self
+
+    def fit_dense(self, batch):
+        raise NotImplementedError(
+            "durable ingest is sparse-only (the WAL records sparse batches); "
+            "convert dense rows upstream"
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.spec.dim
+
+    @property
+    def mode(self) -> str:
+        return self.spec.mode
+
+    @property
+    def samples_seen(self) -> int:
+        return self._inner.samples_seen
+
+    @property
+    def estimator(self):
+        return self._inner.estimator
+
+    @property
+    def wal_lag(self) -> int:
+        """Acknowledged WAL records not yet covered by a checkpoint — the
+        replay debt a crash right now would incur."""
+        return self.journal.last_seq - self.checkpoint_seq
+
+    def __getattr__(self, name):
+        # Everything else (export_snapshot_state, window_span, window,
+        # rotate, ...) passes through to the wrapped write side.
+        if name == "_inner":  # recursion guard during unpickling/partial init
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    def stats(self) -> dict:
+        return {
+            "windowed": self.windowed,
+            "samples_seen": int(self._inner.samples_seen),
+            "checkpoint_seq": self.checkpoint_seq,
+            "checkpoints": len(self._checkpoints()),
+            "checkpoint_every": self.checkpoint_every,
+            "wal_lag": self.wal_lag,
+            "replayed_records": self.replayed_records,
+            "recovered_from": self.recovered_from,
+            "journal": self.journal.stats(),
+        }
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "DurableSketcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DurableSketcher({self.directory}, windowed={self.windowed}, "
+            f"seen={self._inner.samples_seen}, wal_lag={self.wal_lag})"
+        )

@@ -1,0 +1,239 @@
+"""Checksums for persisted state — detect corruption before it is served.
+
+Every durable artifact in the system is an ``.npz`` of named numpy arrays
+(sketch files, shard results, serving snapshots).  This module adds a
+uniform integrity layer on top: :func:`integrity_payload` computes a CRC32
+per member array plus a manifest digest over the whole set, encoded as
+three extra arrays that ride inside the same archive; :func:`verify_arrays`
+checks a loaded payload against them and raises :class:`IntegrityError`
+naming the file, the member and the reason.
+
+Why CRC32 and not a cryptographic hash: the threat model is *accidental*
+corruption — torn writes, bit rot, partial copies — not adversaries.
+CRC32 is ~bytes/cycle in zlib, catches all single-bit and burst errors up
+to 32 bits, and keeps snapshot save overhead unmeasurable next to the
+array I/O itself.
+
+Files written before this layer existed carry no integrity members; they
+load unverified (``verify_arrays`` is a no-op on them), so every pre-tier
+checkpoint and shard file remains readable.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zipfile
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "IntegrityError",
+    "corruption_guard",
+    "crc32_array",
+    "integrity_payload",
+    "recorded_crcs",
+    "verify_arrays",
+    "write_npz",
+    "INTEGRITY_MEMBERS",
+]
+
+#: The member names the integrity layer reserves inside an ``.npz``.
+INTEGRITY_MEMBERS = ("integrity_names", "integrity_crcs", "integrity_digest")
+
+
+class IntegrityError(ValueError):
+    """A persisted artifact failed a checksum or could not be parsed.
+
+    Raised with a message that names the file and the reason, so operators
+    (and ``CheckpointManager``'s walk-back) can quarantine the exact bad
+    artifact instead of guessing.  A ``ValueError`` subclass: corrupt
+    input *is* a bad value, and pre-existing callers that handle
+    ``ValueError`` around loads keep working unchanged.
+    """
+
+
+def crc32_array(array: np.ndarray) -> int:
+    """CRC32 of an array's raw bytes (dtype + shape are hashed separately
+    via the name list, so two members cannot swap undetected)."""
+    array = np.ascontiguousarray(array)
+    return zlib.crc32(array.view(np.uint8).reshape(-1).data) & 0xFFFFFFFF
+
+
+def _digest(names: list[str], crcs: list[int]) -> int:
+    """Manifest digest: CRC32 over the sorted (name, crc) pairs, so a
+    dropped, renamed or substituted member changes the digest even when
+    every surviving member's own CRC still matches."""
+    acc = 0
+    for name, crc in sorted(zip(names, crcs)):
+        acc = zlib.crc32(name.encode("utf-8"), acc)
+        acc = zlib.crc32(int(crc).to_bytes(4, "little"), acc)
+    return acc & 0xFFFFFFFF
+
+
+def integrity_payload(payload: dict) -> dict[str, np.ndarray]:
+    """Integrity members covering every array in ``payload``.
+
+    Returns ``{integrity_names, integrity_crcs, integrity_digest}`` ready
+    to be written into the same ``.npz``.  The members cover the payload
+    as passed — add them last, after the payload is final.
+    """
+    names = sorted(str(k) for k in payload)
+    crcs = [crc32_array(np.asarray(payload[name])) for name in names]
+    return {
+        "integrity_names": np.asarray(names),
+        "integrity_crcs": np.asarray(crcs, dtype=np.uint32),
+        "integrity_digest": np.asarray(_digest(names, crcs), dtype=np.uint32),
+    }
+
+
+def verify_arrays(
+    data,
+    *,
+    source: str = "<arrays>",
+    skip: tuple[str, ...] = (),
+) -> bool:
+    """Verify a loaded ``.npz`` (or array mapping) against its integrity
+    members.
+
+    Parameters
+    ----------
+    data:
+        A mapping of member name -> array (an open ``np.load`` handle
+        works).  Must expose the member names via ``.files`` or ``keys()``.
+    source:
+        Label for error messages (usually the file path).
+    skip:
+        Member names whose *contents* are not checked (their presence and
+        their recorded CRC still feed the digest) — the mmap path skips the
+        bulk counter table for O(headers) opens and verifies it lazily.
+
+    Returns ``True`` when integrity members were present and everything
+    checked out, ``False`` when the payload predates the integrity layer
+    (nothing to verify).  Raises :class:`IntegrityError` on any mismatch.
+    """
+    members = list(getattr(data, "files", None) or data.keys())
+    if "integrity_names" not in members:
+        return False
+    for member in INTEGRITY_MEMBERS:
+        if member not in members:
+            raise IntegrityError(
+                f"{source}: integrity members are incomplete (missing "
+                f"{member!r}) — the file was truncated or assembled by hand"
+            )
+    names = [str(n) for n in np.asarray(data["integrity_names"])]
+    crcs = np.asarray(data["integrity_crcs"], dtype=np.uint64).tolist()
+    recorded_digest = int(np.asarray(data["integrity_digest"]))
+    if len(names) != len(crcs):
+        raise IntegrityError(
+            f"{source}: integrity manifest is malformed "
+            f"({len(names)} names vs {len(crcs)} checksums)"
+        )
+    if _digest(names, [int(c) for c in crcs]) != recorded_digest:
+        raise IntegrityError(
+            f"{source}: integrity manifest digest mismatch — the checksum "
+            "table itself is corrupt"
+        )
+    present = set(members) - set(INTEGRITY_MEMBERS)
+    missing = sorted(set(names) - present)
+    if missing:
+        raise IntegrityError(
+            f"{source}: member(s) {', '.join(map(repr, missing))} are listed "
+            "in the integrity manifest but absent from the archive "
+            "(truncated or partially copied file)"
+        )
+    extra = sorted(present - set(names))
+    if extra:
+        raise IntegrityError(
+            f"{source}: member(s) {', '.join(map(repr, extra))} are not "
+            "covered by the integrity manifest (foreign or injected data)"
+        )
+    for name, crc in zip(names, crcs):
+        if name in skip:
+            continue
+        actual = crc32_array(np.asarray(data[name]))
+        if actual != int(crc):
+            raise IntegrityError(
+                f"{source}: member {name!r} failed its checksum "
+                f"(recorded {int(crc):#010x}, computed {actual:#010x}) — "
+                "the array bytes were corrupted on disk"
+            )
+    return True
+
+
+def recorded_crcs(data) -> dict[str, int]:
+    """The ``{member: crc}`` table an archive records, or ``{}`` for files
+    predating the integrity layer.  Used by lazy verifiers (the mmap
+    snapshot path) that check bulk members on their own schedule."""
+    members = list(getattr(data, "files", None) or data.keys())
+    if "integrity_names" not in members or "integrity_crcs" not in members:
+        return {}
+    names = [str(n) for n in np.asarray(data["integrity_names"])]
+    crcs = np.asarray(data["integrity_crcs"], dtype=np.uint64).tolist()
+    return {name: int(crc) for name, crc in zip(names, crcs)}
+
+
+@contextmanager
+def corruption_guard(source):
+    """Re-raise low-level archive failures as :class:`IntegrityError`.
+
+    ``np.load`` on a truncated or bit-flipped ``.npz`` surfaces anything
+    from ``zipfile.BadZipFile`` to ``zlib.error`` to a bare ``ValueError``
+    depending on which bytes got hit.  Loaders wrap their reads in this
+    guard so callers always get one exception type that *names the file
+    and the reason* — never a silently wrong artifact, never a grab-bag of
+    internal errors.  ``FileNotFoundError`` and existing
+    :class:`IntegrityError`\\ s pass through untouched.
+    """
+    try:
+        yield
+    except (IntegrityError, FileNotFoundError):
+        raise
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        struct.error,
+        EOFError,
+        KeyError,
+        ValueError,
+        OSError,
+    ) as exc:
+        raise IntegrityError(
+            f"{source}: unreadable or corrupt archive "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def write_npz(path, payload: dict, *, compress: bool = False, integrity: bool = True) -> Path:
+    """Atomically write an ``.npz`` with integrity members appended.
+
+    The archive is written to a temporary file in the target directory and
+    ``os.replace``d into place, so a crash mid-write leaves either the old
+    complete file or no file — never a torn one (the failure mode
+    ``CheckpointManager``'s walk-back and the WAL recovery path otherwise
+    have to tolerate).  A missing ``.npz`` suffix is appended, matching
+    ``np.savez``.
+    """
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    out = dict(payload)
+    if integrity:
+        out.update(integrity_payload(out))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            (np.savez_compressed if compress else np.savez)(handle, **out)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path

@@ -1,0 +1,399 @@
+"""Write-ahead ingest log — batch-aligned durability for one-pass streams.
+
+The estimator is single-pass over an unreplayable stream: any state lost in
+a crash is gone forever.  :class:`IngestJournal` closes that hole with the
+classic WAL discipline, specialised to this system's determinism:
+
+* **journal first, apply second** — a batch of sparse samples is encoded
+  and written to the log *before* it is fed to ``fit_sparse``.  A crash
+  mid-write tears only the unacknowledged tail record, which recovery
+  drops; every acknowledged batch is replayable.
+* **batch-aligned records** — one record per ingest call, preserving the
+  exact call boundaries.  Ingestion is deterministic given those boundaries
+  (``fit_sparse`` batches on a fixed grid and flushes per call), so
+  *checkpoint + replay is bit-identical to an uninterrupted run* — the
+  property ``tests/test_crash_recovery.py`` proves at seeded-random kill
+  points.
+* **fsync on rotate** (default) — segments are fsynced when they close and
+  on :meth:`close`; ``fsync="always"`` hardens every append, ``"never"``
+  trusts the OS page cache.  Acknowledgement always means "flushed to the
+  OS"; the fsync policy decides what a *power* failure can take with it.
+
+Record framing (little-endian)::
+
+    segment file  <prefix>-<first_seq:08d>.wal
+    file header   8-byte magic  b"ASCSWAL1"
+    record        u32 crc32(payload) | u64 payload_len | payload
+    payload       u64 seq | u64 n_samples
+                  | i64 lengths[n_samples] | i64 indices[nnz] | f64 values[nnz]
+
+Recovery semantics: each segment contributes its longest valid record
+prefix (CRC-checked); a torn or corrupt tail is dropped with a logged
+warning.  Record sequence numbers must then be contiguous across segments —
+a gap means an *acknowledged* batch vanished (a corrupt middle segment),
+which is unrecoverable data loss and raises
+:class:`~repro.durability.integrity.IntegrityError` instead of silently
+serving a diverged state.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+import struct
+import zlib
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.durability.integrity import IntegrityError
+
+__all__ = ["IngestJournal", "replay_journal", "journal_end_seq"]
+
+logger = logging.getLogger(__name__)
+
+_MAGIC = b"ASCSWAL1"
+_HEADER = struct.Struct("<IQ")  # crc32, payload_len
+_SEGMENT_RE = re.compile(r"^(?P<prefix>.+)-(?P<seq>\d{8})\.wal$")
+
+#: Sanity ceiling for a single record (1 GiB) — a length field beyond this
+#: is framing corruption, not a real batch.
+_MAX_RECORD = 1 << 30
+
+
+def _encode_payload(seq: int, samples) -> bytes:
+    lengths = np.asarray([len(idx) for idx, _ in samples], dtype=np.int64)
+    if len(samples):
+        indices = np.concatenate(
+            [np.asarray(idx, dtype=np.int64).reshape(-1) for idx, _ in samples]
+        )
+        values = np.concatenate(
+            [np.asarray(val, dtype=np.float64).reshape(-1) for _, val in samples]
+        )
+    else:
+        indices = np.empty(0, dtype=np.int64)
+        values = np.empty(0, dtype=np.float64)
+    if indices.size != values.size:
+        raise ValueError("sample indices and values must align")
+    head = struct.pack("<QQ", seq, len(samples))
+    return head + lengths.tobytes() + indices.tobytes() + values.tobytes()
+
+
+def _decode_payload(payload: bytes, *, source: str) -> tuple[int, list]:
+    if len(payload) < 16:
+        raise IntegrityError(f"{source}: record payload shorter than its header")
+    seq, n_samples = struct.unpack_from("<QQ", payload, 0)
+    offset = 16
+    lengths = np.frombuffer(payload, dtype=np.int64, count=n_samples, offset=offset)
+    offset += 8 * n_samples
+    nnz = int(lengths.sum())
+    expected = offset + 8 * nnz + 8 * nnz
+    if len(payload) != expected:
+        raise IntegrityError(
+            f"{source}: record {seq} length mismatch "
+            f"({len(payload)} bytes vs {expected} implied by its lengths)"
+        )
+    indices = np.frombuffer(payload, dtype=np.int64, count=nnz, offset=offset)
+    offset += 8 * nnz
+    values = np.frombuffer(payload, dtype=np.float64, count=nnz, offset=offset)
+    samples, pos = [], 0
+    for m in lengths.tolist():
+        samples.append(
+            (indices[pos : pos + m].copy(), values[pos : pos + m].copy())
+        )
+        pos += m
+    return int(seq), samples
+
+
+def _segment_records(path: Path) -> Iterator[tuple[int, list]]:
+    """Yield the longest valid record prefix of one segment.
+
+    Stops (with a logged warning) at the first torn or CRC-corrupt record —
+    the torn-tail tolerance.  Whether stopping early is *acceptable* is the
+    caller's call (:func:`replay_journal` enforces cross-segment seq
+    contiguity, which converts a corrupt middle segment into a hard error).
+    """
+    with open(path, "rb") as handle:
+        if handle.read(len(_MAGIC)) != _MAGIC:
+            logger.warning("WAL segment %s has a bad magic header; skipping", path)
+            return
+        while True:
+            header = handle.read(_HEADER.size)
+            if not header:
+                return  # clean EOF
+            if len(header) < _HEADER.size:
+                logger.warning(
+                    "WAL segment %s ends in a torn record header "
+                    "(%d stray bytes); dropping the tail", path, len(header)
+                )
+                return
+            crc, length = _HEADER.unpack(header)
+            if length > _MAX_RECORD:
+                logger.warning(
+                    "WAL segment %s: implausible record length %d — framing "
+                    "corruption; dropping the tail", path, length
+                )
+                return
+            payload = handle.read(length)
+            if len(payload) < length:
+                logger.warning(
+                    "WAL segment %s ends in a torn record payload "
+                    "(%d of %d bytes); dropping the tail", path, len(payload), length
+                )
+                return
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                logger.warning(
+                    "WAL segment %s: record failed its CRC; dropping the tail",
+                    path,
+                )
+                return
+            yield _decode_payload(payload, source=str(path))
+
+
+def _segments(directory: Path, prefix: str) -> list[tuple[int, Path]]:
+    out = []
+    if not directory.exists():
+        return out
+    for path in directory.iterdir():
+        match = _SEGMENT_RE.match(path.name)
+        if match and match.group("prefix") == prefix:
+            out.append((int(match.group("seq")), path))
+    out.sort()
+    return out
+
+
+def replay_journal(
+    directory, *, prefix: str = "wal", after: int = -1
+) -> Iterator[tuple[int, list]]:
+    """Yield ``(seq, samples)`` for every acknowledged record with
+    ``seq > after``, in order.
+
+    Torn tails are dropped per segment; sequence numbers must otherwise be
+    contiguous across the records read — a gap raises
+    :class:`IntegrityError` because an *acknowledged* batch is missing and
+    any state replayed past it would silently diverge.
+    """
+    directory = Path(directory)
+    previous = None
+    for _, path in _segments(directory, prefix):
+        for seq, samples in _segment_records(path):
+            if previous is not None and seq != previous + 1:
+                if seq <= previous:
+                    # A stale segment re-covering replayed seqs (e.g. the
+                    # tail segment recovery rewrote) — skip duplicates.
+                    continue
+                raise IntegrityError(
+                    f"{path}: WAL gap — record {seq} follows {previous}; "
+                    "an acknowledged batch was lost to corruption, replay "
+                    "cannot reconstruct the stream"
+                )
+            previous = seq
+            if seq > after:
+                yield seq, samples
+
+
+def journal_end_seq(directory, *, prefix: str = "wal") -> int:
+    """Highest replayable record seq in the journal (-1 when empty)."""
+    last = -1
+    for last, _ in replay_journal(directory, prefix=prefix):
+        pass
+    return last
+
+
+class IngestJournal:
+    """Segmented write-ahead log of ingest batches.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if missing).  Reopening over an existing
+        journal resumes sequence numbers after the last replayable record
+        and starts a *fresh* segment, so a torn tail from a previous crash
+        is never appended to.
+    prefix:
+        Segment filename prefix (several journals can share a directory).
+    rotate_every:
+        Records per segment before rotation (and its fsync) kicks in.
+    fsync:
+        ``"rotate"`` (default) — fsync a segment when it closes and on
+        :meth:`close`; ``"always"`` — fsync every append; ``"never"``.
+    open_fn:
+        File-opening hook (``open``-compatible).  The fault-injection
+        harness (:mod:`repro.durability.faults`) substitutes one that tears
+        writes or fills the disk deterministically.
+    """
+
+    _FSYNC_MODES = ("rotate", "always", "never")
+
+    def __init__(
+        self,
+        directory,
+        *,
+        prefix: str = "wal",
+        rotate_every: int = 256,
+        fsync: str = "rotate",
+        open_fn: Callable = open,
+    ):
+        if rotate_every < 1:
+            raise ValueError(f"rotate_every must be >= 1, got {rotate_every}")
+        if fsync not in self._FSYNC_MODES:
+            raise ValueError(
+                f"fsync must be one of {self._FSYNC_MODES}, got {fsync!r}"
+            )
+        if "-" in prefix or "/" in prefix:
+            raise ValueError(f"prefix must not contain '-' or '/', got {prefix!r}")
+        self.directory = Path(directory)
+        self.prefix = prefix
+        self.rotate_every = int(rotate_every)
+        self.fsync = fsync
+        self._open_fn = open_fn
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.last_seq = journal_end_seq(self.directory, prefix=prefix)
+        self._handle = None
+        self._segment_records_written = 0
+        self._tail_torn = False
+        self.records_written = 0
+        self.bytes_written = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        return self.last_seq + 1
+
+    def _open_segment(self) -> None:
+        path = self.directory / f"{self.prefix}-{self.next_seq:08d}.wal"
+        self._handle = self._open_fn(path, "wb")
+        self._handle.write(_MAGIC)
+        self._segment_records_written = 0
+        self._tail_torn = False
+
+    def _close_segment(self, *, sync: bool) -> None:
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            handle.flush()
+            if sync and self.fsync != "never":
+                os.fsync(handle.fileno())
+        finally:
+            handle.close()
+
+    def append(self, samples) -> int:
+        """Durably record one ingest batch; returns its sequence number.
+
+        ``samples`` is the exact list of sparse ``(indices, values)``
+        samples about to be fed to ``fit_sparse`` — record boundaries *are*
+        call boundaries, the replay-determinism contract.  The record is
+        flushed to the OS before the call returns (fsynced too under
+        ``fsync="always"``).  On a failed write the batch is *not*
+        acknowledged: the broken segment is abandoned and the next append
+        starts a fresh one, so a retry is safe.
+        """
+        if self._tail_torn:
+            # A previous append failed mid-record; never extend a torn
+            # tail — close it (best-effort) and start a fresh segment.
+            try:
+                self._close_segment(sync=False)
+            except OSError:
+                self._handle = None
+            self._open_segment()
+        if self._handle is None:
+            self._open_segment()
+        payload = _encode_payload(self.next_seq, samples)
+        record = _HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF, len(payload)) + payload
+        try:
+            self._handle.write(record)
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+        except OSError:
+            self._tail_torn = True
+            raise
+        self.last_seq += 1
+        self.records_written += 1
+        self.bytes_written += len(record)
+        self._segment_records_written += 1
+        if self._segment_records_written >= self.rotate_every:
+            self.rotate()
+        return self.last_seq
+
+    def rotate(self) -> None:
+        """Close the current segment (fsyncing it unless ``fsync='never'``)."""
+        if self._handle is not None:
+            self._close_segment(sync=True)
+            self.rotations += 1
+
+    def sync(self) -> None:
+        """Flush and fsync the open segment without closing it."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync and close the open segment."""
+        self._close_segment(sync=True)
+
+    def __enter__(self) -> "IngestJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Read / maintenance
+    # ------------------------------------------------------------------
+    def records(self, *, after: int = -1) -> Iterator[tuple[int, list]]:
+        """Replay acknowledged records with ``seq > after`` (flushes first
+        so the open segment's records are visible)."""
+        if self._handle is not None:
+            self._handle.flush()
+        return replay_journal(self.directory, prefix=self.prefix, after=after)
+
+    def segments(self) -> list[Path]:
+        """Existing segment paths, oldest first."""
+        return [path for _, path in _segments(self.directory, self.prefix)]
+
+    def prune_through(self, seq: int) -> list[Path]:
+        """Delete segments whose records are *all* ``<= seq`` (covered by a
+        checkpoint).  The segment containing ``seq + 1`` onward is kept.
+        Returns the deleted paths.
+        """
+        entries = _segments(self.directory, self.prefix)
+        deleted = []
+        for index, (first_seq, path) in enumerate(entries):
+            # A segment is fully covered iff the *next* segment starts at
+            # or below seq + 1 (its own records end where the next begins).
+            is_open = (
+                self._handle is not None and index == len(entries) - 1
+            )
+            next_first = (
+                entries[index + 1][0] if index + 1 < len(entries) else None
+            )
+            if is_open or next_first is None or next_first > seq + 1:
+                continue
+            path.unlink(missing_ok=True)
+            deleted.append(path)
+        return deleted
+
+    def stats(self) -> dict:
+        """JSON-ready counters for the serving ``/stats`` surface."""
+        return {
+            "last_seq": self.last_seq,
+            "records_written": self.records_written,
+            "bytes_written": self.bytes_written,
+            "rotations": self.rotations,
+            "segments": len(self.segments()),
+            "fsync": self.fsync,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IngestJournal({self.directory}, last_seq={self.last_seq}, "
+            f"segments={len(self.segments())})"
+        )

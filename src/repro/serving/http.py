@@ -6,7 +6,7 @@ a JSON API over a :class:`~repro.serving.QueryEngine`,
 ingest/serve loop — a :class:`~repro.serving.ServingEstimator`:
 
 ========================  ====================================================
-``GET  /health``          liveness + served snapshot id
+``GET  /health``          liveness + degradation probe (see below)
 ``GET  /stats``           engine/cache/serving counters
 ``GET  /pair?i=&j=``      one pair's estimate
 ``GET  /neighbors?i=&k=`` feature ``i``'s best candidate partners
@@ -24,13 +24,36 @@ serving estimator's own write lock — so a slow write never stalls reads.
 JSON floats round-trip exactly (``repr`` shortest-form), so HTTP answers
 are bit-identical to in-process queries.
 
-:class:`ServingClient` is the matching ``urllib``-based client.
+Degradation model
+-----------------
+When the server fronts a :class:`ServingEstimator`, ``GET /health``
+returns the estimator's full degradation probe: ``status`` flips to
+``"degraded"`` when the last refresh failed or the ingest circuit
+breaker is open, and the payload carries ``stale_samples``,
+``stale_seconds``, ``refresh_failures``, ``last_refresh_error``,
+``breaker`` and (for a durable write side) ``wal_lag`` — reads keep
+being answered from the last good snapshot throughout.  The server
+applies **admission control**: at most ``max_inflight`` requests run
+concurrently, and excess load is shed with ``503`` +  a ``Retry-After``
+header instead of queueing unboundedly (``/health`` bypasses the gate so
+probes still answer under overload).  An open ingest circuit breaker
+surfaces as ``503`` + ``Retry-After`` on ``POST /ingest``.
+
+:class:`ServingClient` is the matching ``urllib``-based client; it
+applies socket timeouts to every call and retries **idempotent**
+requests (all GETs and ``POST /query``) on connection failures and 503s
+with bounded exponential backoff — ``POST /ingest`` and
+``POST /refresh`` are never retried, so a lost response cannot double
+apply a batch.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import random
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -38,6 +61,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.durability.breaker import CircuitOpenError
 from repro.serving.engine import QueryEngine
 from repro.serving.live import ServingEstimator
 from repro.serving.snapshot import SketchSnapshot
@@ -81,12 +105,16 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
+    def _reply(
+        self, payload: dict, status: int = 200, headers: dict | None = None
+    ) -> None:
         self._drain_body()
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -120,6 +148,17 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urllib.parse.urlsplit(self.path)
         query = urllib.parse.parse_qs(parsed.query)
         self._body_remaining = int(self.headers.get("Content-Length") or 0)
+        # Admission control: shed excess load with 503 + Retry-After
+        # instead of queueing unboundedly.  /health bypasses the gate —
+        # probes must keep answering while the server is saturated.
+        gated = (method, parsed.path) != ("GET", "/health")
+        if gated and not server._admit():
+            self._reply(
+                {"error": "server saturated; retry later"},
+                status=503,
+                headers={"Retry-After": server._retry_after_header()},
+            )
+            return
         try:
             handler = server.routes.get((method, parsed.path))
             if handler is None:
@@ -127,9 +166,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(handler(server, query, self))
         except _HTTPError as exc:
             self._reply({"error": str(exc)}, status=exc.status)
+        except CircuitOpenError as exc:
+            # The ingest circuit breaker is open: tell the client when the
+            # half-open probe becomes available.
+            self._reply(
+                {"error": str(exc)},
+                status=503,
+                headers={"Retry-After": max(1, math.ceil(exc.retry_after))},
+            )
         except ValueError as exc:
             # The query layers validate inputs with ValueError (bad pair
-            # indices, out-of-range keys) — those are client errors.
+            # indices, out-of-range keys) — and the durability tier's
+            # IntegrityError subclasses it — those are client errors.
             self._reply({"error": str(exc)}, status=400)
         except Exception as exc:  # noqa: BLE001 - must answer, not hang up
             # A handler bug must surface as a 500 JSON error, not a closed
@@ -137,6 +185,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(
                 {"error": f"{type(exc).__name__}: {exc}"}, status=500
             )
+        finally:
+            if gated:
+                server._release()
 
     def do_GET(self):  # noqa: N802 - stdlib naming
         self._dispatch("GET")
@@ -151,14 +202,18 @@ class _Handler(BaseHTTPRequestHandler):
 def _route_health(server, query, handler) -> dict:
     # Side-effect-free liveness: must not trigger the serving estimator's
     # auto-snapshot build (load-balancer probes expect instant answers).
+    # With a ServingEstimator target this is the full degradation probe
+    # (status/degraded/stale_samples/stale_seconds/refresh_failures/
+    # last_refresh_error/breaker/wal_lag); a frozen snapshot is always ok.
     if server.serving is not None:
-        snapshot_id = server.serving.served_snapshot_id
-    else:
-        snapshot_id = server.engine.snapshot.snapshot_id
+        payload = server.serving.health()
+        payload["rejected_requests"] = server.rejected_requests
+        return payload
     return {
         "status": "ok",
-        "snapshot_id": snapshot_id,
-        "writable": server.serving is not None,
+        "snapshot_id": server.engine.snapshot.snapshot_id,
+        "writable": False,
+        "rejected_requests": server.rejected_requests,
     }
 
 
@@ -288,6 +343,14 @@ class ServingHTTPServer(ThreadingHTTPServer):
     address:
         ``(host, port)``; port 0 picks a free ephemeral port — read it back
         from :attr:`port`.
+    max_inflight:
+        Admission-control bound: at most this many requests execute
+        concurrently; excess requests are shed with ``503`` +
+        ``Retry-After`` (``GET /health`` is exempt).  ``0`` disables the
+        gate.
+    retry_after:
+        The ``Retry-After`` value (seconds) sent with admission-control
+        rejections.
     """
 
     daemon_threads = True
@@ -305,7 +368,14 @@ class ServingHTTPServer(ThreadingHTTPServer):
         ("POST", "/refresh"): _route_refresh,
     }
 
-    def __init__(self, target, address: tuple[str, int] = ("127.0.0.1", 0)):
+    def __init__(
+        self,
+        target,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_inflight: int = 64,
+        retry_after: float = 1.0,
+    ):
         if isinstance(target, SketchSnapshot):
             target = QueryEngine(target)
         if isinstance(target, ServingEstimator):
@@ -319,7 +389,48 @@ class ServingHTTPServer(ThreadingHTTPServer):
                 "target must be a ServingEstimator, QueryEngine or "
                 f"SketchSnapshot, got {type(target).__name__}"
             )
+        self.max_inflight = int(max_inflight)
+        self.retry_after = float(retry_after)
+        self._admission = (
+            threading.BoundedSemaphore(self.max_inflight)
+            if self.max_inflight > 0
+            else None
+        )
+        self._reject_lock = threading.Lock()
+        self.rejected_requests = 0
+        self._serve_thread: threading.Thread | None = None
         super().__init__(address, _Handler)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self) -> bool:
+        if self._admission is None:
+            return True
+        if self._admission.acquire(blocking=False):
+            return True
+        with self._reject_lock:
+            self.rejected_requests += 1
+        return False
+
+    def _release(self) -> None:
+        if self._admission is not None:
+            self._admission.release()
+
+    def _retry_after_header(self) -> int:
+        return max(1, math.ceil(self.retry_after))
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Shut down, join the background serve thread (if any), close.
+
+        Bounded: ``timeout`` caps the join so a hung in-flight handler
+        cannot wedge interpreter shutdown (threads are daemonic anyway).
+        """
+        self.shutdown()
+        thread = self._serve_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=timeout)
+        self.server_close()
 
     @property
     def engine(self) -> QueryEngine:
@@ -346,46 +457,133 @@ class ServingHTTPServer(ThreadingHTTPServer):
 
 
 def serve_in_background(
-    target, address: tuple[str, int] = ("127.0.0.1", 0)
+    target, address: tuple[str, int] = ("127.0.0.1", 0), **server_options
 ) -> tuple[ServingHTTPServer, threading.Thread]:
-    """Start a server on a daemon thread; stop it with ``server.shutdown()``."""
-    server = ServingHTTPServer(target, address)
+    """Start a server on a daemon thread.
+
+    Stop it with ``server.stop(timeout)`` (bounded shutdown + join) or the
+    legacy ``server.shutdown()``.  Extra keyword arguments
+    (``max_inflight``, ``retry_after``) pass through to
+    :class:`ServingHTTPServer`.
+    """
+    server = ServingHTTPServer(target, address, **server_options)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-serving-http", daemon=True
     )
+    server._serve_thread = thread
     thread.start()
     return server, thread
 
 
 class ServingClient:
-    """Tiny ``urllib``-based client for :class:`ServingHTTPServer`.
+    """``urllib``-based client with timeouts, retries and backoff.
 
     All methods raise :class:`urllib.error.HTTPError` on non-2xx responses
     (the JSON error body is attached by the stdlib).
+
+    Every request carries a socket ``timeout`` — a hung server surfaces as
+    a timely error, never a stuck client thread.  **Idempotent** requests
+    (all GETs and ``POST /query`` — pure reads whose replay cannot change
+    server state) are retried up to ``retries`` times on connection
+    failures, timeouts and 503s, sleeping a bounded exponential backoff
+    with jitter between attempts and honouring the server's
+    ``Retry-After`` (capped at ``backoff_max``).  ``POST /ingest`` and
+    ``POST /refresh`` are **never retried**: a response lost after the
+    server applied the write would make a retry double-ingest or
+    double-swap — the caller decides, with batch counters in hand.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8321``.
+    timeout:
+        Per-request socket timeout (seconds).
+    retries:
+        Extra attempts for idempotent requests (0 disables retrying).
+    backoff / backoff_max:
+        Base and cap of the exponential backoff (seconds); actual sleeps
+        are jittered uniformly in ``[backoff/2, backoff] * 2**attempt``.
+    opener / sleep_fn / seed:
+        Injection points for tests: the ``urlopen``-compatible callable,
+        the sleep function, and the jitter RNG seed.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0):
+    #: HTTP statuses worth retrying for idempotent requests — overload or
+    #: open-breaker shedding, by construction transient.
+    retry_statuses = frozenset({503})
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        backoff_max: float = 2.0,
+        opener=urllib.request.urlopen,
+        sleep_fn=time.sleep,
+        seed: int | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self._opener = opener
+        self._sleep = sleep_fn
+        self._rng = random.Random(seed)
+        self.retried_requests = 0
 
     # ------------------------------------------------------------------
+    def _backoff_delay(self, attempt: int, retry_after: float | None) -> float:
+        delay = min(self.backoff_max, self.backoff * (2.0**attempt))
+        delay *= self._rng.uniform(0.5, 1.0)  # jitter: desynchronize clients
+        if retry_after is not None:
+            # Honour the server's hint, but never beyond our own cap.
+            delay = min(max(delay, retry_after), self.backoff_max)
+        return delay
+
+    def _request(self, request, *, idempotent: bool) -> dict:
+        attempts = 1 + (self.retries if idempotent else 0)
+        for attempt in range(attempts):
+            last = attempt == attempts - 1
+            try:
+                with self._opener(request, timeout=self.timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                # Subclasses URLError — must be caught first.  Non-retryable
+                # statuses (4xx, 500) propagate immediately.
+                if last or int(exc.code) not in self.retry_statuses:
+                    raise
+                try:
+                    retry_after = float(exc.headers.get("Retry-After"))
+                except (TypeError, ValueError):
+                    retry_after = None
+                exc.close()
+            except (urllib.error.URLError, OSError):
+                # Dropped connection, refused socket, timeout.
+                if last:
+                    raise
+                retry_after = None
+            self.retried_requests += 1
+            self._sleep(self._backoff_delay(attempt, retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _get(self, path: str, **params) -> dict:
         query = urllib.parse.urlencode(
             {k: v for k, v in params.items() if v is not None}
         )
         url = f"{self.base_url}{path}" + (f"?{query}" if query else "")
-        with urllib.request.urlopen(url, timeout=self.timeout) as response:
-            return json.loads(response.read())
+        return self._request(url, idempotent=True)
 
-    def _post(self, path: str, payload: dict) -> dict:
+    def _post(self, path: str, payload: dict, *, idempotent: bool = False) -> dict:
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            return json.loads(response.read())
+        return self._request(request, idempotent=idempotent)
 
     # ------------------------------------------------------------------
     def health(self) -> dict:
@@ -402,11 +600,15 @@ class ServingClient:
             "i": np.asarray(i, dtype=np.int64).tolist(),
             "j": np.asarray(j, dtype=np.int64).tolist(),
         }
-        return np.asarray(self._post("/query", payload)["estimates"])
+        return np.asarray(
+            self._post("/query", payload, idempotent=True)["estimates"]
+        )
 
     def query_keys(self, keys) -> np.ndarray:
         payload = {"keys": np.asarray(keys, dtype=np.int64).tolist()}
-        return np.asarray(self._post("/query", payload)["estimates"])
+        return np.asarray(
+            self._post("/query", payload, idempotent=True)["estimates"]
+        )
 
     def neighbors(self, i: int, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
         data = self._get("/neighbors", i=int(i), k=int(k))

@@ -18,16 +18,20 @@ state-clone inside :meth:`refresh`.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 
 import numpy as np
 
 from repro.covariance.pipeline import CovarianceSketcher
+from repro.durability.breaker import CircuitBreaker
 from repro.serving.engine import QueryEngine
 from repro.serving.snapshot import SketchSnapshot
 
 __all__ = ["ServingEstimator"]
+
+logger = logging.getLogger(__name__)
 
 
 class ServingEstimator:
@@ -49,6 +53,28 @@ class ServingEstimator:
     refresh_every:
         Auto-refresh after this many ingested samples (0 = manual
         :meth:`refresh` only).
+    breaker:
+        Ingest :class:`~repro.durability.CircuitBreaker` (a default one is
+        built when omitted).  After ``failure_threshold`` consecutive
+        ingest failures, further ingests are rejected instantly with
+        :class:`~repro.durability.CircuitOpenError` (the HTTP layer maps
+        it to 503 + ``Retry-After``) until the cooldown's half-open probe
+        succeeds — a broken write path fails fast instead of stacking
+        request threads behind the write lock.
+
+    Degradation model
+    -----------------
+    Reads are **stale-but-available**: the served snapshot only ever swaps
+    on a *successful* refresh, so a failing or hung refresh leaves the
+    last good snapshot serving.  A hung refresh cannot stall ingestion
+    either — the auto-refresh trigger skips when a refresh is already in
+    flight — and a *failing* auto-refresh marks the estimator
+    :attr:`degraded` (with the error recorded) rather than failing the
+    ingest that triggered it.  Staleness is observable: :meth:`stats` and
+    :meth:`health` report ``stale_samples`` (write-side samples the served
+    snapshot has not seen), ``stale_seconds``, the breaker state, and —
+    for a durable write side (:class:`repro.durability.DurableSketcher`) —
+    the WAL replay lag.
 
     Notes
     -----
@@ -70,6 +96,7 @@ class ServingEstimator:
         scan: bool | None = None,
         cache_size: int = 8192,
         refresh_every: int = 0,
+        breaker: CircuitBreaker | None = None,
     ):
         if refresh_every < 0:
             raise ValueError(f"refresh_every must be >= 0, got {refresh_every}")
@@ -78,6 +105,7 @@ class ServingEstimator:
         self.scan = scan
         self.cache_size = int(cache_size)
         self.refresh_every = int(refresh_every)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._write_lock = threading.Lock()
         self._refresh_lock = threading.Lock()
         self._engine: QueryEngine | None = None
@@ -85,6 +113,10 @@ class ServingEstimator:
         self.swap_count = 0
         self.last_swap_seconds = 0.0
         self._samples_at_refresh = 0
+        self._last_swap_monotonic: float | None = None
+        self.refresh_failures = 0
+        self.last_refresh_error: str | None = None
+        self._degraded = False
         # Streaming write sides (repro.streaming) are duck-typed: a windowed
         # ring exposes window_span, a decaying pipeline exposes decay.
         self._windowed = hasattr(sketcher, "window_span")
@@ -110,19 +142,56 @@ class ServingEstimator:
             **kwargs,
         )
 
+    @classmethod
+    def durable(cls, directory, spec=None, *, durable_options=None, **kwargs):
+        """Build around a crash-safe :class:`repro.durability.DurableSketcher`.
+
+        Opens (or creates) the durable directory — recovery, if needed,
+        happens right here — and serves from it: every ingest is
+        write-ahead logged and periodically checkpointed, and
+        :meth:`stats` / :meth:`health` surface the WAL lag.
+        ``durable_options`` are passed to the
+        :class:`~repro.durability.DurableSketcher` constructor
+        (``checkpoint_every``, ``num_panes``, ``fsync``, ...).
+        """
+        from repro.durability.durable import DurableSketcher
+
+        return cls(
+            DurableSketcher(directory, spec, **(durable_options or {})),
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
     # Write side
     # ------------------------------------------------------------------
     def ingest_sparse(self, samples) -> None:
-        """Stream sparse ``(indices, values)`` samples into the write side."""
-        with self._write_lock:
-            self.sketcher.fit_sparse(iter(samples))
+        """Stream sparse ``(indices, values)`` samples into the write side.
+
+        Guarded by the ingest circuit breaker: while the write path is
+        failing repeatedly, calls are rejected instantly with
+        :class:`~repro.durability.CircuitOpenError` instead of queueing on
+        the write lock.
+        """
+        self.breaker.before_call()
+        try:
+            with self._write_lock:
+                self.sketcher.fit_sparse(iter(samples))
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
         self._maybe_refresh()
 
     def ingest_dense(self, batch: np.ndarray) -> None:
         """Stream a dense ``(n, d)`` batch into the write side."""
-        with self._write_lock:
-            self.sketcher.fit_dense(np.atleast_2d(np.asarray(batch)))
+        self.breaker.before_call()
+        try:
+            with self._write_lock:
+                self.sketcher.fit_dense(np.atleast_2d(np.asarray(batch)))
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
         self._maybe_refresh()
 
     def _maybe_refresh(self) -> None:
@@ -130,17 +199,38 @@ class ServingEstimator:
             return
         if (
             self.sketcher.samples_seen - self._samples_at_refresh
-            >= self.refresh_every
+            < self.refresh_every
         ):
-            # Serialize with any in-flight refresh and re-check under the
-            # lock: two ingesters crossing the threshold together must not
-            # build two snapshots of the same state.
-            with self._refresh_lock:
-                if (
-                    self.sketcher.samples_seen - self._samples_at_refresh
-                    >= self.refresh_every
-                ):
+            return
+        # Non-blocking: if a refresh is already in flight (or hung), the
+        # ingest that tripped the threshold must not stall behind it — the
+        # last good snapshot keeps serving and a later batch re-triggers.
+        if not self._refresh_lock.acquire(blocking=False):
+            return
+        try:
+            # Re-check under the lock: two ingesters crossing the threshold
+            # together must not build two snapshots of the same state.
+            if (
+                self.sketcher.samples_seen - self._samples_at_refresh
+                >= self.refresh_every
+            ):
+                try:
                     self._refresh_locked()
+                except Exception as exc:  # noqa: BLE001 - stale-but-available
+                    # The ingest itself succeeded; a broken refresh must
+                    # not fail it.  Serve the last good snapshot, mark the
+                    # estimator degraded, surface the reason in health().
+                    self._note_refresh_failure(exc)
+                    logger.warning(
+                        "auto-refresh failed; serving stale snapshot (%s)", exc
+                    )
+        finally:
+            self._refresh_lock.release()
+
+    def _note_refresh_failure(self, exc: BaseException) -> None:
+        self.refresh_failures += 1
+        self.last_refresh_error = f"{type(exc).__name__}: {exc}"
+        self._degraded = True
 
     # ------------------------------------------------------------------
     # Snapshot / swap
@@ -153,10 +243,17 @@ class ServingEstimator:
         Refreshes themselves are serialized (a second caller waits, then
         builds from the then-current state), so an older snapshot can never
         be installed over a newer one.  Returns the snapshot that is now
-        being served.
+        being served.  Unlike the auto-refresh path, a failure here
+        propagates to the caller (after being recorded in
+        :attr:`last_refresh_error`) — an explicit refresh request deserves
+        an explicit answer.
         """
         with self._refresh_lock:
-            return self._refresh_locked()
+            try:
+                return self._refresh_locked()
+            except Exception as exc:
+                self._note_refresh_failure(exc)
+                raise
 
     def _refresh_locked(self) -> SketchSnapshot:
         started = time.perf_counter()
@@ -167,6 +264,9 @@ class ServingEstimator:
             lock=self._write_lock,
         )
         self.install(snapshot)
+        # A successful swap ends any degradation episode.
+        self._degraded = False
+        self.last_refresh_error = None
         self.last_swap_seconds = time.perf_counter() - started
         if self._windowed:
             # A windowed snapshot's samples_seen counts only the window's
@@ -198,6 +298,7 @@ class ServingEstimator:
         previous = self._engine
         self._engine = engine  # atomic rebind — the swap
         self.swap_count += 1
+        self._last_swap_monotonic = time.monotonic()
         if previous is not None:
             self._retired.append(previous)
             del self._retired[:-4]  # bound the kept history
@@ -258,6 +359,49 @@ class ServingEstimator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """``True`` while the last (auto-)refresh failed and no successful
+        swap has happened since — reads still work, but off a snapshot
+        older than the configured refresh cadence implies."""
+        return self._degraded
+
+    @property
+    def stale_samples(self) -> int:
+        """Write-side samples the currently served snapshot has not seen."""
+        return int(self.sketcher.samples_seen - self._samples_at_refresh)
+
+    @property
+    def stale_seconds(self) -> float | None:
+        """Seconds since the served engine was swapped in (``None`` before
+        the first swap)."""
+        if self._last_swap_monotonic is None:
+            return None
+        return time.monotonic() - self._last_swap_monotonic
+
+    def health(self) -> dict:
+        """JSON-ready degradation probe (the HTTP ``/health`` payload).
+
+        ``status`` is ``"ok"`` or ``"degraded"`` — degraded when the last
+        refresh failed or the ingest circuit breaker is not closed.  Either
+        way the estimator keeps answering queries from the last good
+        snapshot (stale-but-available); the remaining fields say *how*
+        stale and *why* degraded.
+        """
+        degraded = self._degraded or self.breaker.state != "closed"
+        return {
+            "status": "degraded" if degraded else "ok",
+            "snapshot_id": self.served_snapshot_id,
+            "writable": True,
+            "degraded": degraded,
+            "stale_samples": self.stale_samples,
+            "stale_seconds": self.stale_seconds,
+            "refresh_failures": self.refresh_failures,
+            "last_refresh_error": self.last_refresh_error,
+            "breaker": self.breaker.state,
+            "wal_lag": getattr(self.sketcher, "wal_lag", None),
+        }
+
     def stats(self) -> dict:
         """JSON-ready serving stats: swaps, write-side progress, engine.
 
@@ -275,7 +419,16 @@ class ServingEstimator:
             "window_span": None,
             "decay": getattr(self.sketcher, "decay", None),
             "engine": None if engine is None else engine.stats(),
+            "degraded": self._degraded,
+            "refresh_failures": self.refresh_failures,
+            "last_refresh_error": self.last_refresh_error,
+            "stale_samples": self.stale_samples,
+            "stale_seconds": self.stale_seconds,
+            "breaker": self.breaker.stats(),
         }
+        if getattr(self.sketcher, "wal_lag", None) is not None:
+            # Durable write side: surface WAL/checkpoint progress.
+            out["durability"] = self.sketcher.stats()
         if self._windowed:
             out["window_span"] = int(self.sketcher.window_span)
             out["window"] = {

@@ -24,9 +24,9 @@ them on disk.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
-import tempfile
 import threading
 from dataclasses import dataclass, field
 from itertools import count
@@ -34,6 +34,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.durability.integrity import (
+    IntegrityError,
+    corruption_guard,
+    crc32_array,
+    recorded_crcs,
+    verify_arrays,
+    write_npz,
+)
 from repro.hashing.pairs import index_to_pair, num_pairs, pair_to_index
 from repro.sketch.serialization import (
     mmap_npz_array,
@@ -43,6 +51,8 @@ from repro.sketch.serialization import (
 from repro.sketch.topk import scan_top_keys
 
 __all__ = ["SketchSnapshot", "CheckpointManager"]
+
+logger = logging.getLogger(__name__)
 
 #: Process-wide monotonically increasing snapshot identity.  Readers use it
 #: to tell "which snapshot answered me" apart across atomic swaps.
@@ -371,7 +381,10 @@ class SketchSnapshot:
         The payload is written to a temporary file in the target directory
         and ``os.replace``d into place, so a concurrent reader (or a crash)
         sees either the old complete file or the new complete file — never
-        a torn write.  The backing sketch must be a serialisable kind
+        a torn write.  Every member is covered by a per-array CRC32 plus a
+        manifest digest (:mod:`repro.durability.integrity`), so bit rot or
+        a torn copy is *detected at load* instead of served.  The backing
+        sketch must be a serialisable kind
         (see :mod:`repro.sketch.serialization`).
 
         Members are *stored* (uncompressed) by default so :meth:`load`
@@ -379,7 +392,6 @@ class SketchSnapshot:
         tables are high-entropy floats, so deflate buys little anyway.
         Pass ``compress=True`` to trade mmap-ability for size.
         """
-        path = Path(path)
         payload = {
             "dim": np.asarray(self.dim),
             "mode": np.asarray(self.mode),
@@ -393,22 +405,17 @@ class SketchSnapshot:
         }
         for name, array in sketch_to_arrays(self.sketch).items():
             payload[_SKETCH_PREFIX + name] = array
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                (np.savez_compressed if compress else np.savez)(handle, **payload)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        return path
+        return write_npz(path, payload, compress=compress)
 
     @classmethod
-    def load(cls, path, *, mmap: bool = False) -> "SketchSnapshot":
+    def load(
+        cls,
+        path,
+        *,
+        mmap: bool = False,
+        verify: bool = True,
+        verify_tables: bool | None = None,
+    ) -> "SketchSnapshot":
         """Restore a snapshot written by :meth:`save`.
 
         The sketch is rebuilt (same hashes, exact counters) and re-frozen;
@@ -416,6 +423,17 @@ class SketchSnapshot:
         every query answers exactly as the original snapshot did.  The
         loaded snapshot gets a fresh ``snapshot_id`` (identity is
         per-process).
+
+        Integrity: every member is checked against the CRCs recorded at
+        save time (``verify=False`` opts out; files predating the
+        integrity layer load unverified).  A mismatch raises
+        :class:`repro.durability.IntegrityError` naming the file, the
+        member and the reason — a corrupted snapshot is never silently
+        served.  In the eager path ``verify_tables`` defaults to ``True``
+        (everything is read anyway); in the mmap path it defaults to
+        ``False`` — headers and the small members are verified at open,
+        and the bulk counter table keeps its O(headers) open cost — pass
+        ``verify_tables=True`` to page the mapped tables through CRC too.
 
         With ``mmap=True`` the counter table — by far the bulk of a
         snapshot — is a read-only ``np.memmap`` of the archive member
@@ -426,14 +444,40 @@ class SketchSnapshot:
         writes through any path hit the read-only-mmap guard
         (:func:`repro.sketch.base.reject_readonly_counters`).
         """
-        with np.load(path, allow_pickle=False) as data:
+        if verify_tables is None:
+            verify_tables = not mmap
+        source = str(path)
+        with corruption_guard(source), np.load(path, allow_pickle=False) as data:
+            table_members = tuple(
+                name
+                for name in data.files
+                if name.startswith(_SKETCH_PREFIX)
+                and (
+                    name == _SKETCH_PREFIX + "table" or name.endswith("_table")
+                )
+            )
+            if verify:
+                # mmap never reads tables through np.load (they verify via
+                # the mapped view below, when asked); the eager path skips
+                # them only on explicit verify_tables=False.
+                skip = table_members if (mmap or not verify_tables) else ()
+                verify_arrays(data, source=source, skip=skip)
+            # In the mmap path table contents are deliberately not read
+            # through np.load; mapped members verify below when asked.
+            crcs = recorded_crcs(data) if (verify and mmap and verify_tables) else {}
             sketch_state = {}
             for name in data.files:
                 if not name.startswith(_SKETCH_PREFIX):
                     continue
                 key = name[len(_SKETCH_PREFIX) :]
-                if mmap and (key == "table" or key.endswith("_table")):
-                    sketch_state[key] = mmap_npz_array(path, name)
+                if mmap and name in table_members:
+                    mapped = mmap_npz_array(path, name)
+                    if name in crcs and crc32_array(mapped) != crcs[name]:
+                        raise IntegrityError(
+                            f"{source}: member {name!r} failed its checksum — "
+                            "the mapped counter table was corrupted on disk"
+                        )
+                    sketch_state[key] = mapped
                 else:
                     sketch_state[key] = data[name]
             sketch = sketch_from_arrays(sketch_state, copy=not mmap)
@@ -573,12 +617,33 @@ class CheckpointManager:
         return path
 
     def load_latest(self, *, mmap: bool = False) -> SketchSnapshot | None:
-        """Load the newest checkpoint, or ``None`` when the history is empty.
+        """Load the newest *valid* checkpoint, or ``None`` when none loads.
+
+        Walks the history newest-first: a truncated, bit-flipped or
+        otherwise unreadable checkpoint is **quarantined** — renamed to
+        ``<name>.corrupt`` with the reason logged — and the walk falls
+        back to the next-newest file instead of crashing the serving
+        process on one bad artifact.  (A crash mid-``save`` cannot produce
+        a torn file — writes are atomic — but bit rot, partial copies and
+        full disks can.)
 
         ``mmap=True`` maps the counter table zero-copy (see
         :meth:`SketchSnapshot.load`) — the hot-swap path a serving process
         uses to roll to a new multi-GB checkpoint without ever holding two
         resident copies.
         """
-        latest = self.latest()
-        return None if latest is None else SketchSnapshot.load(latest, mmap=mmap)
+        for _, path in reversed(self._entries()):
+            try:
+                return SketchSnapshot.load(path, mmap=mmap)
+            except (IntegrityError, FileNotFoundError, OSError) as exc:
+                logger.warning(
+                    "quarantining corrupt checkpoint %s (%s); "
+                    "falling back to the previous one",
+                    path,
+                    exc,
+                )
+                try:
+                    os.replace(path, path.with_name(path.name + ".corrupt"))
+                except OSError:  # pragma: no cover - quarantine is best-effort
+                    logger.warning("could not quarantine %s", path)
+        return None

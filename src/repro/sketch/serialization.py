@@ -47,6 +47,14 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.durability.integrity import (
+    IntegrityError,
+    corruption_guard,
+    crc32_array,
+    recorded_crcs,
+    verify_arrays,
+    write_npz,
+)
 from repro.sketch.augmented import AugmentedSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
@@ -404,25 +412,47 @@ def supported_kinds() -> tuple[str, ...]:
 def save_sketch(sketch, path, *, compress: bool = True) -> None:
     """Write a sketch's parameters and counters to ``path`` (``.npz``).
 
+    The write is atomic (temp file + ``os.replace``) and every member is
+    covered by a per-array CRC32 plus a manifest digest
+    (:mod:`repro.durability.integrity`), which :func:`load_sketch`
+    verifies — a truncated or bit-flipped file raises a clean
+    :class:`~repro.durability.IntegrityError` naming the file and reason
+    instead of rebuilding a silently wrong sketch.
+
     Parameters
     ----------
     sketch:
         Any sketch of a registered kind (:data:`SUPPORTED_KINDS`); anything
         else raises ``TypeError`` naming the supported kinds.
     path:
-        Target file path (numpy appends ``.npz`` if missing).
+        Target file path (``.npz`` appended if missing).
     compress:
         Deflate the archive (default).  Pass ``False`` to store members
         raw so :func:`load_sketch` can map the counter table zero-copy
         (``mmap=True``); counter tables are high-entropy, so the size cost
         is small.
     """
-    writer = np.savez_compressed if compress else np.savez
-    writer(path, **sketch_to_arrays(sketch))
+    write_npz(path, sketch_to_arrays(sketch), compress=compress)
 
 
-def load_sketch(path, *, mmap: bool = False):
+def load_sketch(
+    path,
+    *,
+    mmap: bool = False,
+    verify: bool = True,
+    verify_tables: bool | None = None,
+):
     """Restore a sketch written by :func:`save_sketch`.
+
+    Integrity (``verify=True``, the default): members are checked against
+    the CRCs recorded at save time; any corruption — torn tail, flipped
+    bit, injected member — raises
+    :class:`repro.durability.IntegrityError` naming the file and the
+    reason.  Files written before the integrity layer load unverified.
+    ``verify_tables`` defaults to ``True`` on the eager path (everything
+    is read anyway) and ``False`` on the mmap path, preserving its
+    O(headers) open cost; pass ``verify_tables=True`` there to CRC-check
+    the mapped counter table too (pages fault in once, no heap copy).
 
     With ``mmap=True`` the counter table is a read-only ``np.memmap`` of
     the (uncompressed) archive member instead of a materialized copy:
@@ -430,13 +460,31 @@ def load_sketch(path, *, mmap: bool = False):
     demand, and the frozen-table guard rejects any write path.  Requires
     the file to have been saved with ``compress=False``.
     """
-    with np.load(path, allow_pickle=False) as data:
+    if verify_tables is None:
+        verify_tables = not mmap
+    source = str(path)
+    with corruption_guard(source), np.load(path, allow_pickle=False) as data:
+        table_members = tuple(
+            name
+            for name in data.files
+            if name == "table" or name.endswith("_table")
+        )
+        if verify:
+            skip = table_members if (mmap or not verify_tables) else ()
+            verify_arrays(data, source=source, skip=skip)
         if not mmap:
             return sketch_from_arrays(data)
+        crcs = recorded_crcs(data) if (verify and verify_tables) else {}
         state: dict[str, np.ndarray] = {}
         for name in data.files:
-            if name == "table" or name.endswith("_table"):
-                state[name] = mmap_npz_array(path, name)
+            if name in table_members:
+                mapped = mmap_npz_array(path, name)
+                if name in crcs and crc32_array(mapped) != crcs[name]:
+                    raise IntegrityError(
+                        f"{source}: member {name!r} failed its checksum — "
+                        "the mapped counter table was corrupted on disk"
+                    )
+                state[name] = mapped
             else:
                 state[name] = data[name]
         sketch = sketch_from_arrays(state, copy=False)

@@ -230,6 +230,10 @@ class CounterStore:
         even when the resulting counter fits (sign-cancelling updates),
         and a float64 -> int cast of such a delta saturates.
         """
+        if touched.size == 0:
+            # Every weight in the batch quantized to zero — nothing to add
+            # (and the empty min/max reduction below has no identity).
+            return
         while self.raw.dtype.kind == "i":
             info = np.iinfo(self.raw.dtype)
             candidate = self.raw[touched].astype(np.float64)

@@ -42,39 +42,14 @@ from repro.distributed.shard import (
     ShardSpec,
     extract_shard_result,
     load_shard_result,
+    restore_sketcher,
     save_shard_result,
 )
+from repro.durability.integrity import verify_arrays, write_npz
 
 __all__ = ["PaneRing"]
 
 _MANIFEST = "ring.npz"
-
-
-def _restore_sketcher(result: ShardResult) -> CovarianceSketcher:
-    """Rebuild a live (writable) pipeline from a persisted pane state.
-
-    The inverse of :func:`repro.distributed.extract_shard_result`: counters,
-    moment accumulators, sampler statistics and the tracker pool are all
-    restored, so further ingestion behaves exactly as if the pane had never
-    been persisted (the tracker restore relies on
-    ``TopKTracker.snapshot``'s replay guarantee).
-    """
-    sketcher = result.spec.build_sketcher()
-    estimator = sketcher.estimator
-    # load_table adopts the persisted table's width: a quantized pane that
-    # widened past the spec's declared dtype restores without down-casting.
-    estimator.sketch.load_table(result.table)
-    estimator.samples_seen = int(result.samples_seen)
-    estimator.updates_examined = int(result.updates_examined)
-    estimator.updates_accepted = int(result.updates_accepted)
-    if estimator.tracker is not None and result.tracker_keys.size:
-        estimator.tracker.offer(result.tracker_keys, result.tracker_estimates)
-    moments = sketcher.sparse_moments
-    moments._sum[:] = result.moments_sum
-    moments._sumsq[:] = result.moments_sumsq
-    moments.count = int(result.moments_count)
-    sketcher.samples_seen = int(result.samples_seen)
-    return sketcher
 
 
 class PaneRing:
@@ -306,16 +281,21 @@ class PaneRing:
             path = directory / f"pane-{pane.shard_index:08d}.npz"
             save_shard_result(pane, path)
             paths.append(path)
-        np.savez(
+        # Manifest last, atomically: a crash mid-save leaves either the old
+        # manifest (pointing at the old, still-present pane files) or the
+        # new one — never a manifest referencing half-written panes.
+        write_npz(
             directory / _MANIFEST,
-            num_panes=np.asarray(self.num_panes),
-            pane_samples=np.asarray(self.pane_samples),
-            open_seq=np.asarray(self._pane_seq),
-            closed_seqs=np.asarray(
-                [p.shard_index for p in self._closed], dtype=np.int64
-            ),
-            samples_seen=np.asarray(self.samples_seen),
-            rotations=np.asarray(self.rotations),
+            {
+                "num_panes": np.asarray(self.num_panes),
+                "pane_samples": np.asarray(self.pane_samples),
+                "open_seq": np.asarray(self._pane_seq),
+                "closed_seqs": np.asarray(
+                    [p.shard_index for p in self._closed], dtype=np.int64
+                ),
+                "samples_seen": np.asarray(self.samples_seen),
+                "rotations": np.asarray(self.rotations),
+            },
         )
         keep = {path.name for path in paths} | {_MANIFEST}
         for stale in directory.glob("pane-*.npz"):
@@ -333,6 +313,7 @@ class PaneRing:
         """
         directory = Path(directory)
         with np.load(directory / _MANIFEST, allow_pickle=False) as manifest:
+            verify_arrays(manifest, source=str(directory / _MANIFEST))
             num_panes = int(manifest["num_panes"])
             pane_samples = int(manifest["pane_samples"])
             open_seq = int(manifest["open_seq"])
@@ -347,7 +328,7 @@ class PaneRing:
             ring._closed.append(
                 load_shard_result(directory / f"pane-{seq:08d}.npz")
             )
-        ring._open = _restore_sketcher(open_result)
+        ring._open = restore_sketcher(open_result)
         ring._open_start = open_result.start
         ring._pane_seq = open_seq
         ring.samples_seen = samples_seen

@@ -287,6 +287,63 @@ class TestQuantizedVariantsConform:
         np.testing.assert_array_equal(ab.table, full.table)
 
 
+class TestCorruptionDetection:
+    """Every registered kind's file must fail *loudly* when damaged.
+
+    A truncated copy or a flipped byte must raise
+    :class:`~repro.durability.IntegrityError` naming the file and a
+    reason — never load into a silently wrong sketch, never leak a
+    zipfile/zlib internal error.  Rides the registry like every other
+    conformance contract: future kinds inherit the tests for free.
+    """
+
+    def _saved(self, name, rng, tmp_path):
+        sketch = _make(name, seed=31)
+        _insert_stream(sketch, *_stream(rng))
+        path = tmp_path / f"{name}.npz"
+        save_sketch(sketch, str(path))
+        return path
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_truncated_file_raises_clean_error(self, name, rng, tmp_path):
+        from repro.durability import IntegrityError
+        from repro.durability.faults import truncate_file
+
+        path = self._saved(name, rng, tmp_path)
+        truncate_file(path, fraction=0.5)
+        with pytest.raises(IntegrityError) as excinfo:
+            load_sketch(str(path))
+        assert str(path) in str(excinfo.value)  # names the file
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_flipped_byte_raises_clean_error(self, name, rng, tmp_path):
+        from repro.durability import IntegrityError
+        from repro.durability.faults import flip_byte
+
+        path = self._saved(name, rng, tmp_path)
+        # Mid-file lands inside a member's compressed payload — a flip on
+        # a zip header byte can be semantically dead, this one never is.
+        flip_byte(path, offset=path.stat().st_size // 2)
+        with pytest.raises(IntegrityError) as excinfo:
+            load_sketch(str(path))
+        assert str(path) in str(excinfo.value)
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_corrupt_table_caught_even_with_mmap(self, name, rng, tmp_path):
+        """The lazy-verify mmap path must still catch table corruption
+        when table verification is requested."""
+        from repro.durability import IntegrityError
+        from repro.durability.faults import flip_byte
+
+        sketch = _make(name, seed=37)
+        _insert_stream(sketch, *_stream(rng))
+        path = tmp_path / f"{name}-mmap.npz"
+        save_sketch(sketch, str(path), compress=False)
+        flip_byte(path, offset=path.stat().st_size // 2)
+        with pytest.raises(IntegrityError):
+            load_sketch(str(path), mmap=True, verify_tables=True)
+
+
 class TestColdFilterDeclares:
     """Not registered — but it must *declare* both exclusions, not fail
     silently (the conformance contract for non-participating kinds)."""

@@ -1,0 +1,510 @@
+"""Crash-recovery property suite: kill the process anywhere, lose nothing.
+
+The durability tier's core claim — *checkpoint + WAL replay is
+bit-identical to the uninterrupted run* — is proven here the only way it
+can be: by actually killing ingestion at seeded byte offsets
+(:class:`~repro.durability.faults.FaultyFS` tears the write that crosses
+the budget and raises :class:`SimulatedCrash`), recovering from the bytes
+that really landed on disk, resuming the stream, and comparing the final
+estimator state array-for-array against a run that never crashed.  The
+kill points sweep the whole journal — mid-magic, mid-record-header,
+mid-payload — under both float64 and quantized int16 storage.
+
+Alongside the property live the unit contracts it rests on: journal
+framing and torn-tail tolerance, WAL gap detection, checkpoint
+quarantine-and-fall-back, checkpoint/journal continuity, disk-full
+behaviour, and the serving CheckpointManager's walk-back over
+hand-truncated snapshot files.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ShardSpec
+from repro.distributed.shard import extract_shard_result, spec_with
+from repro.durability import (
+    DurableSketcher,
+    IngestJournal,
+    IntegrityError,
+    journal_end_seq,
+    replay_journal,
+)
+from repro.durability.faults import (
+    FaultyFS,
+    SimulatedCrash,
+    flip_byte,
+    truncate_file,
+)
+
+pytestmark = pytest.mark.faults
+
+SPECS = {
+    "float64": ShardSpec(
+        dim=48, total_samples=4000, num_tables=3, num_buckets=128, seed=11
+    ),
+    "int16": ShardSpec(
+        dim=48,
+        total_samples=4000,
+        num_tables=3,
+        num_buckets=128,
+        seed=11,
+        storage="int16",
+        quantum=0.25,
+    ),
+}
+
+#: Byte budgets after which the simulated process dies.  Spread across the
+#: journal (records are a few hundred bytes; the full stream is ~8 KiB),
+#: so the kills land mid-magic, mid-header and mid-payload of different
+#: batches — ten distinct kill points per storage dtype.
+KILL_POINTS = (3, 40, 300, 700, 1100, 1700, 2600, 3500, 4800, 6400)
+
+
+def _batches(spec, *, num_batches=30, batch_samples=4, seed=5):
+    """A deterministic stream of sparse ingest batches."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(num_batches):
+        batch = []
+        for _ in range(batch_samples):
+            k = int(rng.integers(2, 6))
+            idx = rng.choice(spec.dim, size=k, replace=False).astype(np.int64)
+            val = rng.integers(1, 5, size=k).astype(np.float64)
+            batch.append((idx, val))
+        batches.append(batch)
+    return batches
+
+
+def _state_arrays(sketcher, spec):
+    """The full estimator state as named arrays (the bit-identity probe)."""
+    result = extract_shard_result(sketcher, spec)
+    return {
+        "table": result.table,
+        "samples_seen": np.asarray(result.samples_seen),
+        "updates_examined": np.asarray(result.updates_examined),
+        "updates_accepted": np.asarray(result.updates_accepted),
+        "tracker_keys": result.tracker_keys,
+        "tracker_estimates": result.tracker_estimates,
+        "moments_sum": result.moments_sum,
+        "moments_sumsq": result.moments_sumsq,
+        "moments_count": np.asarray(result.moments_count),
+    }
+
+
+def _assert_bit_identical(left, right, spec, context=""):
+    a, b = _state_arrays(left, spec), _state_arrays(right, spec)
+    for name in a:
+        av, bv = np.asarray(a[name]), np.asarray(b[name])
+        assert av.dtype == bv.dtype, f"{context}{name}: dtype diverged"
+        np.testing.assert_array_equal(av, bv, err_msg=f"{context}{name}")
+
+
+# ----------------------------------------------------------------------
+# The tentpole property: kill anywhere, recover bit-identically
+# ----------------------------------------------------------------------
+class TestCrashRecoveryBitIdentity:
+    @pytest.mark.parametrize("storage", sorted(SPECS))
+    @pytest.mark.parametrize("kill_at", KILL_POINTS)
+    def test_kill_point_recovers_bit_identical(self, storage, kill_at, tmp_path):
+        spec = SPECS[storage]
+        batches = _batches(spec)
+
+        # Reference: the run that never crashes.
+        reference = spec.build_sketcher()
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+
+        # Crashing run: the journal's writes die at the byte budget.
+        fs = FaultyFS(kill_at_bytes=kill_at)
+        durable = DurableSketcher(
+            tmp_path, spec, checkpoint_every=5, open_fn=fs
+        )
+        crashed_at = None
+        for index, batch in enumerate(batches):
+            try:
+                durable.fit_sparse(batch)
+            except SimulatedCrash:
+                crashed_at = index
+                break
+        assert crashed_at is not None, (
+            f"kill budget {kill_at} never fired; the sweep no longer covers "
+            "the journal — adjust KILL_POINTS"
+        )
+        assert fs.crashed
+        # The dying process does NOT close anything — recovery must work
+        # from whatever bytes the torn write left behind.
+
+        recovered = DurableSketcher(tmp_path, checkpoint_every=5)
+        # The crashed batch was never acknowledged (append raised before
+        # applying), so the producer resends it, then the rest.
+        for batch in batches[crashed_at:]:
+            recovered.fit_sparse(batch)
+        recovered.close()
+
+        _assert_bit_identical(
+            recovered, reference, spec,
+            context=f"[storage={storage} kill_at={kill_at}] ",
+        )
+        assert recovered.samples_seen == reference.samples_seen
+
+    @pytest.mark.parametrize("storage", sorted(SPECS))
+    def test_double_crash_still_recovers(self, storage, tmp_path):
+        """A crash during the *recovered* run must also be recoverable."""
+        spec = SPECS[storage]
+        batches = _batches(spec)
+        reference = spec.build_sketcher()
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+
+        position = 0
+        for kill_at in (900, 2300):
+            fs = FaultyFS(kill_at_bytes=kill_at)
+            durable = DurableSketcher(
+                tmp_path, spec, checkpoint_every=4, open_fn=fs
+            )
+            for index in range(position, len(batches)):
+                try:
+                    durable.fit_sparse(batches[index])
+                except SimulatedCrash:
+                    position = index
+                    break
+            else:
+                pytest.fail(f"kill budget {kill_at} never fired")
+
+        final = DurableSketcher(tmp_path, checkpoint_every=4)
+        for batch in batches[position:]:
+            final.fit_sparse(batch)
+        final.close()
+        _assert_bit_identical(final, reference, spec)
+
+    def test_windowed_recovery_bit_identical(self, tmp_path):
+        """The sliding-window write side recovers through the same path."""
+        spec = SPECS["float64"]
+        batches = _batches(spec, num_batches=48)
+        from repro.streaming import PaneRing
+
+        reference = PaneRing(spec, num_panes=4, pane_samples=32)
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+
+        fs = FaultyFS(kill_at_bytes=4000)
+        durable = DurableSketcher(
+            tmp_path, spec, num_panes=4, pane_samples=32,
+            checkpoint_every=5, open_fn=fs,
+        )
+        crashed_at = None
+        for index, batch in enumerate(batches):
+            try:
+                durable.fit_sparse(batch)
+            except SimulatedCrash:
+                crashed_at = index
+                break
+        assert crashed_at is not None
+
+        recovered = DurableSketcher(tmp_path, checkpoint_every=5)
+        assert recovered.windowed
+        for batch in batches[crashed_at:]:
+            recovered.fit_sparse(batch)
+        recovered.close()
+        assert recovered.samples_seen == reference.samples_seen
+        assert recovered.window_span == reference.window_span
+        left, right = recovered.panes(), reference.panes()
+        assert len(left) == len(right)
+        for lp, rp in zip(left, right):
+            assert (lp.start, lp.num_samples) == (rp.start, rp.num_samples)
+            np.testing.assert_array_equal(lp.table, rp.table)
+        np.testing.assert_array_equal(
+            recovered.window().estimator.sketch.table,
+            reference.window().estimator.sketch.table,
+        )
+
+    def test_recovery_is_cold_start_safe(self, tmp_path):
+        """Crash before the first checkpoint: recovery replays from zero."""
+        spec = SPECS["float64"]
+        batches = _batches(spec, num_batches=6)
+        reference = spec.build_sketcher()
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+        fs = FaultyFS(kill_at_bytes=700)
+        durable = DurableSketcher(tmp_path, spec, checkpoint_every=0, open_fn=fs)
+        crashed_at = None
+        for index, batch in enumerate(batches):
+            try:
+                durable.fit_sparse(batch)
+            except SimulatedCrash:
+                crashed_at = index
+                break
+        assert crashed_at is not None
+        recovered = DurableSketcher(tmp_path)
+        assert recovered.recovered_from is None  # no checkpoint existed
+        assert recovered.replayed_records == crashed_at
+        for batch in batches[crashed_at:]:
+            recovered.fit_sparse(batch)
+        recovered.close()
+        _assert_bit_identical(recovered, reference, spec)
+
+
+# ----------------------------------------------------------------------
+# Journal unit contracts
+# ----------------------------------------------------------------------
+class TestIngestJournal:
+    def _batch(self, seed=0, n=3):
+        rng = np.random.default_rng(seed)
+        return [
+            (
+                rng.integers(0, 64, size=4).astype(np.int64),
+                rng.standard_normal(4),
+            )
+            for _ in range(n)
+        ]
+
+    def test_round_trip_preserves_batches(self, tmp_path):
+        batches = [self._batch(seed) for seed in range(7)]
+        with IngestJournal(tmp_path, rotate_every=3) as journal:
+            for batch in batches:
+                journal.append(batch)
+        replayed = list(replay_journal(tmp_path))
+        assert [seq for seq, _ in replayed] == list(range(7))
+        for (_, got), want in zip(replayed, batches):
+            assert len(got) == len(want)
+            for (gi, gv), (wi, wv) in zip(got, want):
+                np.testing.assert_array_equal(gi, wi)
+                np.testing.assert_array_equal(gv, wv)
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        with IngestJournal(tmp_path, rotate_every=100) as journal:
+            for seed in range(5):
+                journal.append(self._batch(seed))
+        (segment,) = journal.segments()
+        truncate_file(segment, keep=segment.stat().st_size - 7)
+        seqs = [seq for seq, _ in replay_journal(tmp_path)]
+        assert seqs == [0, 1, 2, 3]  # the torn record 4 is dropped
+
+    def test_reopen_resumes_after_torn_tail(self, tmp_path):
+        with IngestJournal(tmp_path, rotate_every=100) as journal:
+            for seed in range(5):
+                journal.append(self._batch(seed))
+        (segment,) = journal.segments()
+        truncate_file(segment, keep=segment.stat().st_size - 7)
+        with IngestJournal(tmp_path, rotate_every=100) as journal:
+            assert journal.next_seq == 4  # resumes where replay ends
+            journal.append(self._batch(99))
+        assert journal_end_seq(tmp_path) == 4
+        # The re-written seq 4 lives in a fresh segment; replay must not
+        # trip over the stale torn segment still covering nothing new.
+        assert len(list(replay_journal(tmp_path))) == 5
+
+    def test_gap_between_segments_is_fatal(self, tmp_path):
+        journal = IngestJournal(tmp_path, rotate_every=2)
+        for seed in range(6):
+            journal.append(self._batch(seed))
+        journal.close()
+        segments = journal.segments()
+        assert len(segments) == 3
+        segments[1].unlink()  # an acknowledged middle segment vanishes
+        with pytest.raises(IntegrityError, match="WAL gap"):
+            list(replay_journal(tmp_path))
+
+    def test_corrupt_middle_record_is_fatal(self, tmp_path):
+        journal = IngestJournal(tmp_path, rotate_every=2)
+        for seed in range(6):
+            journal.append(self._batch(seed))
+        journal.close()
+        segments = journal.segments()
+        flip_byte(segments[1], seed=1)  # tears segment 1's valid prefix
+        with pytest.raises(IntegrityError, match="WAL gap"):
+            list(replay_journal(tmp_path))
+
+    def test_prune_through_keeps_uncovered_segments(self, tmp_path):
+        journal = IngestJournal(tmp_path, rotate_every=2)
+        for seed in range(6):
+            journal.append(self._batch(seed))
+        journal.close()
+        deleted = journal.prune_through(3)  # covers segments [0,1] and [2,3]
+        assert len(deleted) == 2
+        assert [seq for seq, _ in replay_journal(tmp_path)] == [4, 5]
+
+    def test_disk_full_append_is_retryable(self, tmp_path):
+        fs = FaultyFS(disk_full_at_bytes=400)
+        journal = IngestJournal(tmp_path, rotate_every=100, open_fn=fs)
+        appended = 0
+        with pytest.raises(OSError):
+            for seed in range(50):
+                journal.append(self._batch(seed))
+                appended += 1
+        assert fs.disk_full_hits == 1
+        fs.heal()  # space freed: the same journal keeps accepting
+        journal.append(self._batch(123))
+        journal.close()
+        # Everything acknowledged (including the post-heal append) replays;
+        # the torn ENOSPC record does not.
+        assert len(list(replay_journal(tmp_path))) == appended + 1
+
+    def test_validates_parameters(self, tmp_path):
+        with pytest.raises(ValueError, match="rotate_every"):
+            IngestJournal(tmp_path, rotate_every=0)
+        with pytest.raises(ValueError, match="fsync"):
+            IngestJournal(tmp_path, fsync="sometimes")
+        with pytest.raises(ValueError, match="prefix"):
+            IngestJournal(tmp_path, prefix="has-dash")
+
+
+# ----------------------------------------------------------------------
+# DurableSketcher checkpoint discipline
+# ----------------------------------------------------------------------
+class TestDurableCheckpoints:
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path, caplog):
+        spec = SPECS["float64"]
+        batches = _batches(spec, num_batches=12)
+        durable = DurableSketcher(tmp_path, spec, checkpoint_every=4)
+        for batch in batches:
+            durable.fit_sparse(batch)
+        durable.close()
+        checkpoints = sorted(tmp_path.glob("ckpt-*.npz"))
+        assert len(checkpoints) >= 2
+        truncate_file(checkpoints[-1], fraction=0.4)
+
+        reference = spec.build_sketcher()
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+
+        with caplog.at_level("WARNING"):
+            recovered = DurableSketcher(tmp_path, checkpoint_every=4)
+        recovered.close()
+        assert "quarantin" in caplog.text
+        assert checkpoints[-1].with_name(
+            checkpoints[-1].name + ".corrupt"
+        ).exists()
+        # Fell back one checkpoint, replayed the WAL suffix: same state.
+        _assert_bit_identical(recovered, reference, spec)
+
+    def test_all_checkpoints_corrupt_replays_from_scratch(self, tmp_path):
+        spec = SPECS["float64"]
+        batches = _batches(spec, num_batches=10)
+        durable = DurableSketcher(
+            tmp_path, spec, checkpoint_every=4, keep_checkpoints=8
+        )
+        for batch in batches:
+            durable.fit_sparse(batch)
+        durable.close()
+        for path in tmp_path.glob("ckpt-*.npz"):
+            # Truncation (unlike a random bit flip, which can land on a
+            # semantically dead zip byte) always invalidates the archive.
+            truncate_file(path, fraction=0.6)
+        reference = spec.build_sketcher()
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+        recovered = DurableSketcher(tmp_path)
+        recovered.close()
+        assert recovered.recovered_from is None
+        assert recovered.replayed_records == len(batches)
+        _assert_bit_identical(recovered, reference, spec)
+
+    def test_checkpoint_journal_gap_refuses_silent_divergence(self, tmp_path):
+        spec = SPECS["float64"]
+        durable = DurableSketcher(
+            tmp_path, spec, checkpoint_every=0, rotate_every=2
+        )
+        for batch in _batches(spec, num_batches=8):
+            durable.fit_sparse(batch)
+        durable.close()
+        # The WAL's oldest segment vanishes (over-pruned, lost to a bad
+        # disk) with no checkpoint bridging the missing records: recovery
+        # must refuse rather than silently diverge from record 2 onward.
+        segments = sorted(tmp_path.glob("wal-*.wal"))
+        assert len(segments) >= 3
+        segments[0].unlink()
+        with pytest.raises(IntegrityError, match="resumes at"):
+            DurableSketcher(tmp_path)
+
+    def test_prune_keeps_wal_for_previous_checkpoint(self, tmp_path):
+        """keep_checkpoints=2 must retain the WAL suffix the *older*
+        retained checkpoint needs — losing the newest one stays safe."""
+        spec = SPECS["float64"]
+        batches = _batches(spec, num_batches=20)
+        durable = DurableSketcher(
+            tmp_path, spec, checkpoint_every=4, rotate_every=2
+        )
+        for batch in batches:
+            durable.fit_sparse(batch)
+        durable.close()
+        reference = spec.build_sketcher()
+        for batch in batches:
+            reference.fit_sparse(iter(batch))
+        newest = sorted(tmp_path.glob("ckpt-*.npz"))[-1]
+        truncate_file(newest, fraction=0.3)
+        recovered = DurableSketcher(tmp_path)
+        recovered.close()
+        _assert_bit_identical(recovered, reference, spec)
+
+    def test_recover_classmethod_requires_recipe(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DurableSketcher.recover(tmp_path / "nowhere")
+
+    def test_spec_mismatch_is_rejected(self, tmp_path):
+        spec = SPECS["float64"]
+        DurableSketcher(tmp_path, spec).close()
+        other = spec_with(spec, seed=999)
+        with pytest.raises(ValueError, match="differs from the persisted"):
+            DurableSketcher(tmp_path, other)
+
+    def test_dense_ingest_is_refused(self, tmp_path):
+        durable = DurableSketcher(tmp_path, SPECS["float64"])
+        with pytest.raises(NotImplementedError, match="sparse-only"):
+            durable.fit_dense(np.zeros((2, 48)))
+        durable.close()
+
+    def test_stats_report_wal_lag(self, tmp_path):
+        spec = SPECS["float64"]
+        durable = DurableSketcher(tmp_path, spec, checkpoint_every=0)
+        for batch in _batches(spec, num_batches=3):
+            durable.fit_sparse(batch)
+        assert durable.wal_lag == 3
+        durable.checkpoint()
+        assert durable.wal_lag == 0
+        stats = durable.stats()
+        assert stats["journal"]["records_written"] == 3
+        assert stats["checkpoints"] == 1
+        durable.close()
+
+
+# ----------------------------------------------------------------------
+# Serving CheckpointManager walk-back (the satellite regression)
+# ----------------------------------------------------------------------
+class TestCheckpointManagerWalkBack:
+    def _manager(self, tmp_path, snapshots=3):
+        from repro.serving import CheckpointManager, SketchSnapshot
+
+        spec = SPECS["float64"]
+        sketcher = spec.build_sketcher()
+        manager = CheckpointManager(tmp_path, retain=snapshots + 1)
+        for seed in range(snapshots):
+            for batch in _batches(spec, num_batches=4, seed=seed):
+                sketcher.fit_sparse(iter(batch))
+            manager.save(SketchSnapshot.from_sketcher(sketcher, top_index=16))
+        return manager
+
+    def test_truncated_newest_falls_back_to_previous(self, tmp_path, caplog):
+        manager = self._manager(tmp_path)
+        paths = manager.checkpoints()
+        truncate_file(paths[-1], fraction=0.5)  # hand-truncated newest
+        with caplog.at_level("WARNING"):
+            snapshot = manager.load_latest()
+        assert snapshot is not None
+        assert "quarantin" in caplog.text
+        # The bad file was renamed aside, not deleted, not served.
+        assert not paths[-1].exists()
+        assert paths[-1].with_name(paths[-1].name + ".corrupt").exists()
+
+    def test_bit_flipped_newest_falls_back(self, tmp_path):
+        manager = self._manager(tmp_path)
+        paths = manager.checkpoints()
+        flip_byte(paths[-1], seed=7)
+        snapshot = manager.load_latest()
+        assert snapshot is not None
+
+    def test_every_checkpoint_corrupt_returns_none(self, tmp_path):
+        manager = self._manager(tmp_path)
+        for path in manager.checkpoints():
+            truncate_file(path, fraction=0.3)
+        assert manager.load_latest() is None

@@ -362,11 +362,14 @@ class TestShardResultRoundTrip:
         result = sketch_shard(spec, _shard_samples(rng, 16, spec.dim))
         path = tmp_path / "old_format.npz"
         save_shard_result(result, str(path))
+        # A genuine pre-tier file has neither the storage/quantum spec
+        # members nor the integrity members (both tiers came later).
         with np.load(path, allow_pickle=False) as data:
             stripped = {
                 name: data[name]
                 for name in data.files
                 if name not in ("spec_storage", "spec_quantum")
+                and not name.startswith("integrity_")
             }
         np.savez_compressed(path, **stripped)
         loaded = load_shard_result(str(path))

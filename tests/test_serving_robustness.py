@@ -1,0 +1,400 @@
+"""Degradation-aware serving: breaker, backoff, admission, stale reads.
+
+The serving layer's failure contract, exercised end to end with the
+deterministic fault injectors:
+
+* the **client** retries idempotent requests through dropped connections
+  and 503s with bounded backoff, and never retries writes;
+* the **server** sheds load (admission control -> 503 + ``Retry-After``)
+  and maps an open ingest circuit breaker the same way;
+* the **estimator** keeps serving the last good snapshot through failing
+  or hung refreshes (stale-but-available), reporting staleness and the
+  failure through ``health()`` and ``/health``.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SketchEstimator
+from repro.covariance.pipeline import CovarianceSketcher
+from repro.durability.breaker import CircuitBreaker, CircuitOpenError
+from repro.durability.faults import Flaky
+from repro.serving import ServingEstimator
+from repro.serving.http import ServingClient, serve_in_background
+from repro.sketch.count_sketch import CountSketch
+
+pytestmark = pytest.mark.faults
+
+DIM = 40
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4242)
+
+
+def _make_samples(n, rng, nnz=5):
+    return [
+        (
+            np.sort(rng.choice(DIM, size=nnz, replace=False)).astype(np.int64),
+            rng.standard_normal(nnz),
+        )
+        for _ in range(n)
+    ]
+
+
+def _make_serving(rng, **kwargs) -> ServingEstimator:
+    estimator = SketchEstimator(
+        CountSketch(3, 512, seed=31), total_samples=1000, track_top=128
+    )
+    sketcher = CovarianceSketcher(
+        DIM, estimator, mode="covariance", centering="none", batch_size=16
+    )
+    serving = ServingEstimator(sketcher, top_index=64, cache_size=256, **kwargs)
+    serving.ingest_sparse(_make_samples(64, rng))
+    serving.refresh()
+    return serving
+
+
+def _no_sleep(_seconds):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker unit behaviour
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def _clocked(self, **kwargs):
+        clock = [0.0]
+        breaker = CircuitBreaker(time_fn=lambda: clock[0], **kwargs)
+        return breaker, clock
+
+    def test_trips_after_threshold_and_recovers(self):
+        breaker, clock = self._clocked(failure_threshold=3, reset_after=10.0)
+        for _ in range(3):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_after == pytest.approx(10.0)
+        clock[0] = 11.0  # cooldown elapsed -> half-open probe allowed
+        assert breaker.state == "half-open"
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self._clocked(failure_threshold=1, reset_after=5.0)
+        breaker.before_call()
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.before_call()  # the probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_success_resets_failure_streak(self):
+        breaker, _ = self._clocked(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two *consecutive* failures
+
+    def test_call_wrapper_counts(self):
+        breaker, _ = self._clocked(failure_threshold=2)
+        assert breaker.call(lambda: 7) == 7
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)
+        stats = breaker.stats()
+        assert stats["consecutive_failures"] == 1
+        assert stats["state"] == "closed"
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("injected")
+
+
+# ----------------------------------------------------------------------
+# Estimator-level degradation (no HTTP)
+# ----------------------------------------------------------------------
+class TestStaleButAvailable:
+    def test_failing_auto_refresh_marks_degraded_keeps_serving(
+        self, rng, monkeypatch
+    ):
+        serving = _make_serving(rng)
+        serving.refresh_every = 8
+        served_before = serving.served_snapshot_id
+        probe = serving.query_pair(0, 3)
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("injected: snapshot build failed")
+
+        monkeypatch.setattr(serving, "_refresh_locked", broken)
+        # The ingest crossing the threshold must SUCCEED despite the
+        # broken refresh behind it.
+        serving.ingest_sparse(_make_samples(16, rng))
+        assert serving.degraded
+        assert serving.refresh_failures == 1
+        assert "snapshot build failed" in serving.last_refresh_error
+        assert serving.served_snapshot_id == served_before  # stale, alive
+        assert serving.query_pair(0, 3) == probe
+        health = serving.health()
+        assert health["status"] == "degraded"
+        assert health["stale_samples"] >= 16
+
+    def test_successful_refresh_clears_degradation(self, rng, monkeypatch):
+        serving = _make_serving(rng)
+        serving.refresh_every = 8
+        broken = {"on": True}
+        real = serving._refresh_locked
+
+        def flaky_refresh(*args, **kwargs):
+            if broken["on"]:
+                raise RuntimeError("injected")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(serving, "_refresh_locked", flaky_refresh)
+        serving.ingest_sparse(_make_samples(16, rng))
+        assert serving.degraded
+        broken["on"] = False
+        serving.ingest_sparse(_make_samples(16, rng))
+        assert not serving.degraded
+        assert serving.last_refresh_error is None
+        assert serving.health()["status"] == "ok"
+
+    def test_explicit_refresh_failure_propagates_but_records(
+        self, rng, monkeypatch
+    ):
+        serving = _make_serving(rng)
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("injected: build failed")
+
+        monkeypatch.setattr(serving, "_refresh_locked", broken)
+        with pytest.raises(RuntimeError, match="injected"):
+            serving.refresh()
+        assert serving.degraded
+        assert serving.refresh_failures == 1
+
+    def test_hung_refresh_does_not_stall_ingest(self, rng):
+        serving = _make_serving(rng)
+        serving.refresh_every = 8
+        hung = threading.Event()
+        release = threading.Event()
+
+        def hanging_refresh():
+            with serving._refresh_lock:
+                hung.set()
+                assert release.wait(timeout=10.0)
+
+        hanger = threading.Thread(target=hanging_refresh, daemon=True)
+        hanger.start()
+        assert hung.wait(timeout=5.0)
+        # A refresh is "in flight" (hung): the threshold-crossing ingest
+        # must return promptly instead of queueing on the refresh lock.
+        done = threading.Event()
+
+        def ingest():
+            serving.ingest_sparse(_make_samples(16, rng))
+            done.set()
+
+        worker = threading.Thread(target=ingest, daemon=True)
+        worker.start()
+        assert done.wait(timeout=5.0), "ingest stalled behind a hung refresh"
+        release.set()
+        hanger.join(timeout=5.0)
+
+    def test_breaker_opens_on_repeated_ingest_failures(self, rng):
+        clock = [0.0]
+        serving = _make_serving(
+            rng,
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_after=30.0, time_fn=lambda: clock[0]
+            ),
+        )
+        bad = [(np.asarray([0, 99999]), np.asarray([1.0, 2.0]))]
+        for _ in range(2):
+            with pytest.raises((ValueError, IndexError)):
+                serving.ingest_sparse(bad)
+        assert serving.breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            serving.ingest_sparse(_make_samples(4, rng))
+        assert serving.health()["status"] == "degraded"
+        assert serving.stats()["breaker"]["rejections"] == 1
+        # Reads keep working while ingest is shed.
+        serving.query_pair(0, 3)
+        clock[0] = 31.0  # cooldown -> half-open; a good batch closes it
+        serving.ingest_sparse(_make_samples(4, rng))
+        assert serving.breaker.state == "closed"
+        assert serving.health()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class TestClientRetries:
+    @pytest.fixture
+    def server(self, rng):
+        serving = _make_serving(rng)
+        server, _thread = serve_in_background(serving)
+        yield serving, server
+        server.stop(timeout=5.0)
+
+    def test_idempotent_get_retries_through_dropped_connections(
+        self, rng, server
+    ):
+        _, srv = server
+        flaky = Flaky(urllib.request.urlopen, failures=2)
+        client = ServingClient(
+            srv.url, retries=2, opener=flaky, sleep_fn=_no_sleep, seed=0
+        )
+        assert client.health()["status"] == "ok"
+        assert flaky.faults == 2
+        assert client.retried_requests == 2
+
+    def test_retries_exhausted_raises_the_underlying_error(self, rng, server):
+        _, srv = server
+        flaky = Flaky(urllib.request.urlopen, failures=10)
+        client = ServingClient(
+            srv.url, retries=2, opener=flaky, sleep_fn=_no_sleep, seed=0
+        )
+        with pytest.raises(ConnectionResetError):
+            client.health()
+        assert flaky.calls == 3  # 1 try + 2 retries, then give up
+
+    def test_ingest_is_never_retried(self, rng, server):
+        _, srv = server
+        flaky = Flaky(urllib.request.urlopen, failures=1)
+        client = ServingClient(
+            srv.url, retries=5, opener=flaky, sleep_fn=_no_sleep, seed=0
+        )
+        with pytest.raises(ConnectionResetError):
+            client.ingest(_make_samples(2, rng))
+        assert flaky.calls == 1  # one attempt, no blind replay of a write
+        assert client.retried_requests == 0
+
+    def test_post_query_is_idempotent_and_retried(self, rng, server):
+        _, srv = server
+        flaky = Flaky(urllib.request.urlopen, failures=1)
+        client = ServingClient(
+            srv.url, retries=2, opener=flaky, sleep_fn=_no_sleep, seed=0
+        )
+        estimates = client.query_pairs([0, 1], [3, 4])
+        assert estimates.shape == (2,)
+        assert flaky.faults == 1
+
+    def test_backoff_honours_retry_after_within_cap(self, rng):
+        sleeps = []
+        client = ServingClient(
+            "http://127.0.0.1:9", retries=0,
+            backoff=0.1, backoff_max=2.0,
+            sleep_fn=sleeps.append, seed=0,
+        )
+        assert client._backoff_delay(0, 100.0) == 2.0  # capped
+        assert client._backoff_delay(0, 1.5) == 1.5  # honoured
+        jittered = client._backoff_delay(3, None)
+        assert 0.4 <= jittered <= 0.8  # 0.1 * 2**3, jittered in [1/2, 1]
+
+    def test_503_is_retried_with_retry_after(self, rng, server):
+        serving, srv = server
+        # Trip the breaker so reads still work but ingest 503s.
+        for _ in range(serving.breaker.failure_threshold):
+            serving.breaker.record_failure()
+        sleeps = []
+        client = ServingClient(
+            srv.url, retries=1, sleep_fn=sleeps.append, seed=0
+        )
+        # /stats is idempotent; it is NOT gated by the breaker, so it
+        # answers fine — the breaker only sheds ingest.
+        assert client.stats()["breaker"]["state"] == "open"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            client.ingest(_make_samples(2, rng))  # write: no retry
+        assert excinfo.value.code == 503
+        assert excinfo.value.headers.get("Retry-After") is not None
+
+
+class TestServerDegradation:
+    def test_open_breaker_maps_to_503_with_retry_after(self, rng):
+        clock = [0.0]
+        serving = _make_serving(
+            rng,
+            breaker=CircuitBreaker(
+                failure_threshold=1, reset_after=30.0, time_fn=lambda: clock[0]
+            ),
+        )
+        server, _thread = serve_in_background(serving)
+        try:
+            client = ServingClient(server.url, retries=0)
+            with pytest.raises((ValueError, IndexError)):
+                serving.ingest_sparse(
+                    [(np.asarray([0, 99999]), np.asarray([1.0, 2.0]))]
+                )
+            assert serving.breaker.state == "open"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                client.ingest(_make_samples(2, rng))
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            health = client.health()
+            assert health["status"] == "degraded"
+            assert health["breaker"] == "open"
+        finally:
+            server.stop(timeout=5.0)
+
+    def test_admission_control_sheds_excess_load(self, rng):
+        serving = _make_serving(rng)
+        server, _thread = serve_in_background(
+            serving, max_inflight=1, retry_after=3.0
+        )
+        try:
+            # Saturate the only slot from the outside, then probe.
+            assert server._admit()
+            client = ServingClient(server.url, retries=0)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                client.stats()
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "3"
+            # /health bypasses admission: probes answer under overload,
+            # and report the shed requests.
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["rejected_requests"] == 1
+            server._release()
+            assert client.stats()["swap_count"] >= 1  # slot free again
+        finally:
+            server.stop(timeout=5.0)
+
+    def test_degraded_health_over_http(self, rng, monkeypatch):
+        serving = _make_serving(rng)
+        server, _thread = serve_in_background(serving)
+        try:
+            client = ServingClient(server.url, retries=0)
+
+            def broken(*args, **kwargs):
+                raise RuntimeError("injected: hung table scan")
+
+            monkeypatch.setattr(serving, "_refresh_locked", broken)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                client.refresh()  # explicit refresh: the caller hears it
+            assert excinfo.value.code == 500
+            health = client.health()
+            assert health["status"] == "degraded"
+            assert "hung table scan" in health["last_refresh_error"]
+            assert health["refresh_failures"] == 1
+            # Stale reads still answer.
+            assert client.pair(0, 3) == serving.query_pair(0, 3)
+        finally:
+            server.stop(timeout=5.0)
+
+    def test_stop_is_bounded_and_idempotent_shutdown_still_works(self, rng):
+        serving = _make_serving(rng)
+        server, thread = serve_in_background(serving)
+        server.stop(timeout=5.0)
+        assert not thread.is_alive()
