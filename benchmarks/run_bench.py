@@ -40,6 +40,7 @@ _SUITE_MODULES = (
     "bench_streaming",
     "bench_memory",
     "bench_faults",
+    "bench_discovery",
 )
 
 for _module in _SUITE_MODULES:

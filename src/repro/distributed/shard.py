@@ -41,7 +41,9 @@ from repro.core.estimator import SketchEstimator
 from repro.core.schedule import ThresholdSchedule
 from repro.covariance.pipeline import CovarianceSketcher
 from repro.durability.integrity import verify_arrays, write_npz
+from repro.hashing.pairs import num_pairs
 from repro.sketch.count_sketch import CountSketch
+from repro.sketch.hierarchical import HierarchicalCountSketch
 
 __all__ = [
     "ShardSpec",
@@ -56,8 +58,10 @@ __all__ = [
 
 #: Estimator methods whose state merges losslessly enough to shard.
 #: ASketch filters and Cold Filter gates hold order-dependent state, so the
-#: sharded driver rejects them (see ``ColdFilterSketch.merge``).
-MERGEABLE_METHODS = ("cs", "ascs")
+#: sharded driver rejects them (see ``ColdFilterSketch.merge``).  ``hcs``
+#: (the hierarchical count sketch) merges exactly per level — its stacked
+#: table rides the same summation law as a flat table.
+MERGEABLE_METHODS = ("cs", "ascs", "hcs")
 
 
 @dataclass(frozen=True)
@@ -77,7 +81,10 @@ class ShardSpec:
         Global stream length ``T`` (not the shard length) — the ``1/T``
         update scaling and the ASCS ramp normaliser.
     method:
-        ``"cs"`` or ``"ascs"`` (the mergeable estimators).
+        ``"cs"``, ``"ascs"`` or ``"hcs"`` (the mergeable estimators;
+        ``"hcs"`` backs the estimator with a
+        :class:`repro.sketch.HierarchicalCountSketch` over the pair-key
+        space for open-world ``find_heavy`` discovery).
     schedule:
         ``(exploration_length, tau0, theta, total_samples)`` tuple for
         ``method="ascs"``; ``None`` for ``"cs"``.
@@ -93,6 +100,10 @@ class ShardSpec:
         :class:`repro.covariance.CovarianceSketcher` parameters.
     track_top, two_sided:
         Estimator candidate-tracking parameters.
+    levels, branching:
+        Hierarchy shape for ``method="hcs"``: ``levels == 0`` (the
+        default) auto-sizes the depth from the pair-key space; both are
+        part of the merge fingerprint and ignored by flat methods.
     """
 
     dim: int
@@ -109,6 +120,8 @@ class ShardSpec:
     std_floor: float = 1e-6
     track_top: int = 0
     two_sided: bool = False
+    levels: int = 0
+    branching: int = 16
     schedule: tuple[int, float, float, int] | None = None
 
     def __post_init__(self):
@@ -145,14 +158,27 @@ class ShardSpec:
     # ------------------------------------------------------------------
     def build_estimator(self) -> SketchEstimator:
         """A fresh zero-state estimator following this spec."""
-        sketch = CountSketch(
-            self.num_tables,
-            self.num_buckets,
-            seed=self.seed,
-            family=self.family,
-            dtype=self.storage,
-            quantum=self.quantum,
-        )
+        if self.method == "hcs":
+            sketch = HierarchicalCountSketch(
+                self.num_tables,
+                self.num_buckets,
+                key_space=num_pairs(self.dim),
+                branching=self.branching,
+                levels=self.levels or None,
+                seed=self.seed,
+                family=self.family,
+                dtype=self.storage,
+                quantum=self.quantum,
+            )
+        else:
+            sketch = CountSketch(
+                self.num_tables,
+                self.num_buckets,
+                seed=self.seed,
+                family=self.family,
+                dtype=self.storage,
+                quantum=self.quantum,
+            )
         common = dict(track_top=self.track_top, two_sided=self.two_sided)
         if self.method == "ascs":
             return ActiveSamplingCountSketch(
@@ -162,7 +188,8 @@ class ShardSpec:
                 name="ASCS",
                 **common,
             )
-        return SketchEstimator(sketch, self.total_samples, name="CS", **common)
+        name = "HCS" if self.method == "hcs" else "CS"
+        return SketchEstimator(sketch, self.total_samples, name=name, **common)
 
     def build_sketcher(self) -> CovarianceSketcher:
         """A fresh covariance pipeline around :meth:`build_estimator`."""

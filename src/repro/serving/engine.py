@@ -182,7 +182,8 @@ class QueryEngine:
         return result
 
     def pairs_above(self, threshold: float, *, limit: int | None = None):
-        """Indexed pairs with rank >= ``threshold`` (see snapshot docs)."""
+        """Pairs with rank >= ``threshold``, open-world when the backing
+        sketch supports hierarchical descent (see snapshot docs)."""
         self.queries += 1
         result = self.snapshot.pairs_above(threshold, limit=limit)
         self.keys_served += result[0].size

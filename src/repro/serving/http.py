@@ -11,7 +11,8 @@ ingest/serve loop — a :class:`~repro.serving.ServingEstimator`:
 ``GET  /pair?i=&j=``      one pair's estimate
 ``GET  /neighbors?i=&k=`` feature ``i``'s best candidate partners
 ``GET  /top?k=``          the ``k`` best indexed pairs
-``GET  /above?threshold=&limit=``  thresholded range query
+``GET  /above?threshold=&limit=``  thresholded range query (open-world
+                          on hierarchical snapshots — see below)
 ``POST /query``           batched pairs/keys (single-gather planned)
 ``POST /ingest``          sparse samples into the write side (serving only)
 ``POST /refresh``         snapshot + atomic swap (serving only)
@@ -23,6 +24,17 @@ thread-safe, and write routes (``/ingest``, ``/refresh``) serialize on the
 serving estimator's own write lock — so a slow write never stalls reads.
 JSON floats round-trip exactly (``repr`` shortest-form), so HTTP answers
 are bit-identical to in-process queries.
+
+Ranked endpoints (``/top``, ``/neighbors``, ``/above``) order and
+threshold by **rank**: ``|estimate|`` on two-sided snapshots, the signed
+estimate otherwise — the returned ``estimates`` stay signed either way.
+Bad parameters (negative ``k``/``limit``, NaN thresholds, inverted
+ranges) are 400s, and every list response is bounded by the server's
+``max_response_pairs`` with a ``truncated`` flag — a low threshold can
+no longer serialize an entire index into one body.  On a snapshot backed
+by a :class:`~repro.sketch.HierarchicalCountSketch`, ``/above`` answers
+over the full pair space by sketch descent even with no materialized
+index (see ``SketchSnapshot.pairs_above``).
 
 Degradation model
 -----------------
@@ -236,39 +248,76 @@ def _route_pair(server, query, handler) -> dict:
 
 
 def _route_neighbors(server, query, handler) -> dict:
+    """Feature ``i``'s best candidate partners, rank-desc.
+
+    Rank is ``|estimate|`` on two-sided snapshots, the signed estimate
+    otherwise.  Negative ``k`` is a 400; responses are capped at the
+    server's ``max_response_pairs`` (``truncated: true`` flags a cut).
+    """
     engine = server.engine
     i = handler._param(query, "i", int)
     k = handler._param(query, "k", int, default=10)
-    partners, estimates = engine.top_neighbors(i, k)
+    effective, cap = server._capped(k)
+    partners, estimates = engine.top_neighbors(i, effective)
     return {
         "i": i,
         "partners": partners.tolist(),
         "estimates": estimates.tolist(),
+        "truncated": cap is not None and k > cap and partners.size == cap,
         "snapshot_id": engine.snapshot.snapshot_id,
     }
 
 
 def _route_top(server, query, handler) -> dict:
+    """The ``k`` best indexed pairs, rank-desc.
+
+    Rank is ``|estimate|`` on two-sided snapshots, the signed estimate
+    otherwise.  Negative ``k`` is a 400; responses are capped at the
+    server's ``max_response_pairs`` (``truncated: true`` flags a cut).
+    """
     engine = server.engine
     k = handler._param(query, "k", int, default=10)
-    i, j, estimates = engine.top_pairs(k)
+    effective, cap = server._capped(k)
+    i, j, estimates = engine.top_pairs(effective)
     return {
         "i": i.tolist(),
         "j": j.tolist(),
         "estimates": estimates.tolist(),
+        "truncated": cap is not None and k > cap and i.size == cap,
         "snapshot_id": engine.snapshot.snapshot_id,
     }
 
 
 def _route_above(server, query, handler) -> dict:
+    """All pairs with rank ``>= threshold``, rank-desc.
+
+    Rank is ``|estimate|`` on two-sided snapshots, the signed estimate
+    otherwise.  NaN thresholds and negative limits are 400s.  The response
+    is always bounded: at most ``min(limit, max_response_pairs)`` rows are
+    serialized, with ``truncated: true`` when the cap cut real rows —
+    before the cap, a low threshold with no ``limit`` would serialize the
+    whole index into one JSON body.
+    """
     engine = server.engine
     threshold = handler._param(query, "threshold", float)
     limit = handler._param(query, "limit", int, default=None)
-    i, j, estimates = engine.pairs_above(threshold, limit=limit)
+    if limit is not None and limit < 0:
+        raise _HTTPError(400, f"limit must be >= 0, got {limit}")
+    cap = server.max_response_pairs if server.max_response_pairs > 0 else None
+    truncated = False
+    if cap is not None and (limit is None or limit > cap):
+        # Ask for one row beyond the cap: its presence proves a cut
+        # without materializing the unbounded tail.
+        i, j, estimates = engine.pairs_above(threshold, limit=cap + 1)
+        truncated = i.size > cap
+        i, j, estimates = i[:cap], j[:cap], estimates[:cap]
+    else:
+        i, j, estimates = engine.pairs_above(threshold, limit=limit)
     return {
         "i": i.tolist(),
         "j": j.tolist(),
         "estimates": estimates.tolist(),
+        "truncated": truncated,
         "snapshot_id": engine.snapshot.snapshot_id,
     }
 
@@ -351,6 +400,13 @@ class ServingHTTPServer(ThreadingHTTPServer):
     retry_after:
         The ``Retry-After`` value (seconds) sent with admission-control
         rejections.
+    max_response_pairs:
+        Hard bound on the rows any list endpoint (``/top``, ``/neighbors``,
+        ``/above``) serializes into one JSON body.  Requests asking for
+        more (or ``/above`` with no ``limit`` matching more) get the first
+        ``max_response_pairs`` rows plus ``"truncated": true`` — page with
+        ``limit`` + a tighter threshold for the rest.  ``0`` disables the
+        cap (trusted in-process clients only).
     """
 
     daemon_threads = True
@@ -375,6 +431,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
         *,
         max_inflight: int = 64,
         retry_after: float = 1.0,
+        max_response_pairs: int = 10_000,
     ):
         if isinstance(target, SketchSnapshot):
             target = QueryEngine(target)
@@ -391,6 +448,11 @@ class ServingHTTPServer(ThreadingHTTPServer):
             )
         self.max_inflight = int(max_inflight)
         self.retry_after = float(retry_after)
+        if int(max_response_pairs) < 0:
+            raise ValueError(
+                f"max_response_pairs must be >= 0, got {max_response_pairs}"
+            )
+        self.max_response_pairs = int(max_response_pairs)
         self._admission = (
             threading.BoundedSemaphore(self.max_inflight)
             if self.max_inflight > 0
@@ -419,6 +481,17 @@ class ServingHTTPServer(ThreadingHTTPServer):
 
     def _retry_after_header(self) -> int:
         return max(1, math.ceil(self.retry_after))
+
+    def _capped(self, k: int) -> tuple[int, int | None]:
+        """``(effective_k, cap)`` under ``max_response_pairs``.
+
+        Negative ``k`` passes through untouched so the query layer raises
+        its own ValueError (mapped to a 400) instead of the cap hiding it.
+        """
+        cap = self.max_response_pairs if self.max_response_pairs > 0 else None
+        if cap is None or k < 0:
+            return k, cap
+        return min(k, cap), cap
 
     def stop(self, timeout: float | None = 5.0) -> None:
         """Shut down, join the background serve thread (if any), close.
@@ -463,8 +536,8 @@ def serve_in_background(
 
     Stop it with ``server.stop(timeout)`` (bounded shutdown + join) or the
     legacy ``server.shutdown()``.  Extra keyword arguments
-    (``max_inflight``, ``retry_after``) pass through to
-    :class:`ServingHTTPServer`.
+    (``max_inflight``, ``retry_after``, ``max_response_pairs``) pass
+    through to :class:`ServingHTTPServer`.
     """
     server = ServingHTTPServer(target, address, **server_options)
     thread = threading.Thread(

@@ -25,6 +25,7 @@ them on disk.
 from __future__ import annotations
 
 import logging
+import math
 import os
 import re
 import threading
@@ -316,8 +317,16 @@ class SketchSnapshot:
         return self.query_keys(pair_to_index(i, j, self.dim))
 
     def top_pairs(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The ``k`` best indexed pairs: ``(i, j, estimates)``, rank-desc."""
-        k = min(int(k), self.index_size)
+        """The ``k`` best indexed pairs: ``(i, j, estimates)``, rank-desc.
+
+        ``k`` must be ``>= 0`` (``k=0`` returns empty arrays): a negative
+        ``k`` is a caller error, not a Python negative slice — before this
+        check, ``k=-1`` silently returned all-but-one of the index.
+        """
+        k = int(k)
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        k = min(k, self.index_size)
         return self.index_i[:k], self.index_j[:k], self.index_estimates[:k]
 
     def top_neighbors(
@@ -332,40 +341,93 @@ class SketchSnapshot:
         feature = int(feature)
         if not 0 <= feature < self.dim:
             raise ValueError(f"feature must be in [0, {self.dim}), got {feature}")
+        k = int(k)
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
         lo = int(np.searchsorted(self.nbr_feature, feature, side="left"))
         hi = int(np.searchsorted(self.nbr_feature, feature, side="right"))
-        hi = min(hi, lo + int(k))
+        hi = min(hi, lo + k)
         return self.nbr_partner[lo:hi].copy(), self.nbr_estimate[lo:hi].copy()
 
     def pairs_above(
         self, threshold: float, *, limit: int | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All indexed pairs with rank ``>= threshold``, rank-desc.
+        """All pairs with rank ``>= threshold``, rank-desc.
 
         Rank is ``|estimate|`` for two-sided snapshots, the signed estimate
-        otherwise.  The range is a binary search over the sorted index, so
-        this is O(log index + answer).
+        otherwise.  ``threshold`` must not be NaN (``np.searchsorted``
+        comparisons with NaN silently misbehave) and ``limit`` must be
+        ``>= 0`` when given.
+
+        Resolution strategy, in order:
+
+        * **Materialized index** when it provably covers the query — the
+          index was scan-built (``index_exact``) and either the threshold
+          sits above the smallest indexed rank or the whole pair space is
+          indexed.  A binary search: O(log index + answer).
+        * **Hierarchical descent** when the backing sketch supports
+          ``find_heavy`` (method ``"hcs"``) and the threshold is positive:
+          the answer is recovered from the sketch alone, over the *full*
+          pair space — open-world discovery with no index and no candidate
+          enumeration.
+        * Otherwise the (possibly tracker-bounded) index slice, the
+          historical best-effort answer.
         """
-        # index_rank is descending; search its negation.
-        n = int(
-            np.searchsorted(-self.index_rank, -float(threshold), side="right")
-        )
+        threshold = float(threshold)
+        if math.isnan(threshold):
+            raise ValueError("threshold must not be NaN")
         if limit is not None:
-            n = min(n, int(limit))
+            limit = int(limit)
+            if limit < 0:
+                raise ValueError(f"limit must be >= 0, got {limit}")
+        covered = self.index_exact and (
+            (self.index_size > 0 and threshold > float(self.index_rank[-1]))
+            or self.index_size == self.num_pairs
+        )
+        if (
+            not covered
+            and threshold > 0.0
+            and hasattr(self.sketch, "find_heavy")
+        ):
+            keys, estimates = self.sketch.find_heavy(
+                threshold, two_sided=self.two_sided, limit=limit
+            )
+            if keys.size:
+                i, j = index_to_pair(keys, self.dim)
+            else:
+                i = j = np.empty(0, dtype=np.int64)
+            return i, j, estimates
+        # index_rank is descending; search its negation.
+        n = int(np.searchsorted(-self.index_rank, -threshold, side="right"))
+        if limit is not None:
+            n = min(n, limit)
         return self.index_i[:n], self.index_j[:n], self.index_estimates[:n]
 
     def pairs_in_range(
         self, lo: float, hi: float, *, limit: int | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Indexed pairs with ``lo <= rank < hi``, rank-desc."""
+        """Indexed pairs with ``lo <= rank < hi``, rank-desc.
+
+        Rank is ``|estimate|`` for two-sided snapshots, the signed estimate
+        otherwise.  Bounds must be non-NaN with ``lo <= hi``; ``limit``
+        must be ``>= 0`` when given.  Unlike :meth:`pairs_above` this stays
+        index-backed (a bounded-above band cannot prune a mass descent).
+        """
+        lo, hi = float(lo), float(hi)
+        if math.isnan(lo) or math.isnan(hi):
+            raise ValueError(f"range bounds must not be NaN: lo={lo}, hi={hi}")
         if hi < lo:
             raise ValueError(f"empty range: lo={lo} > hi={hi}")
+        if limit is not None:
+            limit = int(limit)
+            if limit < 0:
+                raise ValueError(f"limit must be >= 0, got {limit}")
         # side='right' on the (negated, ascending) ranks skips entries with
         # rank exactly hi — the half-open [lo, hi) contract.
-        start = int(np.searchsorted(-self.index_rank, -float(hi), side="right"))
-        stop = int(np.searchsorted(-self.index_rank, -float(lo), side="right"))
+        start = int(np.searchsorted(-self.index_rank, -hi, side="right"))
+        stop = int(np.searchsorted(-self.index_rank, -lo, side="right"))
         if limit is not None:
-            stop = min(stop, start + int(limit))
+            stop = min(stop, start + limit)
         return (
             self.index_i[start:stop],
             self.index_j[start:stop],

@@ -6,6 +6,7 @@ from repro.sketch.cold_filter import ColdFilterSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
 from repro.sketch.decay import DecayedSketch, decay_from_half_life
+from repro.sketch.hierarchical import HierarchicalCountSketch
 from repro.sketch.planner import CapacityPlan, plan
 from repro.sketch.serialization import load_sketch, save_sketch
 from repro.sketch.storage import DEFAULT_QUANTUM, CounterStore, resolve_storage
@@ -20,6 +21,7 @@ __all__ = [
     "CounterStore",
     "DEFAULT_QUANTUM",
     "DecayedSketch",
+    "HierarchicalCountSketch",
     "TopKTracker",
     "ValueSketch",
     "decay_from_half_life",

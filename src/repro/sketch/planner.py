@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.hashing.pairs import num_pairs
 from repro.sketch.count_sketch import CountSketch
+from repro.sketch.hierarchical import HierarchicalCountSketch
 from repro.sketch.storage import STORAGE_DTYPES, resolve_storage
 
 __all__ = ["CapacityPlan", "plan"]
@@ -69,6 +70,12 @@ class CapacityPlan:
     quantization_step_rel:
         ``quantum / value_range`` — the relative resolution floor
         quantization adds (0 for float storage).
+    levels, branching:
+        Hierarchical-index depth and fan-out.  ``levels == 1`` is the flat
+        sketch; deeper plans split the byte budget evenly across levels
+        (each level is a full ``K x R`` table), buying open-world
+        ``find_heavy`` discovery at the cost of ``1/levels`` of the
+        buckets — the depth-vs-width trade the planner makes explicit.
     """
 
     n_features: int
@@ -82,17 +89,37 @@ class CapacityPlan:
     counters_vs_float64: float
     predicted_snr_gain_db: float
     quantization_step_rel: float
+    levels: int = 1
+    branching: int = 16
 
     @property
     def total_counters(self) -> int:
-        return self.num_tables * self.num_buckets
+        return self.levels * self.num_tables * self.num_buckets
 
     @property
     def predicted_total_bytes(self) -> int:
         return int(self.total_counters * self.predicted_bytes_per_counter)
 
-    def build_sketch(self, *, seed: int = 0, family: str = "multiply-shift") -> CountSketch:
-        """A :class:`~repro.sketch.CountSketch` following this plan."""
+    def build_sketch(self, *, seed: int = 0, family: str = "multiply-shift"):
+        """A sketch following this plan.
+
+        Flat plans (``levels == 1``) build a
+        :class:`~repro.sketch.CountSketch`; deeper plans build a
+        :class:`~repro.sketch.HierarchicalCountSketch` over the pair-key
+        space, ready for open-world ``find_heavy`` discovery.
+        """
+        if self.levels > 1:
+            return HierarchicalCountSketch(
+                self.num_tables,
+                self.num_buckets,
+                key_space=self.num_pairs,
+                branching=self.branching,
+                levels=self.levels,
+                seed=seed,
+                family=family,
+                dtype=self.storage,
+                quantum=self.quantum,
+            )
         return CountSketch(
             self.num_tables,
             self.num_buckets,
@@ -123,6 +150,8 @@ class CapacityPlan:
             "predicted_bytes_per_counter": self.predicted_bytes_per_counter,
             "counters_vs_float64": self.counters_vs_float64,
             "predicted_snr_gain_db": self.predicted_snr_gain_db,
+            "levels": self.levels,
+            "branching": self.branching,
         }
 
 
@@ -137,6 +166,8 @@ def plan(
     quantization_tolerance: float | None = None,
     headroom: float = DEFAULT_HEADROOM,
     pow2_buckets: bool = False,
+    levels: int = 1,
+    branching: int = 16,
 ) -> CapacityPlan:
     """Recommend ``(K, R, dtype, quantum)`` for a byte budget.
 
@@ -178,6 +209,12 @@ def plan(
         save.
     pow2_buckets:
         Round ``R`` down to a power of two (bitmask bucket ranges).
+    levels, branching:
+        Hierarchical-index depth and fan-out (``levels == 1`` keeps the
+        flat sketch).  A depth-``L`` plan holds ``L`` full ``K x R``
+        tables, so the same byte budget buys ``1/L`` of the buckets —
+        collision noise grows by ``10*log10(L)`` dB in exchange for
+        open-world ``find_heavy`` discovery over the whole pair space.
     """
     if n_features < 2:
         raise ValueError(f"n_features must be >= 2, got {n_features}")
@@ -189,6 +226,10 @@ def plan(
         raise ValueError(f"value_range must be > 0, got {value_range}")
     if headroom < 1.0:
         raise ValueError(f"headroom must be >= 1, got {headroom}")
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    if branching < 2:
+        raise ValueError(f"branching must be >= 2, got {branching}")
     if quantization_tolerance is None:
         if target_f1 is not None:
             if not 0.0 < target_f1 < 1.0:
@@ -217,10 +258,13 @@ def plan(
         raise ValueError(f"unsupported storage {chosen!r}")
 
     itemsize = np.dtype(chosen).itemsize
-    num_buckets = max(16, budget_bytes // (num_tables * itemsize))
+    # The budget covers every level's K x R table, so depth divides width.
+    num_buckets = max(16, budget_bytes // (levels * num_tables * itemsize))
     if pow2_buckets:
         num_buckets = 1 << (int(num_buckets).bit_length() - 1)
-    buckets_f64 = max(16, budget_bytes // (num_tables * 8))
+    # The float64 reference also carries `levels` tables: the reported SNR
+    # gain isolates the storage effect, not the depth-vs-width trade.
+    buckets_f64 = max(16, budget_bytes // (levels * num_tables * 8))
     if pow2_buckets:
         buckets_f64 = 1 << (int(buckets_f64).bit_length() - 1)
 
@@ -241,4 +285,6 @@ def plan(
         counters_vs_float64=float(gain),
         predicted_snr_gain_db=float(10.0 * np.log10(gain)) if gain > 0 else 0.0,
         quantization_step_rel=float(step_rel(chosen)),
+        levels=int(levels),
+        branching=int(branching),
     )

@@ -59,6 +59,7 @@ from repro.sketch.augmented import AugmentedSketch
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
 from repro.sketch.decay import DecayedSketch
+from repro.sketch.hierarchical import HierarchicalCountSketch
 
 __all__ = [
     "save_sketch",
@@ -362,6 +363,56 @@ def _decayed_from_arrays(data, *, copy: bool = True) -> DecayedSketch:
     return wrapped
 
 
+def _hierarchical_to_arrays(sketch: HierarchicalCountSketch) -> dict:
+    out = {
+        "num_tables": np.asarray(sketch.num_tables),
+        "num_buckets": np.asarray(sketch.num_buckets),
+        "seed": np.asarray(sketch.seed),
+        "family": np.asarray(sketch.family),
+        "key_space": np.asarray(sketch.key_space),
+        "branching": np.asarray(sketch.branching),
+        "levels": np.asarray(sketch.levels),
+        # One quantum covers all levels: they are built with the same step,
+        # and scale() folds any factor into every level identically.
+        "quantum": np.asarray(
+            np.nan if sketch.quantum is None else sketch.quantum,
+            dtype=np.float64,
+        ),
+    }
+    # Per-level members (not one stacked array): quantized levels widen
+    # independently, and the "_table" suffix enrols each one in the mmap /
+    # CRC-skip machinery of load_sketch and the serving snapshot loader.
+    for index, level in enumerate(sketch._levels):
+        out[f"level{index}_table"] = level.table
+    return out
+
+
+def _hierarchical_from_arrays(data, *, copy: bool = True) -> HierarchicalCountSketch:
+    levels = int(data["levels"])
+    tables = [data[f"level{index}_table"] for index in range(levels)]
+    leaf = np.asarray(tables[0]) if copy else tables[0]
+    sketch = HierarchicalCountSketch(
+        int(data["num_tables"]),
+        int(data["num_buckets"]),
+        key_space=int(data["key_space"]),
+        branching=int(data["branching"]),
+        levels=levels,
+        seed=int(data["seed"]),
+        family=str(data["family"]),
+        dtype=leaf.dtype,
+        quantum=_quantum_from(data),
+    )
+    if copy:
+        # load_raw adopts each persisted level's width (promoting when the
+        # incoming table is wider than the leaf-derived declared dtype).
+        for level, table in zip(sketch._levels, tables):
+            level.load_table(np.asarray(table))
+    else:
+        for level, table in zip(sketch._levels, tables):
+            level._store.attach(table)
+    return sketch
+
+
 register_kind(
     "count-sketch",
     cls=CountSketch,
@@ -394,6 +445,15 @@ register_kind(
     to_arrays=_decayed_to_arrays,
     from_arrays=_decayed_from_arrays,
     make=lambda seed: DecayedSketch(CountSketch(3, 256, seed=seed), 0.5),
+)
+register_kind(
+    "hierarchical",
+    cls=HierarchicalCountSketch,
+    to_arrays=_hierarchical_to_arrays,
+    from_arrays=_hierarchical_from_arrays,
+    make=lambda seed: HierarchicalCountSketch(
+        3, 256, key_space=5000, branching=8, levels=3, seed=seed
+    ),
 )
 
 
