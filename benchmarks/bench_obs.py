@@ -1,0 +1,342 @@
+"""Observability-tier benchmark suite: what does telemetry cost?
+
+Writes ``BENCH_obs.json`` (``BENCH_obs.smoke.json`` in smoke mode)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py             # full
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke     # CI smoke
+
+The tier's design rule is that hot paths only ever touch pre-created
+instruments (a locked integer add, a bisect into fixed buckets) and that
+every derived value is computed at scrape time.  This suite prices that
+rule through **identical code paths** — the same
+:class:`~repro.serving.ServingEstimator` ingest loop and the same
+:class:`~repro.serving.QueryEngine` batched reads, run once against a
+live :class:`~repro.obs.MetricsRegistry` and once against the no-op
+:class:`~repro.obs.NullRegistry` — so the reported ratio is the cost of
+the instruments alone, not of a different implementation:
+
+* **ingest overhead** — fused-kernel sparse ingest through the serving
+  write path, instrumented vs bare (arms interleaved per repetition and
+  min-of-reps on each, so scheduler drift cancels instead of reading as
+  overhead);
+* **query overhead** — batched ``query_keys`` through the engine's
+  cache/gather planner, instrumented vs bare;
+* **instrument micro-costs** — ns per ``Counter.inc`` and per
+  ``Histogram.observe``, the primitives every layer leans on;
+* **exposition latency** — rendering the populated stack's Prometheus
+  text (what one ``GET /metrics`` scrape pays, network aside).
+
+The <3% overhead ceilings are the PR's acceptance gate; like every other
+suite the wall-clock checks only apply when the recording machine had
+``meta.cpu_count >= 2``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from registry import BenchSuite, register
+from repro.distributed import ShardSpec
+from repro.obs.metrics import MetricsRegistry, NullRegistry, render_exposition
+from repro.serving import QueryEngine, ServingEstimator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 31
+DIM = 256
+
+#: CI ceilings (see _check), enforced only when meta.cpu_count >= 2.
+#: Smoke runs use the looser ceiling: 3 reps over a 64-batch stream is a
+#: sanity probe, and holding it to the same 3% bar as the committed
+#: 8-rep full-workload report would flake on scheduler noise alone.
+INGEST_OVERHEAD_CEILING = 1.03
+QUERY_OVERHEAD_CEILING = 1.03
+SMOKE_OVERHEAD_CEILING = 1.25
+EXPOSITION_SECONDS_CEILING = 0.050
+
+
+def _spec(total_samples: int) -> ShardSpec:
+    return ShardSpec(
+        dim=DIM,
+        total_samples=total_samples,
+        num_tables=3,
+        num_buckets=1024,
+        seed=SEED,
+        track_top=64,
+    )
+
+
+def _batches(num_batches: int, batch_samples: int):
+    rng = np.random.default_rng(SEED)
+    batches = []
+    for _ in range(num_batches):
+        batch = []
+        for _ in range(batch_samples):
+            k = int(rng.integers(3, 9))
+            idx = rng.choice(DIM, size=k, replace=False).astype(np.int64)
+            val = rng.standard_normal(k)
+            batch.append((idx, val))
+        batches.append(batch)
+    return batches
+
+
+def _one_ingest_run(spec, batches, registry) -> float:
+    """Wall time for the full stream through a fresh serving estimator
+    bound to ``registry`` (fresh state per run, same stream)."""
+    serving = ServingEstimator.from_spec(
+        spec, top_index=64, cache_size=1024, registry=registry
+    )
+    t0 = time.perf_counter()
+    for batch in batches:
+        serving.ingest_sparse(batch)
+    return time.perf_counter() - t0
+
+
+def _bench_ingest(spec, batches, reps: int) -> tuple[list[dict], float]:
+    # One discarded warmup plus bare/instrumented runs *interleaved* per
+    # rep, min-of-reps on each arm: back-to-back block timing reads
+    # scheduler drift as overhead and swamps the sub-1% instrument cost.
+    _one_ingest_run(spec, batches, NullRegistry())
+    bare_runs, inst_runs = [], []
+    for _ in range(reps):
+        bare_runs.append(_one_ingest_run(spec, batches, NullRegistry()))
+        inst_runs.append(_one_ingest_run(spec, batches, MetricsRegistry()))
+    bare = min(bare_runs)
+    instrumented = min(inst_runs)
+    overhead = instrumented / bare if bare > 0 else 1.0
+    samples = sum(len(batch) for batch in batches)
+    records = [
+        {
+            "op": "ingest_bare",
+            "samples": samples,
+            "seconds": bare,
+            "samples_per_s": samples / bare if bare > 0 else float("inf"),
+        },
+        {
+            "op": "ingest_instrumented",
+            "samples": samples,
+            "seconds": instrumented,
+            "samples_per_s": (
+                samples / instrumented if instrumented > 0 else float("inf")
+            ),
+        },
+    ]
+    return records, overhead
+
+
+def _one_query_run(engine, keys, calls: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        engine.query_keys(keys)
+    return time.perf_counter() - t0
+
+
+def _bench_query(spec, batches, calls: int, reps: int) -> tuple[list[dict], float]:
+    serving = ServingEstimator.from_spec(spec, top_index=64, cache_size=0)
+    for batch in batches:
+        serving.ingest_sparse(batch)
+    serving.refresh()
+    snapshot = serving.snapshot
+    keys = np.arange(512, dtype=np.int64)
+    # cache_size=0 keeps both arms on the gather path every call (a warm
+    # cache would collapse the work and flatter the instrumented arm).
+    bare_engine = QueryEngine(snapshot, cache_size=0, registry=NullRegistry())
+    inst_engine = QueryEngine(snapshot, cache_size=0, registry=MetricsRegistry())
+    _one_query_run(bare_engine, keys, calls)  # warmup
+    bare_runs, inst_runs = [], []
+    for _ in range(reps):
+        bare_runs.append(_one_query_run(bare_engine, keys, calls))
+        inst_runs.append(_one_query_run(inst_engine, keys, calls))
+    bare = min(bare_runs)
+    instrumented = min(inst_runs)
+    overhead = instrumented / bare if bare > 0 else 1.0
+    records = [
+        {
+            "op": "query_bare",
+            "calls": calls,
+            "keys_per_call": int(keys.size),
+            "seconds": bare,
+            "us_per_call": bare / calls * 1e6,
+        },
+        {
+            "op": "query_instrumented",
+            "calls": calls,
+            "keys_per_call": int(keys.size),
+            "seconds": instrumented,
+            "us_per_call": instrumented / calls * 1e6,
+        },
+    ]
+    return records, overhead
+
+
+def _bench_primitives(iters: int) -> list[dict]:
+    reg = MetricsRegistry()
+    counter = reg.counter("bench_total")
+    hist = reg.histogram("bench_seconds")
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        counter.inc()
+    inc_ns = (time.perf_counter() - t0) / iters * 1e9
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        hist.observe(0.001)
+    observe_ns = (time.perf_counter() - t0) / iters * 1e9
+    return [
+        {"op": "counter_inc", "iters": iters, "ns_per_op": inc_ns},
+        {"op": "histogram_observe", "iters": iters, "ns_per_op": observe_ns},
+    ]
+
+
+def _bench_exposition(spec, batches, reps: int) -> tuple[dict, float, int]:
+    """Scrape cost of a realistically populated serving-stack registry."""
+    serving = ServingEstimator.from_spec(spec, top_index=64, cache_size=1024)
+    for batch in batches:
+        serving.ingest_sparse(batch)
+    serving.refresh()
+    serving.query_keys(np.arange(256, dtype=np.int64))
+    http_registry = MetricsRegistry()
+    http_registry.counter(
+        "repro_http_requests_total",
+        "requests answered by route and status code",
+        labels={"route": "GET /pair", "code": "200"},
+    ).inc(100)
+    registries = [http_registry, serving.registry]
+    text = render_exposition(registries)
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        render_exposition(registries)
+        best = min(best, time.perf_counter() - t0)
+    lines = text.count("\n")
+    record = {
+        "op": "exposition_render",
+        "seconds": best,
+        "lines": lines,
+        "instruments": sum(len(r.instruments()) for r in registries),
+    }
+    return record, best, lines
+
+
+def run_benchmarks(smoke: bool = False) -> dict:
+    num_batches = 64 if smoke else 512
+    batch_samples = 8 if smoke else 16
+    reps = 3 if smoke else 8
+    query_calls = 50 if smoke else 400
+    prim_iters = 20_000 if smoke else 200_000
+    spec = _spec(total_samples=num_batches * batch_samples)
+    batches = _batches(num_batches, batch_samples)
+
+    ingest_records, ingest_overhead = _bench_ingest(spec, batches, reps)
+    query_records, query_overhead = _bench_query(
+        spec, batches, query_calls, reps
+    )
+    primitive_records = _bench_primitives(prim_iters)
+    exposition_record, exposition_seconds, lines = _bench_exposition(
+        spec, batches, reps
+    )
+
+    cpu_count = os.cpu_count() or 1
+    return {
+        "meta": {
+            "benchmark": "bench_obs",
+            "smoke": smoke,
+            "dim": DIM,
+            "num_batches": num_batches,
+            "batch_samples": batch_samples,
+            "seed": SEED,
+            "cpu_count": cpu_count,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "note": (
+                "both arms of every overhead ratio run the identical code "
+                "path (registry swapped for NullRegistry); the <3% ceilings "
+                "apply only when meta.cpu_count >= 2"
+            ),
+        },
+        "headline": {
+            "ingest_overhead": ingest_overhead,
+            "query_overhead": query_overhead,
+            "exposition_seconds": exposition_seconds,
+            "exposition_lines": lines,
+            "counter_inc_ns": primitive_records[0]["ns_per_op"],
+            "histogram_observe_ns": primitive_records[1]["ns_per_op"],
+            "cpu_count": cpu_count,
+        },
+        "results": (
+            ingest_records
+            + query_records
+            + primitive_records
+            + [exposition_record]
+        ),
+    }
+
+
+def write_report(report: dict, out_path: Path) -> None:
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def print_report(report: dict) -> None:
+    for rec in report["results"]:
+        detail = {k: v for k, v in rec.items() if k != "op"}
+        print(f"{rec['op']:<22}{json.dumps(detail)}")
+    print("headline:", json.dumps(report["headline"], indent=2))
+
+
+def main(smoke: bool = False, out: Path | None = None) -> dict:
+    report = run_benchmarks(smoke=smoke)
+    print_report(report)
+    write_report(report, out or REPO_ROOT / "BENCH_obs.json")
+    return report
+
+
+def _check(report: dict) -> list:
+    """CI gate: telemetry must stay within the 3% overhead budget.
+
+    The ingest/query overhead ratios compare identical code paths, so a
+    breach means an instrument got onto a hot path (or grew a lock) — a
+    design-rule regression, not a hardware artifact.  Still, sub-3%
+    ratios are noise on starved single-core runners, so the gate keeps
+    the suite-wide ``meta.cpu_count >= 2`` discipline.
+    """
+    failures = []
+    headline = report["headline"]
+    meta = report["meta"]
+    cpu_count = int(meta.get("cpu_count") or 1)
+    smoke = bool(meta.get("smoke"))
+    ingest_ceiling = SMOKE_OVERHEAD_CEILING if smoke else INGEST_OVERHEAD_CEILING
+    query_ceiling = SMOKE_OVERHEAD_CEILING if smoke else QUERY_OVERHEAD_CEILING
+    if cpu_count >= 2:
+        if headline["ingest_overhead"] > ingest_ceiling:
+            failures.append(
+                f"instrumented ingest costs {headline['ingest_overhead']:.3f}x "
+                f"bare ingest (ceiling {ingest_ceiling}x) — an "
+                "instrument crept onto the write hot path"
+            )
+        if headline["query_overhead"] > query_ceiling:
+            failures.append(
+                f"instrumented query costs {headline['query_overhead']:.3f}x "
+                f"bare query (ceiling {query_ceiling}x) — an "
+                "instrument crept onto the read hot path"
+            )
+        if headline["exposition_seconds"] > EXPOSITION_SECONDS_CEILING:
+            failures.append(
+                f"/metrics render took {headline['exposition_seconds'] * 1e3:.1f}ms "
+                f"(ceiling {EXPOSITION_SECONDS_CEILING * 1e3:.0f}ms) for "
+                f"{headline['exposition_lines']} lines"
+            )
+    return failures
+
+
+SUITE = register(BenchSuite(name="obs", run=main, check=_check))
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,7 @@ _SUITE_MODULES = (
     "bench_memory",
     "bench_faults",
     "bench_discovery",
+    "bench_obs",
 )
 
 for _module in _SUITE_MODULES:

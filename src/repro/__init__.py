@@ -16,6 +16,9 @@ matrices.  The package layers:
 * :mod:`repro.streaming` — recency over unbounded streams: exponential
   time decay (lazy O(1) scale) and sliding windows as rings of mergeable
   panes;
+* :mod:`repro.obs` — dependency-free observability: the metrics registry
+  behind every ``stats()`` view and the ``/metrics`` exposition, request
+  tracing, structured JSON logging and the accuracy probe;
 * :mod:`repro.data` — synthetic datasets and stream generators;
 * :mod:`repro.evaluation` — paper metrics and the comparison harness;
 * :mod:`repro.experiments` — one module per paper table/figure;
@@ -55,6 +58,14 @@ from repro.core import (
     sketch_correlations,
 )
 from repro.covariance import CovarianceSketcher
+from repro.obs import (
+    AccuracyProbe,
+    MetricsRegistry,
+    Tracer,
+    get_logger,
+    render_exposition,
+)
+from repro.obs import configure as configure_logging
 from repro.serving import (
     CheckpointManager,
     QueryEngine,
@@ -72,12 +83,14 @@ from repro.theory import ProblemModel, plan_hyperparameters
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccuracyProbe",
     "ActiveSamplingCountSketch",
     "CheckpointManager",
     "CountSketch",
     "CovarianceSketcher",
     "DecayedSketch",
     "DecayingSketcher",
+    "MetricsRegistry",
     "PaneRing",
     "ProblemModel",
     "QueryEngine",
@@ -86,10 +99,14 @@ __all__ = [
     "SketchResult",
     "SketchSnapshot",
     "ThresholdSchedule",
+    "Tracer",
     "build_estimator",
+    "configure_logging",
     "fit_sparse_sharded",
+    "get_logger",
     "make_decaying_sketcher",
     "plan_hyperparameters",
+    "render_exposition",
     "run_pilot",
     "sketch_correlations",
     "__version__",

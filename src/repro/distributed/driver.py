@@ -36,6 +36,7 @@ guarantees testable (``tests/test_sharded_driver.py``).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,6 +50,7 @@ from repro.distributed.shard import (
     extract_shard_result,
     sketch_shard,
 )
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 
 __all__ = ["ShardedFit", "fit_sparse_sharded", "partition_batches"]
 
@@ -129,12 +131,18 @@ def partition_batches(
     return bounds
 
 
-def _run_shard(args) -> ShardResult:
-    """Top-level pool task (must be picklable for the process backend)."""
+def _run_shard(args) -> tuple[ShardResult, float]:
+    """Top-level pool task (must be picklable for the process backend).
+
+    Returns the shard state plus its worker-side ingest wall time, so the
+    driver can record per-shard throughput without a side channel.
+    """
     spec, samples, shard_index, num_shards, start = args
-    return sketch_shard(
+    started = time.perf_counter()
+    result = sketch_shard(
         spec, samples, shard_index=shard_index, num_shards=num_shards, start=start
     )
+    return result, time.perf_counter() - started
 
 
 def _normalise_samples(samples) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -176,6 +184,7 @@ def fit_sparse_sharded(
     backend: str = "serial",
     mp_context: str | None = None,
     keep_shard_results: bool = False,
+    registry: MetricsRegistry | None = None,
 ) -> ShardedFit:
     """Fit a sparse stream through sharded (optionally parallel) ingestion.
 
@@ -213,6 +222,12 @@ def fit_sparse_sharded(
         Retain the per-shard :class:`ShardResult` objects on the returned
         :class:`ShardedFit` (process backend only; each holds a full
         counter table).
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` receiving the run's
+        telemetry: ``repro_shard_ingest_seconds`` (one observation per
+        shard), ``repro_shard_merge_seconds`` (the reduce pass), and
+        ``repro_shard_ingest_samples_per_second`` (aggregate per-shard
+        ingest rate of this run).
 
     Returns
     -------
@@ -250,11 +265,29 @@ def fit_sparse_sharded(
         schedule=schedule,
     )
     partition = partition_batches(n, batch_size, n_workers)
+    reg = registry if registry is not None else NullRegistry()
+    ingest_hist = reg.histogram(
+        "repro_shard_ingest_seconds", "per-shard sparse ingest wall time"
+    )
+    merge_hist = reg.histogram(
+        "repro_shard_merge_seconds", "shard-state reduce (merge) pass"
+    )
+    throughput_gauge = reg.gauge(
+        "repro_shard_ingest_samples_per_second",
+        "aggregate per-shard ingest rate of the last sharded fit",
+    )
 
     if backend == "serial":
         sketcher = spec.build_sketcher()
+        ingest_elapsed = 0.0
         for start, stop in partition:
+            started = time.perf_counter()
             sketcher.fit_sparse(iter(sample_list[start:stop]))
+            elapsed = time.perf_counter() - started
+            ingest_hist.observe(elapsed)
+            ingest_elapsed += elapsed
+        if ingest_elapsed > 0.0:
+            throughput_gauge.set(n / ingest_elapsed)
         shard_results = None
         if keep_shard_results:
             # The serial backend threads one estimator, so the only
@@ -275,12 +308,20 @@ def fit_sparse_sharded(
     ]
     if len(tasks) == 1:
         # A single shard needs no pool (and no serialisation round-trip).
-        results = [_run_shard(tasks[0])]
+        timed = [_run_shard(tasks[0])]
     else:
         ctx = multiprocessing.get_context(mp_context or _default_context())
         with ctx.Pool(processes=len(tasks)) as pool:
-            results = pool.map(_run_shard, tasks)
-    sketcher = merge_shard_results(results)
+            timed = pool.map(_run_shard, tasks)
+    results = [result for result, _ in timed]
+    ingest_elapsed = 0.0
+    for result, elapsed in timed:
+        ingest_hist.observe(elapsed)
+        ingest_elapsed += elapsed
+    if ingest_elapsed > 0.0:
+        throughput_gauge.set(n / ingest_elapsed)
+    with merge_hist.time():
+        sketcher = merge_shard_results(results)
     return ShardedFit(
         sketcher=sketcher,
         spec=spec,

@@ -23,6 +23,8 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
 __all__ = ["CircuitBreaker", "CircuitOpenError"]
 
 
@@ -50,7 +52,13 @@ class CircuitBreaker:
     time_fn:
         Monotonic clock (injectable for deterministic tests).
     name:
-        Label used in error messages and stats.
+        Label used in error messages, stats and metric labels.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` receiving the breaker's
+        state-transition counters
+        (``repro_breaker_transitions_total{breaker=..., to=...}`` with
+        ``to`` one of ``open`` / ``reopened`` / ``closed``) and
+        ``repro_breaker_rejections_total``.
     """
 
     def __init__(
@@ -60,6 +68,7 @@ class CircuitBreaker:
         reset_after: float = 30.0,
         time_fn=time.monotonic,
         name: str = "ingest",
+        registry: MetricsRegistry | None = None,
     ):
         if failure_threshold < 1:
             raise ValueError(
@@ -75,6 +84,28 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: float | None = None
         self._probe_in_flight = False
+        reg = registry if registry is not None else NullRegistry()
+        labels = {"breaker": name}
+        self._trips_total = reg.counter(
+            "repro_breaker_transitions_total",
+            "circuit state transitions by destination",
+            labels={**labels, "to": "open"},
+        )
+        self._reopens_total = reg.counter(
+            "repro_breaker_transitions_total",
+            "circuit state transitions by destination",
+            labels={**labels, "to": "reopened"},
+        )
+        self._closes_total = reg.counter(
+            "repro_breaker_transitions_total",
+            "circuit state transitions by destination",
+            labels={**labels, "to": "closed"},
+        )
+        self._rejections_total = reg.counter(
+            "repro_breaker_rejections_total",
+            "calls rejected while the circuit was open",
+            labels=labels,
+        )
         self.rejections = 0
         self.trips = 0
 
@@ -102,6 +133,7 @@ class CircuitBreaker:
                 self._probe_in_flight = True
                 return
             self.rejections += 1
+            self._rejections_total.inc()
             remaining = self.reset_after - (self._time() - self._opened_at)
             raise CircuitOpenError(
                 f"{self.name} circuit is open after "
@@ -112,6 +144,9 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            if self._opened_at is not None:
+                # A successful half-open probe: the circuit recovers.
+                self._closes_total.inc()
             self._consecutive_failures = 0
             self._opened_at = None
             self._probe_in_flight = False
@@ -126,6 +161,9 @@ class CircuitBreaker:
             ):
                 if self._opened_at is None:
                     self.trips += 1
+                    self._trips_total.inc()
+                else:
+                    self._reopens_total.inc()
                 self._opened_at = self._time()
 
     def call(self, fn, *args, **kwargs):

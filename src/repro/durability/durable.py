@@ -59,6 +59,7 @@ from repro.distributed.shard import (
 )
 from repro.durability.integrity import IntegrityError, verify_arrays, write_npz
 from repro.durability.journal import IngestJournal
+from repro.obs.metrics import MetricsRegistry
 from repro.streaming.windows import PaneRing
 
 __all__ = ["DurableSketcher"]
@@ -112,6 +113,12 @@ class DurableSketcher:
     fsync, rotate_every, open_fn:
         Passed to :class:`~repro.durability.journal.IngestJournal`
         (``open_fn`` is the fault-injection hook).
+    registry:
+        The stack's :class:`repro.obs.MetricsRegistry` (a fresh one when
+        omitted).  The journal shares it, so WAL append/fsync/rotate
+        timings, checkpoint size/duration and replay progress all land in
+        one exposition; a :class:`repro.serving.ServingEstimator` wrapping
+        this sketcher adopts the same registry automatically.
     """
 
     def __init__(
@@ -126,7 +133,23 @@ class DurableSketcher:
         fsync: str = "rotate",
         rotate_every: int = 256,
         open_fn=open,
+        registry: MetricsRegistry | None = None,
     ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._ckpt_seconds = self.registry.histogram(
+            "repro_ckpt_write_seconds",
+            "checkpoint persist duration (journal sync + state write + prune)",
+        )
+        self._ckpt_total = self.registry.counter(
+            "repro_ckpt_writes_total", "checkpoints persisted"
+        )
+        self._ckpt_bytes = self.registry.gauge(
+            "repro_ckpt_last_bytes", "size of the newest checkpoint on disk"
+        )
+        self._replayed_total = self.registry.counter(
+            "repro_wal_replayed_records_total",
+            "WAL records replayed during recovery",
+        )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         recipe_path = self.directory / _RECIPE
@@ -162,6 +185,12 @@ class DurableSketcher:
             rotate_every=rotate_every,
             fsync=fsync,
             open_fn=open_fn,
+            registry=self.registry,
+        )
+        self.registry.gauge_fn(
+            "repro_wal_lag",
+            lambda: self.wal_lag,
+            "acknowledged WAL records not yet covered by a checkpoint",
         )
         self.replayed_records = self._replay(after=ckpt_seq)
         self._records_since_checkpoint = self.replayed_records
@@ -221,6 +250,7 @@ class DurableSketcher:
                 self.spec,
                 num_panes=self.num_panes,
                 pane_samples=self.pane_samples,
+                registry=self.registry,
             )
         return self.spec.build_sketcher()
 
@@ -283,7 +313,9 @@ class DurableSketcher:
                     with np.load(path, allow_pickle=False) as data:
                         verify_arrays(data, source=str(path))
                         wal_seq = int(data["wal_seq"])
-                    inner = PaneRing.load(self._ring_dir(ckpt_id))
+                    inner = PaneRing.load(
+                        self._ring_dir(ckpt_id), registry=self.registry
+                    )
                 else:
                     result = load_shard_result(path)
                     with np.load(path, allow_pickle=False) as data:
@@ -305,22 +337,28 @@ class DurableSketcher:
         checkpoints beyond ``keep_checkpoints`` are pruned, along with the
         journal segments fully covered by the oldest retained checkpoint.
         """
-        self.journal.sync()
-        wal_seq = self.journal.last_seq
-        ckpt_id = self._next_ckpt
-        path = self.directory / f"ckpt-{ckpt_id:08d}.npz"
-        if self.windowed:
-            # Ring first, tiny marker last + atomically: recovery treats a
-            # checkpoint as existing only once its marker is complete.
-            self._inner.save(self._ring_dir(ckpt_id))
-            write_npz(path, {"ring": np.asarray(1), "wal_seq": np.asarray(wal_seq)})
-        else:
-            result = extract_shard_result(self._inner, self.spec)
-            save_shard_result(result, path, extra={"wal_seq": wal_seq})
-        self._next_ckpt = ckpt_id + 1
-        self.checkpoint_seq = wal_seq
-        self._records_since_checkpoint = 0
-        self._prune()
+        with self._ckpt_seconds.time():
+            self.journal.sync()
+            wal_seq = self.journal.last_seq
+            ckpt_id = self._next_ckpt
+            path = self.directory / f"ckpt-{ckpt_id:08d}.npz"
+            if self.windowed:
+                # Ring first, tiny marker last + atomically: recovery
+                # treats a checkpoint as existing only once its marker is
+                # complete.
+                self._inner.save(self._ring_dir(ckpt_id))
+                write_npz(
+                    path, {"ring": np.asarray(1), "wal_seq": np.asarray(wal_seq)}
+                )
+            else:
+                result = extract_shard_result(self._inner, self.spec)
+                save_shard_result(result, path, extra={"wal_seq": wal_seq})
+            self._next_ckpt = ckpt_id + 1
+            self.checkpoint_seq = wal_seq
+            self._records_since_checkpoint = 0
+            self._prune()
+        self._ckpt_total.inc()
+        self._ckpt_bytes.set(path.stat().st_size)
         return path
 
     def _prune(self) -> None:
@@ -364,6 +402,7 @@ class DurableSketcher:
             self._inner.fit_sparse(iter(samples))
             expected = seq + 1
             replayed += 1
+            self._replayed_total.inc()
         return replayed
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ import logging
 import os
 import re
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Callable, Iterator
@@ -49,6 +50,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.durability.integrity import IntegrityError
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 
 __all__ = ["IngestJournal", "replay_journal", "journal_end_seq"]
 
@@ -223,6 +225,14 @@ class IngestJournal:
         File-opening hook (``open``-compatible).  The fault-injection
         harness (:mod:`repro.durability.faults`) substitutes one that tears
         writes or fills the disk deterministically.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` receiving WAL timing
+        histograms (``repro_wal_append_seconds`` /
+        ``repro_wal_fsync_seconds`` / ``repro_wal_rotate_seconds``) and
+        collect-time gauges over the journal counters.  A
+        :class:`~repro.durability.DurableSketcher` shares its stack
+        registry here so WAL health rides the same ``/metrics`` scrape as
+        serving latency.
     """
 
     _FSYNC_MODES = ("rotate", "always", "never")
@@ -235,6 +245,7 @@ class IngestJournal:
         rotate_every: int = 256,
         fsync: str = "rotate",
         open_fn: Callable = open,
+        registry: MetricsRegistry | None = None,
     ):
         if rotate_every < 1:
             raise ValueError(f"rotate_every must be >= 1, got {rotate_every}")
@@ -257,6 +268,38 @@ class IngestJournal:
         self.records_written = 0
         self.bytes_written = 0
         self.rotations = 0
+        reg = registry if registry is not None else NullRegistry()
+        self._append_seconds = reg.histogram(
+            "repro_wal_append_seconds",
+            "WAL record append duration (encode + write + flush [+ fsync])",
+        )
+        self._fsync_seconds = reg.histogram(
+            "repro_wal_fsync_seconds", "individual WAL fsync duration"
+        )
+        self._rotate_seconds = reg.histogram(
+            "repro_wal_rotate_seconds",
+            "segment rotation duration (close + final fsync)",
+        )
+        reg.gauge_fn(
+            "repro_wal_records_written",
+            lambda: self.records_written,
+            "WAL records appended this process lifetime",
+        )
+        reg.gauge_fn(
+            "repro_wal_bytes_written",
+            lambda: self.bytes_written,
+            "WAL bytes appended this process lifetime",
+        )
+        reg.gauge_fn(
+            "repro_wal_rotations",
+            lambda: self.rotations,
+            "WAL segment rotations this process lifetime",
+        )
+        reg.gauge_fn(
+            "repro_wal_last_seq",
+            lambda: self.last_seq,
+            "highest acknowledged WAL record sequence number",
+        )
 
     # ------------------------------------------------------------------
     # Write path
@@ -279,7 +322,8 @@ class IngestJournal:
         try:
             handle.flush()
             if sync and self.fsync != "never":
-                os.fsync(handle.fileno())
+                with self._fsync_seconds.time():
+                    os.fsync(handle.fileno())
         finally:
             handle.close()
 
@@ -304,16 +348,19 @@ class IngestJournal:
             self._open_segment()
         if self._handle is None:
             self._open_segment()
+        started = time.perf_counter()
         payload = _encode_payload(self.next_seq, samples)
         record = _HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF, len(payload)) + payload
         try:
             self._handle.write(record)
             self._handle.flush()
             if self.fsync == "always":
-                os.fsync(self._handle.fileno())
+                with self._fsync_seconds.time():
+                    os.fsync(self._handle.fileno())
         except OSError:
             self._tail_torn = True
             raise
+        self._append_seconds.observe(time.perf_counter() - started)
         self.last_seq += 1
         self.records_written += 1
         self.bytes_written += len(record)
@@ -325,7 +372,8 @@ class IngestJournal:
     def rotate(self) -> None:
         """Close the current segment (fsyncing it unless ``fsync='never'``)."""
         if self._handle is not None:
-            self._close_segment(sync=True)
+            with self._rotate_seconds.time():
+                self._close_segment(sync=True)
             self.rotations += 1
 
     def sync(self) -> None:
@@ -333,7 +381,8 @@ class IngestJournal:
         if self._handle is not None:
             self._handle.flush()
             if self.fsync != "never":
-                os.fsync(self._handle.fileno())
+                with self._fsync_seconds.time():
+                    os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         """Flush, fsync and close the open segment."""

@@ -3,12 +3,14 @@
 ``python -m repro.experiments <name>`` (or the ``repro-experiments``
 console script) runs one reproduction with its default config and prints
 the table(s) plus the paper's reference values for side-by-side reading.
+Tables go to stdout (the deliverable); diagnostics — per-experiment
+timing, failures — are structured log events on stderr, silenced below
+``warning`` unless ``--verbose`` raises the level.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
 from repro.experiments import (
@@ -26,8 +28,11 @@ from repro.experiments import (
     table6_timing,
 )
 from repro.experiments.base import render_results
+from repro.obs.log import configure, get_logger
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+_log = get_logger("experiments")
 
 EXPERIMENTS = {
     "fig1": fig1_correlation_cdf,
@@ -64,7 +69,13 @@ def main(argv=None) -> int:
         help="experiment names (default: all)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="emit info-level diagnostics (timings) as JSON lines on stderr",
+    )
     args = parser.parse_args(argv)
+    configure(level="info" if args.verbose else "warning")
 
     if args.list:
         for name, module in EXPERIMENTS.items():
@@ -76,14 +87,16 @@ def main(argv=None) -> int:
     for name in names:
         module = EXPERIMENTS.get(name)
         if module is None:
-            print(f"unknown experiment {name!r}", file=sys.stderr)
+            _log.error(
+                "experiment.unknown", name=name, available=sorted(EXPERIMENTS)
+            )
             return 2
         start = time.perf_counter()
         results = module.run(module.Config())
         elapsed = time.perf_counter() - start
         print(render_results(results))
         print(f"\npaper reference: {module.PAPER_REFERENCE}")
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        _log.info("experiment.completed", name=name, seconds=round(elapsed, 3))
     return 0
 
 

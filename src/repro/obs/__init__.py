@@ -1,0 +1,49 @@
+"""Unified observability tier: metrics, tracing, structured logs, probes.
+
+Dependency-free (stdlib + numpy) building blocks every layer shares:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges
+  and fixed-bucket histograms, plus :func:`render_exposition` (Prometheus
+  text format 0.0.4) and the no-op :class:`NullRegistry`;
+* :mod:`repro.obs.tracing` — :class:`Tracer` span trees with a bounded
+  ring of recent slow traces;
+* :mod:`repro.obs.log` — structured JSON event logging
+  (:func:`get_logger`, :func:`configure`), silenced by default;
+* :mod:`repro.obs.probe` — :class:`AccuracyProbe`, online ROSNR /
+  collision-energy / top-K-churn gauges.
+
+Design rule: hot paths touch only counter increments and pre-created
+instrument references; derived values (hit ratios, staleness, lag) are
+computed at *collect* time via :meth:`MetricsRegistry.gauge_fn`
+callbacks, so reading ``/metrics`` is what pays for them.
+"""
+
+from repro.obs.log import JsonFormatter, StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    render_exposition,
+)
+from repro.obs.probe import AccuracyProbe
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "AccuracyProbe",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "configure",
+    "get_logger",
+    "render_exposition",
+]

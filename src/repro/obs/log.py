@@ -1,0 +1,153 @@
+"""Structured JSON logging over the stdlib ``logging`` machinery.
+
+Every subsystem logs **events with fields**, not interpolated prose::
+
+    from repro.obs.log import get_logger
+
+    log = get_logger(__name__)
+    log.event("wal.rotate", segment="wal-00000042.wal", seconds=0.0031)
+
+which a configured handler renders as one JSON line::
+
+    {"ts": "2026-08-08T12:00:00.123Z", "level": "info",
+     "logger": "repro.durability.journal", "event": "wal.rotate",
+     "segment": "wal-00000042.wal", "seconds": 0.0031}
+
+Discipline:
+
+* the ``event`` is a stable dotted name (grep-able, dashboard-able) —
+  never a formatted sentence; everything variable goes in fields;
+* fields must be JSON-serialisable (non-serialisable values are
+  ``repr``'d rather than crashing the log call);
+* the ``repro`` logger tree is **silenced by default** (a ``NullHandler``
+  on the root ``repro`` logger, no propagation surprises): importing the
+  library never writes to a stream the host application did not choose.
+
+Call :func:`configure` to attach a JSON stream handler (CLIs do this at
+entry; services usually ship records to their own logging stack instead).
+Plain stdlib ``logging`` calls elsewhere in the package flow through the
+same tree, so one ``configure()`` governs everything.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["StructuredLogger", "JsonFormatter", "get_logger", "configure"]
+
+_FIELDS_ATTR = "repro_fields"
+_EVENT_ATTR = "repro_event"
+
+#: Standard LogRecord attributes — anything else on a record is treated as
+#: a structured field by :class:`JsonFormatter` (covers stdlib callers).
+_LEVELS = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+
+def _json_safe(value):
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        created = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+        )
+        payload = {
+            "ts": f"{created}.{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, _EVENT_ATTR, None) or record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, _json_safe(value))
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+class StructuredLogger:
+    """Thin event/fields façade over one stdlib logger."""
+
+    __slots__ = ("logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self.logger = logger
+
+    def event(self, event: str, *, level: str = "info", **fields) -> None:
+        """Log one structured event (no-op unless a handler is attached
+        and the level is enabled — the hot-path guard is the stdlib's
+        ``isEnabledFor`` check, a dict lookup)."""
+        levelno = _LEVELS.get(level)
+        if levelno is None:
+            raise ValueError(f"unknown level {level!r}; use one of {sorted(_LEVELS)}")
+        if not self.logger.isEnabledFor(levelno):
+            return
+        self.logger.log(
+            levelno,
+            event,
+            extra={_EVENT_ATTR: event, _FIELDS_ATTR: fields},
+        )
+
+    def debug(self, event: str, **fields) -> None:
+        self.event(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.event(event, level="info", **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.event(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.event(event, level="error", **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger in the ``repro`` tree (silenced by default)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure(
+    *, level: str = "info", stream=None, logger_name: str = "repro"
+) -> logging.Handler:
+    """Attach a JSON stream handler to the ``repro`` logger tree.
+
+    Idempotent per stream: reconfiguring replaces the handler this
+    function previously attached instead of stacking duplicates.  Returns
+    the attached handler (tests capture its stream).
+    """
+    levelno = _LEVELS.get(level)
+    if levelno is None:
+        raise ValueError(f"unknown level {level!r}; use one of {sorted(_LEVELS)}")
+    root = logging.getLogger(logger_name)
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            root.removeHandler(existing)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler._repro_obs_handler = True
+    root.addHandler(handler)
+    root.setLevel(levelno)
+    return handler
+
+
+# Silence the tree by default: importing repro must never print.
+logging.getLogger("repro").addHandler(logging.NullHandler())

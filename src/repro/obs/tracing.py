@@ -1,0 +1,180 @@
+"""Per-request span trees with a bounded ring of recent slow traces.
+
+:class:`Tracer` produces :class:`Span` trees via a context manager (or
+decorator) API::
+
+    tracer = Tracer(slow_threshold=0.050)      # 50 ms slow-query log
+    with tracer.span("http.request", route="/pair") as root:
+        with tracer.span("engine.query"):
+            ...
+        root.note(status=200)
+
+Spans time with ``time.perf_counter`` (monotonic); parentage is tracked
+through a ``contextvars.ContextVar``, so nesting works across threads (the
+HTTP server handles each request on its own thread — each gets its own
+context and therefore its own tree) and survives ``with`` blocks that
+spawn no further spans.
+
+When a **root** span closes, its whole tree is offered to the slow-trace
+ring: trees whose duration meets ``slow_threshold`` are retained in a
+bounded ``deque`` (newest evicts oldest), giving a zero-configuration
+slow-query log readable via :meth:`Tracer.slow_traces` — each entry is a
+JSON-ready nested dict with per-span monotonic timings and user fields.
+Sub-threshold trees cost two clock reads and a few attribute writes.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import threading
+import time
+from collections import deque
+
+__all__ = ["Span", "Tracer"]
+
+_current_span: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = ("name", "fields", "children", "start", "end", "_token")
+
+    def __init__(self, name: str, fields: dict | None = None):
+        self.name = name
+        self.fields = dict(fields) if fields else {}
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.end = 0.0
+        self._token = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def note(self, **fields) -> "Span":
+        """Attach fields to the span (chains)."""
+        self.fields.update(fields)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict: the slow-trace log entry format."""
+        out = {
+            "name": self.name,
+            "start": self.start,
+            "duration_seconds": self.duration,
+        }
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name}, {self.duration * 1e3:.2f}ms, children={len(self.children)})"
+
+
+class _SpanContext:
+    """The object ``tracer.span(...)`` returns: enter/exit manages the tree."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        parent = _current_span.get()
+        if parent is not None:
+            parent.children.append(span)
+        span._token = _current_span.set(span)
+        span.start = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb):
+        span = self._span
+        span.end = time.perf_counter()
+        if exc is not None:
+            span.fields.setdefault("error", f"{type(exc).__name__}: {exc}")
+        _current_span.reset(span._token)
+        span._token = None
+        if _current_span.get() is None:
+            self._tracer._finish_root(span)
+        return False
+
+
+class Tracer:
+    """Span factory + slow-trace ring.
+
+    Parameters
+    ----------
+    slow_threshold:
+        Root trees at least this many seconds long enter the slow ring
+        (``0`` retains every trace — handy in tests; ``None`` disables
+        retention entirely).
+    ring:
+        Maximum retained slow traces (newest evicts oldest).
+    """
+
+    def __init__(self, *, slow_threshold: float | None = 0.1, ring: int = 64):
+        if ring < 1:
+            raise ValueError(f"ring must be >= 1, got {ring}")
+        self.slow_threshold = slow_threshold
+        self._ring: deque[dict] = deque(maxlen=int(ring))
+        self._lock = threading.Lock()
+        self.traces_started = 0
+        self.traces_slow = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **fields) -> _SpanContext:
+        """Open a span (context manager yielding the :class:`Span`)."""
+        return _SpanContext(self, Span(name, fields))
+
+    def trace(self, name: str | None = None, **fields):
+        """Decorator form: the wrapped call runs inside a span."""
+
+        def decorate(fn):
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **fields):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def _finish_root(self, span: Span) -> None:
+        with self._lock:
+            self.traces_started += 1
+            if (
+                self.slow_threshold is not None
+                and span.duration >= self.slow_threshold
+            ):
+                self.traces_slow += 1
+                self._ring.append(span.to_dict())
+
+    def slow_traces(self) -> list[dict]:
+        """Retained slow traces, oldest first (JSON-ready dicts)."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "traces_started": self.traces_started,
+                "traces_slow": self.traces_slow,
+                "slow_threshold": self.slow_threshold,
+                "ring_size": len(self._ring),
+            }

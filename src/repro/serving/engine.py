@@ -18,10 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.serving.cache import LRUCache
 from repro.serving.snapshot import SketchSnapshot
 
 __all__ = ["QueryEngine"]
+
+#: Batched / index-backed operations the engine times (``op`` label values
+#: of the ``repro_serving_query_seconds`` histogram).  The scalar
+#: ``query_pair`` fast path is deliberately absent: it runs in ~1 us, so
+#: even two ``perf_counter`` reads would be a measurable tax — its volume
+#: still shows up through the engine counters and the cache hit ratio.
+_TIMED_OPS = ("keys", "batches", "top_pairs", "neighbors", "above", "range")
 
 
 class QueryEngine:
@@ -41,6 +49,13 @@ class QueryEngine:
         per-key cache bookkeeping costs ~0.4us/key, so beyond a few dozen
         keys the raw gather beats even an all-hits cache pass — and large
         scan-like batches would churn useful entries out of the LRU.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` receiving per-op
+        latency histograms (``repro_serving_query_seconds{op=...}``) and
+        collect-time gauges over the cache / engine counters.  Defaults to
+        a :class:`~repro.obs.NullRegistry` (no-op instruments, no cost);
+        a :class:`~repro.serving.ServingEstimator` passes its own registry
+        so histograms accumulate across snapshot swaps.
 
     Notes
     -----
@@ -58,6 +73,7 @@ class QueryEngine:
         *,
         cache_size: int = 8192,
         cache_batch_limit: int | None = 64,
+        registry: MetricsRegistry | None = None,
     ):
         self.snapshot = snapshot
         self.cache = LRUCache(cache_size)
@@ -66,6 +82,63 @@ class QueryEngine:
         self.keys_served = 0      # individual key estimates returned
         self.gathers = 0          # fused sketch gathers issued
         self.gathered_keys = 0    # distinct keys fetched by those gathers
+        # Telemetry: a shared per-stack registry accumulates latency
+        # histograms across snapshot swaps (get-or-create returns the same
+        # instrument to every engine built on the registry), while the
+        # gauge_fn callbacks rebind to the newest engine — so `/metrics`
+        # always reads the *served* engine's live counters/cache with zero
+        # hot-path cost.  No registry = NullRegistry = no-op instruments.
+        self.registry = registry if registry is not None else NullRegistry()
+        reg = self.registry
+        hist = {
+            op: reg.histogram(
+                "repro_serving_query_seconds",
+                "engine query latency by operation",
+                labels={"op": op},
+            )
+            for op in _TIMED_OPS
+        }
+        self._hist_keys = hist["keys"]
+        self._hist_batches = hist["batches"]
+        self._hist_top = hist["top_pairs"]
+        self._hist_neighbors = hist["neighbors"]
+        self._hist_above = hist["above"]
+        self._hist_range = hist["range"]
+        reg.gauge_fn(
+            "repro_serving_cache_hit_ratio",
+            lambda: self.cache.stats().hit_rate,
+            "served engine's LRU cache hit ratio",
+        )
+        reg.gauge_fn(
+            "repro_serving_cache_size",
+            lambda: len(self.cache),
+            "served engine's LRU cache entries",
+        )
+        reg.gauge_fn(
+            "repro_serving_cache_evictions",
+            lambda: self.cache.evictions,
+            "served engine's LRU cache evictions",
+        )
+        reg.gauge_fn(
+            "repro_serving_engine_queries",
+            lambda: self.queries,
+            "logical query calls answered by the served engine",
+        )
+        reg.gauge_fn(
+            "repro_serving_engine_keys_served",
+            lambda: self.keys_served,
+            "key estimates returned by the served engine",
+        )
+        reg.gauge_fn(
+            "repro_serving_engine_gathers",
+            lambda: self.gathers,
+            "fused sketch gathers issued by the served engine",
+        )
+        reg.gauge_fn(
+            "repro_serving_engine_gathered_keys",
+            lambda: self.gathered_keys,
+            "distinct keys fetched by the served engine's gathers",
+        )
 
     # ------------------------------------------------------------------
     # The single-gather planner
@@ -79,35 +152,36 @@ class QueryEngine:
         self.keys_served += keys.size
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
-        cache = self.cache
-        if cache.capacity == 0 or (
-            self.cache_batch_limit is not None
-            and keys.size > self.cache_batch_limit
-        ):
-            self.gathers += 1
-            self.gathered_keys += keys.size
-            return self.snapshot.query_keys(keys)
-        out = np.empty(keys.size, dtype=np.float64)
-        miss_positions: list[int] = []
-        miss_keys: list[int] = []
-        key_list = keys.tolist()
-        for pos, value in enumerate(cache.get_many(key_list)):
-            if value is None:
-                miss_positions.append(pos)
-                miss_keys.append(key_list[pos])
-            else:
-                out[pos] = value
-        if miss_keys:
-            # Deduplicate the misses and fetch them with one fused gather.
-            uniq, inverse = np.unique(
-                np.asarray(miss_keys, dtype=np.int64), return_inverse=True
-            )
-            self.gathers += 1
-            self.gathered_keys += uniq.size
-            values = self.snapshot.query_keys(uniq)
-            cache.put_many(zip(uniq.tolist(), values.tolist()))
-            out[np.asarray(miss_positions, dtype=np.intp)] = values[inverse]
-        return out
+        with self._hist_keys.time():
+            cache = self.cache
+            if cache.capacity == 0 or (
+                self.cache_batch_limit is not None
+                and keys.size > self.cache_batch_limit
+            ):
+                self.gathers += 1
+                self.gathered_keys += keys.size
+                return self.snapshot.query_keys(keys)
+            out = np.empty(keys.size, dtype=np.float64)
+            miss_positions: list[int] = []
+            miss_keys: list[int] = []
+            key_list = keys.tolist()
+            for pos, value in enumerate(cache.get_many(key_list)):
+                if value is None:
+                    miss_positions.append(pos)
+                    miss_keys.append(key_list[pos])
+                else:
+                    out[pos] = value
+            if miss_keys:
+                # Deduplicate the misses, fetch them with one fused gather.
+                uniq, inverse = np.unique(
+                    np.asarray(miss_keys, dtype=np.int64), return_inverse=True
+                )
+                self.gathers += 1
+                self.gathered_keys += uniq.size
+                values = self.snapshot.query_keys(uniq)
+                cache.put_many(zip(uniq.tolist(), values.tolist()))
+                out[np.asarray(miss_positions, dtype=np.intp)] = values[inverse]
+            return out
 
     def query_batches(self, key_batches) -> list[np.ndarray]:
         """Answer many key-array requests through one planned gather.
@@ -120,13 +194,14 @@ class QueryEngine:
         key_batches = [np.asarray(b, dtype=np.int64) for b in key_batches]
         if not key_batches:
             return []
-        flat = self.query_keys(
-            np.concatenate(key_batches)
-            if len(key_batches) > 1
-            else key_batches[0]
-        )
-        splits = np.cumsum([b.size for b in key_batches[:-1]])
-        return [part.copy() for part in np.split(flat, splits)]
+        with self._hist_batches.time():
+            flat = self.query_keys(
+                np.concatenate(key_batches)
+                if len(key_batches) > 1
+                else key_batches[0]
+            )
+            splits = np.cumsum([b.size for b in key_batches[:-1]])
+            return [part.copy() for part in np.split(flat, splits)]
 
     # ------------------------------------------------------------------
     # Pair-shaped entry points
@@ -170,14 +245,16 @@ class QueryEngine:
     def top_pairs(self, k: int):
         """``(i, j, estimates)`` of the ``k`` best indexed pairs."""
         self.queries += 1
-        result = self.snapshot.top_pairs(k)
+        with self._hist_top.time():
+            result = self.snapshot.top_pairs(k)
         self.keys_served += result[0].size
         return result
 
     def top_neighbors(self, feature: int, k: int):
         """``(partners, estimates)`` — feature's best candidate partners."""
         self.queries += 1
-        result = self.snapshot.top_neighbors(feature, k)
+        with self._hist_neighbors.time():
+            result = self.snapshot.top_neighbors(feature, k)
         self.keys_served += result[0].size
         return result
 
@@ -185,14 +262,16 @@ class QueryEngine:
         """Pairs with rank >= ``threshold``, open-world when the backing
         sketch supports hierarchical descent (see snapshot docs)."""
         self.queries += 1
-        result = self.snapshot.pairs_above(threshold, limit=limit)
+        with self._hist_above.time():
+            result = self.snapshot.pairs_above(threshold, limit=limit)
         self.keys_served += result[0].size
         return result
 
     def pairs_in_range(self, lo: float, hi: float, *, limit: int | None = None):
         """Indexed pairs with ``lo <= rank < hi``."""
         self.queries += 1
-        result = self.snapshot.pairs_in_range(lo, hi, limit=limit)
+        with self._hist_range.time():
+            result = self.snapshot.pairs_in_range(lo, hi, limit=limit)
         self.keys_served += result[0].size
         return result
 
@@ -200,7 +279,12 @@ class QueryEngine:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """JSON-ready engine counters + cache stats + snapshot meta."""
+        """JSON-ready engine counters + cache stats + snapshot meta.
+
+        ``latency`` summarises the registry's per-op histograms (count /
+        mean / interpolated p50-p99); all zeros when the engine runs with
+        the default :class:`NullRegistry`.
+        """
         return {
             "queries": self.queries,
             "keys_served": self.keys_served,
@@ -208,6 +292,14 @@ class QueryEngine:
             "gathered_keys": self.gathered_keys,
             "cache": self.cache.stats().as_dict(),
             "snapshot": self.snapshot.meta(),
+            "latency": {
+                "keys": self._hist_keys.stats(),
+                "batches": self._hist_batches.stats(),
+                "top_pairs": self._hist_top.stats(),
+                "neighbors": self._hist_neighbors.stats(),
+                "above": self._hist_above.stats(),
+                "range": self._hist_range.stats(),
+            },
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

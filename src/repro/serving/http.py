@@ -7,7 +7,8 @@ ingest/serve loop — a :class:`~repro.serving.ServingEstimator`:
 
 ========================  ====================================================
 ``GET  /health``          liveness + degradation probe (see below)
-``GET  /stats``           engine/cache/serving counters
+``GET  /stats``           engine/cache/serving/HTTP counters
+``GET  /metrics``         Prometheus text exposition of the whole stack
 ``GET  /pair?i=&j=``      one pair's estimate
 ``GET  /neighbors?i=&k=`` feature ``i``'s best candidate partners
 ``GET  /top?k=``          the ``k`` best indexed pairs
@@ -74,11 +75,25 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.durability.breaker import CircuitOpenError
+from repro.obs.metrics import MetricsRegistry, render_exposition
 from repro.serving.engine import QueryEngine
 from repro.serving.live import ServingEstimator
 from repro.serving.snapshot import SketchSnapshot
 
 __all__ = ["ServingHTTPServer", "ServingClient", "serve_in_background"]
+
+#: Content type of the ``/metrics`` body (Prometheus text format 0.0.4).
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TextResponse:
+    """A route result rendered verbatim instead of as JSON (``/metrics``)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str, content_type: str = "text/plain"):
+        self.body = body
+        self.content_type = content_type
 
 
 class _HTTPError(Exception):
@@ -91,6 +106,10 @@ class _HTTPError(Exception):
 
 #: Sentinel for required query parameters (see ``_Handler._param``).
 _REQUIRED = object()
+
+#: Routes exempt from admission control: liveness probes and metric
+#: scrapes must answer while the server is saturated.
+_UNGATED_ROUTES = frozenset({("GET", "/health"), ("GET", "/metrics")})
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -118,12 +137,18 @@ class _Handler(BaseHTTPRequestHandler):
             remaining -= len(chunk)
 
     def _reply(
-        self, payload: dict, status: int = 200, headers: dict | None = None
+        self, payload, status: int = 200, headers: dict | None = None
     ) -> None:
         self._drain_body()
-        body = json.dumps(payload).encode("utf-8")
+        self._last_status = status
+        if isinstance(payload, _TextResponse):
+            body = payload.body.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, str(value))
@@ -160,19 +185,30 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urllib.parse.urlsplit(self.path)
         query = urllib.parse.parse_qs(parsed.query)
         self._body_remaining = int(self.headers.get("Content-Length") or 0)
+        self._last_status = 0
+        route_key = (method, parsed.path)
         # Admission control: shed excess load with 503 + Retry-After
-        # instead of queueing unboundedly.  /health bypasses the gate —
-        # probes must keep answering while the server is saturated.
-        gated = (method, parsed.path) != ("GET", "/health")
+        # instead of queueing unboundedly.  /health and /metrics bypass
+        # the gate — liveness probes and metric scrapes must keep
+        # answering while the server is saturated (that is precisely when
+        # they matter most).
+        gated = route_key not in _UNGATED_ROUTES
         if gated and not server._admit():
             self._reply(
                 {"error": "server saturated; retry later"},
                 status=503,
                 headers={"Retry-After": server._retry_after_header()},
             )
+            route = parsed.path if route_key in server.routes else "other"
+            server._count_request(method, route, self._last_status)
             return
+        # Known routes get their own latency series; everything else is
+        # pooled under "other" so junk paths cannot explode cardinality.
+        hist = server._route_hists.get(route_key, server._other_hist)
+        server._inflight.inc()
+        started = time.perf_counter()
         try:
-            handler = server.routes.get((method, parsed.path))
+            handler = server.routes.get(route_key)
             if handler is None:
                 raise _HTTPError(404, f"no route {method} {parsed.path}")
             self._reply(handler(server, query, self))
@@ -198,6 +234,10 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": f"{type(exc).__name__}: {exc}"}, status=500
             )
         finally:
+            server._inflight.dec()
+            hist.observe(time.perf_counter() - started)
+            route = parsed.path if route_key in server.routes else "other"
+            server._count_request(method, route, self._last_status)
             if gated:
                 server._release()
 
@@ -230,9 +270,24 @@ def _route_health(server, query, handler) -> dict:
 
 
 def _route_stats(server, query, handler) -> dict:
+    # The HTTP block reconciles /stats with /health: rejected_requests and
+    # the per-route request tallies are views over the same registry
+    # counters the /metrics exposition serves — the numbers cannot
+    # disagree between surfaces.
     if server.serving is not None:
-        return server.serving.stats()
-    return server.engine.stats()
+        payload = server.serving.stats()
+    else:
+        payload = server.engine.stats()
+    payload["http"] = server.http_stats()
+    return payload
+
+
+def _route_metrics(server, query, handler) -> _TextResponse:
+    """Prometheus text exposition over every registry in the stack."""
+    return _TextResponse(
+        render_exposition(server._metric_registries()),
+        content_type=_METRICS_CONTENT_TYPE,
+    )
 
 
 def _route_pair(server, query, handler) -> dict:
@@ -407,6 +462,11 @@ class ServingHTTPServer(ThreadingHTTPServer):
         ``max_response_pairs`` rows plus ``"truncated": true`` — page with
         ``limit`` + a tighter threshold for the rest.  ``0`` disables the
         cap (trusted in-process clients only).
+    registry:
+        The server's own :class:`repro.obs.MetricsRegistry` for HTTP-layer
+        instruments (per-route latency histograms, the in-flight gauge,
+        the admission-rejection counter); a fresh one when omitted.
+        ``GET /metrics`` renders it merged with the target's registries.
     """
 
     daemon_threads = True
@@ -415,6 +475,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
     routes = {
         ("GET", "/health"): _route_health,
         ("GET", "/stats"): _route_stats,
+        ("GET", "/metrics"): _route_metrics,
         ("GET", "/pair"): _route_pair,
         ("GET", "/neighbors"): _route_neighbors,
         ("GET", "/top"): _route_top,
@@ -432,6 +493,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
         max_inflight: int = 64,
         retry_after: float = 1.0,
         max_response_pairs: int = 10_000,
+        registry: MetricsRegistry | None = None,
     ):
         if isinstance(target, SketchSnapshot):
             target = QueryEngine(target)
@@ -458,9 +520,31 @@ class ServingHTTPServer(ThreadingHTTPServer):
             if self.max_inflight > 0
             else None
         )
-        self._reject_lock = threading.Lock()
-        self.rejected_requests = 0
         self._serve_thread: threading.Thread | None = None
+        # The server's own registry holds the HTTP-layer instruments; the
+        # /metrics exposition renders it merged with the target stack's
+        # registries (serving estimator / engine / durable write side).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._rejected_total = self.registry.counter(
+            "repro_http_rejected_total",
+            "requests shed by admission control",
+        )
+        self._inflight = self.registry.gauge(
+            "repro_http_inflight", "requests currently executing"
+        )
+        self._route_hists = {
+            (method, path): self.registry.histogram(
+                "repro_http_request_seconds",
+                "request latency by route",
+                labels={"route": f"{method} {path}"},
+            )
+            for method, path in self.routes
+        }
+        self._other_hist = self.registry.histogram(
+            "repro_http_request_seconds",
+            "request latency by route",
+            labels={"route": "other"},
+        )
         super().__init__(address, _Handler)
 
     # ------------------------------------------------------------------
@@ -471,16 +555,77 @@ class ServingHTTPServer(ThreadingHTTPServer):
             return True
         if self._admission.acquire(blocking=False):
             return True
-        with self._reject_lock:
-            self.rejected_requests += 1
+        self._rejected_total.inc()
         return False
 
     def _release(self) -> None:
         if self._admission is not None:
             self._admission.release()
 
+    @property
+    def rejected_requests(self) -> int:
+        """Requests shed by admission control (view over the registry
+        counter — /health, /stats and /metrics all read this one value)."""
+        return int(self._rejected_total.value)
+
     def _retry_after_header(self) -> int:
         return max(1, math.ceil(self.retry_after))
+
+    def _count_request(self, method: str, route: str, status: int) -> None:
+        self.registry.counter(
+            "repro_http_requests_total",
+            "requests answered by route and status code",
+            labels={"route": f"{method} {route}", "code": str(status)},
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Telemetry surfaces
+    # ------------------------------------------------------------------
+    def _metric_registries(self) -> list[MetricsRegistry]:
+        """Every registry in this stack, HTTP layer first.
+
+        The serving estimator's registry covers the swapped-in engines,
+        the breaker and (for a durable write side) the WAL/checkpoint
+        instruments, because those components share it at construction; a
+        fixed engine contributes its own (a NullRegistry renders empty).
+        """
+        registries = [self.registry]
+        if self.serving is not None:
+            # Side-effect-free: the estimator's registry is reused by every
+            # swapped engine, so there is no need to touch the `engine`
+            # property (which would auto-build a snapshot on first access).
+            if self.serving.registry not in registries:
+                registries.append(self.serving.registry)
+        elif (
+            self._fixed_engine is not None
+            and self._fixed_engine.registry not in registries
+        ):
+            registries.append(self._fixed_engine.registry)
+        return registries
+
+    def http_stats(self) -> dict:
+        """JSON view of the HTTP-layer instruments (the /stats ``http``
+        block): per-route request counts and latency summaries, in-flight
+        and rejection tallies."""
+        requests: dict[str, dict] = {}
+        for instrument in self.registry.instruments():
+            if instrument.name != "repro_http_requests_total":
+                continue
+            labels = dict(instrument.labels)
+            route = labels.get("route", "other")
+            by_code = requests.setdefault(route, {})
+            by_code[labels.get("code", "?")] = int(instrument.value)
+        return {
+            "rejected_requests": self.rejected_requests,
+            "inflight": int(self._inflight.value),
+            "max_inflight": self.max_inflight,
+            "requests": requests,
+            "latency": {
+                f"{method} {path}": hist.stats()
+                for (method, path), hist in self._route_hists.items()
+                if hist.count
+            },
+        }
 
     def _capped(self, k: int) -> tuple[int, int | None]:
         """``(effective_k, cap)`` under ``max_response_pairs``.
@@ -616,13 +761,14 @@ class ServingClient:
             delay = min(max(delay, retry_after), self.backoff_max)
         return delay
 
-    def _request(self, request, *, idempotent: bool) -> dict:
+    def _request(self, request, *, idempotent: bool, parse_json: bool = True):
         attempts = 1 + (self.retries if idempotent else 0)
         for attempt in range(attempts):
             last = attempt == attempts - 1
             try:
                 with self._opener(request, timeout=self.timeout) as response:
-                    return json.loads(response.read())
+                    raw = response.read()
+                    return json.loads(raw) if parse_json else raw.decode("utf-8")
             except urllib.error.HTTPError as exc:
                 # Subclasses URLError — must be caught first.  Non-retryable
                 # statuses (4xx, 500) propagate immediately.
@@ -663,7 +809,16 @@ class ServingClient:
         return self._get("/health")
 
     def stats(self) -> dict:
+        """The /stats payload — includes the server's ``http`` block
+        (per-route request counts, latency summaries, rejected_requests),
+        so HTTP-layer telemetry is visible without a Prometheus scrape."""
         return self._get("/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        return self._request(
+            f"{self.base_url}/metrics", idempotent=True, parse_json=False
+        )
 
     def pair(self, i: int, j: int) -> float:
         return float(self._get("/pair", i=int(i), j=int(j))["estimate"])

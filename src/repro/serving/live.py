@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.covariance.pipeline import CovarianceSketcher
 from repro.durability.breaker import CircuitBreaker
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.serving.engine import QueryEngine
 from repro.serving.snapshot import SketchSnapshot
 
@@ -61,6 +62,13 @@ class ServingEstimator:
         it to 503 + ``Retry-After``) until the cooldown's half-open probe
         succeeds — a broken write path fails fast instead of stacking
         request threads behind the write lock.
+    registry:
+        The stack's :class:`repro.obs.MetricsRegistry`.  Defaults to the
+        write side's own registry when it has one (a durable sketcher
+        does, so WAL metrics share the exposition), else a fresh one.
+        Every swapped-in engine and the default circuit breaker reuse it;
+        ``swap_count`` / ``refresh_failures`` and the ``stats()`` /
+        ``health()`` payloads are thin views over its instruments.
 
     Degradation model
     -----------------
@@ -97,6 +105,7 @@ class ServingEstimator:
         cache_size: int = 8192,
         refresh_every: int = 0,
         breaker: CircuitBreaker | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if refresh_every < 0:
             raise ValueError(f"refresh_every must be >= 0, got {refresh_every}")
@@ -105,22 +114,87 @@ class ServingEstimator:
         self.scan = scan
         self.cache_size = int(cache_size)
         self.refresh_every = int(refresh_every)
-        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        # One registry per serving stack: adopt the write side's (a durable
+        # sketcher carries one so WAL/checkpoint metrics land in the same
+        # exposition) or start fresh.  Engines built on every swap reuse it,
+        # so latency histograms accumulate across snapshots.  Leaf write
+        # sides (a bare PaneRing / DecayingSketcher) default to a no-op
+        # registry — never adopt that, or the whole stack goes silent.
+        if registry is None:
+            adopted = getattr(sketcher, "registry", None)
+            if not isinstance(adopted, NullRegistry):
+                registry = adopted
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(registry=self.registry)
+        )
         self._write_lock = threading.Lock()
         self._refresh_lock = threading.Lock()
         self._engine: QueryEngine | None = None
         self._retired: list[QueryEngine] = []
-        self.swap_count = 0
         self.last_swap_seconds = 0.0
         self._samples_at_refresh = 0
         self._last_swap_monotonic: float | None = None
-        self.refresh_failures = 0
         self.last_refresh_error: str | None = None
         self._degraded = False
         # Streaming write sides (repro.streaming) are duck-typed: a windowed
         # ring exposes window_span, a decaying pipeline exposes decay.
         self._windowed = hasattr(sketcher, "window_span")
         self.last_window_span: int | None = None
+        # Registry-backed counters are the single source of truth;
+        # `swap_count` / `refresh_failures` stay available as properties so
+        # stats()/health() (and existing callers) are thin views over them.
+        reg = self.registry
+        self._swaps_total = reg.counter(
+            "repro_serving_swaps_total", "snapshot engine swaps installed"
+        )
+        self._refresh_failures_total = reg.counter(
+            "repro_serving_refresh_failures_total",
+            "failed snapshot refresh attempts",
+        )
+        self._swap_seconds = reg.histogram(
+            "repro_serving_swap_seconds",
+            "refresh duration: state clone + index build + engine swap",
+        )
+        self._ingest_seconds = reg.histogram(
+            "repro_serving_ingest_seconds",
+            "write-side ingest batch duration (lock wait included)",
+        )
+        reg.gauge_fn(
+            "repro_serving_stale_samples",
+            lambda: self.stale_samples,
+            "write-side samples the served snapshot has not seen",
+        )
+        reg.gauge_fn(
+            "repro_serving_stale_seconds",
+            lambda: (
+                float("nan")
+                if self.stale_seconds is None
+                else self.stale_seconds
+            ),
+            "seconds since the served engine was swapped in",
+        )
+        reg.gauge_fn(
+            "repro_serving_degraded",
+            lambda: float(self._degraded or self.breaker.state != "closed"),
+            "1 while serving stale after a failed refresh or open breaker",
+        )
+        reg.gauge_fn(
+            "repro_serving_write_samples_seen",
+            lambda: self.sketcher.samples_seen,
+            "samples ingested into the write side",
+        )
+        reg.gauge_fn(
+            "repro_serving_wal_lag",
+            lambda: (
+                float("nan")
+                if getattr(self.sketcher, "wal_lag", None) is None
+                else self.sketcher.wal_lag
+            ),
+            "WAL records past the last checkpoint (NaN when not durable)",
+        )
 
     @classmethod
     def from_spec(cls, spec, **kwargs) -> "ServingEstimator":
@@ -137,8 +211,17 @@ class ServingEstimator:
         # sits beside (not under) the serving read path.
         from repro.streaming import PaneRing
 
+        registry = kwargs.pop("registry", None)
+        if registry is None:
+            registry = MetricsRegistry()
         return cls(
-            PaneRing(spec, num_panes=num_panes, pane_samples=pane_samples),
+            PaneRing(
+                spec,
+                num_panes=num_panes,
+                pane_samples=pane_samples,
+                registry=registry,
+            ),
+            registry=registry,
             **kwargs,
         )
 
@@ -174,7 +257,7 @@ class ServingEstimator:
         """
         self.breaker.before_call()
         try:
-            with self._write_lock:
+            with self._ingest_seconds.time(), self._write_lock:
                 self.sketcher.fit_sparse(iter(samples))
         except Exception:
             self.breaker.record_failure()
@@ -186,7 +269,7 @@ class ServingEstimator:
         """Stream a dense ``(n, d)`` batch into the write side."""
         self.breaker.before_call()
         try:
-            with self._write_lock:
+            with self._ingest_seconds.time(), self._write_lock:
                 self.sketcher.fit_dense(np.atleast_2d(np.asarray(batch)))
         except Exception:
             self.breaker.record_failure()
@@ -228,7 +311,7 @@ class ServingEstimator:
             self._refresh_lock.release()
 
     def _note_refresh_failure(self, exc: BaseException) -> None:
-        self.refresh_failures += 1
+        self._refresh_failures_total.inc()
         self.last_refresh_error = f"{type(exc).__name__}: {exc}"
         self._degraded = True
 
@@ -268,6 +351,7 @@ class ServingEstimator:
         self._degraded = False
         self.last_refresh_error = None
         self.last_swap_seconds = time.perf_counter() - started
+        self._swap_seconds.observe(self.last_swap_seconds)
         if self._windowed:
             # A windowed snapshot's samples_seen counts only the window's
             # contents, not the stream position — credit the ring's total
@@ -294,10 +378,12 @@ class ServingEstimator:
         but kept so in-flight readers holding its reference finish safely,
         and so its cache stats remain inspectable.
         """
-        engine = QueryEngine(snapshot, cache_size=self.cache_size)
+        engine = QueryEngine(
+            snapshot, cache_size=self.cache_size, registry=self.registry
+        )
         previous = self._engine
         self._engine = engine  # atomic rebind — the swap
-        self.swap_count += 1
+        self._swaps_total.inc()
         self._last_swap_monotonic = time.monotonic()
         if previous is not None:
             self._retired.append(previous)
@@ -359,6 +445,16 @@ class ServingEstimator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def swap_count(self) -> int:
+        """Engine swaps installed (thin view over the registry counter)."""
+        return int(self._swaps_total.value)
+
+    @property
+    def refresh_failures(self) -> int:
+        """Failed refresh attempts (thin view over the registry counter)."""
+        return int(self._refresh_failures_total.value)
+
     @property
     def degraded(self) -> bool:
         """``True`` while the last (auto-)refresh failed and no successful

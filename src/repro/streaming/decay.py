@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.estimator import Observer, SketchEstimator
 from repro.covariance.pipeline import CovarianceSketcher
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.sketch.base import scatter_add_flat
 from repro.sketch.count_sketch import CountSketch
 from repro.sketch.decay import DecayedSketch, decay_from_half_life
@@ -62,6 +63,7 @@ class _LazyDecayedMoments:
         self._scale = 1.0
         self.dim = int(dim)
         self.count = 0
+        self.flushes = 0
         self._weight = 0.0
         self._sum = np.zeros(self.dim, dtype=np.float64)
         self._sumsq = np.zeros(self.dim, dtype=np.float64)
@@ -78,6 +80,7 @@ class _LazyDecayedMoments:
         self._sumsq *= self._scale
         self._weight *= self._scale
         self._scale = 1.0
+        self.flushes += 1
 
     @property
     def weight(self) -> float:
@@ -248,13 +251,45 @@ class DecayingSketcher(CovarianceSketcher):
     estimator is expected to tick the sketch's decay clock per batch
     (:class:`DecayedSketchEstimator` does).  Build one with
     :func:`make_decaying_sketcher`.
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`, optional) receives
+    the decay telemetry: lazy-scale flush count across the moment
+    trackers, the decayed effective weight, and the configured gamma —
+    all evaluated at collect time, so the ingest hot path is untouched.
     """
 
-    def __init__(self, dim: int, estimator, *, gamma: float, **kwargs):
+    def __init__(
+        self,
+        dim: int,
+        estimator,
+        *,
+        gamma: float,
+        registry: MetricsRegistry | None = None,
+        **kwargs,
+    ):
         super().__init__(dim, estimator, **kwargs)
         self.decay = float(gamma)
         self.moments = DecayedRunningMoments(self.dim, self.decay)
         self.sparse_moments = DecayedSparseMoments(self.dim, self.decay)
+        self.registry = registry if registry is not None else NullRegistry()
+        reg = self.registry
+        reg.gauge_fn(
+            "repro_decay_flushes",
+            lambda: self.moments.flushes + self.sparse_moments.flushes,
+            "lazy-scale flushes across the decayed moment trackers",
+        )
+        reg.gauge_fn(
+            "repro_decay_weight",
+            lambda: self.estimator.decayed_weight
+            if hasattr(self.estimator, "decayed_weight")
+            else self.sparse_moments.weight,
+            "decayed effective sample count of the estimator",
+        )
+        reg.gauge_fn(
+            "repro_decay_gamma",
+            lambda: self.decay,
+            "per-sample decay factor",
+        )
 
 
 def make_decaying_sketcher(
@@ -274,6 +309,7 @@ def make_decaying_sketcher(
     two_sided: bool = False,
     storage: str = "float64",
     quantum: float | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> DecayingSketcher:
     """One-call factory: decayed count sketch + estimator + pipeline.
 
@@ -307,6 +343,7 @@ def make_decaying_sketcher(
         dim,
         estimator,
         gamma=gamma,
+        registry=registry,
         mode=mode,
         centering="none",
         batch_size=batch_size,

@@ -46,6 +46,7 @@ from repro.distributed.shard import (
     save_shard_result,
 )
 from repro.durability.integrity import verify_arrays, write_npz
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 
 __all__ = ["PaneRing"]
 
@@ -69,6 +70,14 @@ class PaneRing:
         Samples per pane.  Must be a positive multiple of
         ``spec.batch_size`` so pane boundaries sit on the pipeline's batch
         grid — the precondition for the bit-identity law above.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` receiving the ring's
+        telemetry: ``repro_pane_rotate_seconds`` /
+        ``repro_window_merge_seconds`` histograms plus live gauges over
+        rotations, retained panes and window span.  Stack owners pass
+        theirs (a durable windowed sketcher shares its registry; so does
+        :meth:`repro.serving.ServingEstimator.windowed`); the default is a
+        no-op registry.
 
     Notes
     -----
@@ -86,7 +95,14 @@ class PaneRing:
     serving mode.
     """
 
-    def __init__(self, spec: ShardSpec, *, num_panes: int, pane_samples: int):
+    def __init__(
+        self,
+        spec: ShardSpec,
+        *,
+        num_panes: int,
+        pane_samples: int,
+        registry: MetricsRegistry | None = None,
+    ):
         if num_panes < 1:
             raise ValueError(f"num_panes must be >= 1, got {num_panes}")
         if pane_samples < 1 or pane_samples % spec.batch_size != 0:
@@ -104,6 +120,31 @@ class PaneRing:
         self.samples_seen = 0
         self.rotations = 0
         self.last_rotate_seconds = 0.0
+        self.registry = registry if registry is not None else NullRegistry()
+        reg = self.registry
+        self._rotate_seconds = reg.histogram(
+            "repro_pane_rotate_seconds",
+            "open-pane close: shard-state extraction + ring append",
+        )
+        self._merge_seconds = reg.histogram(
+            "repro_window_merge_seconds",
+            "window materialisation: one merge pass over retained panes",
+        )
+        reg.gauge_fn(
+            "repro_pane_rotations",
+            lambda: self.rotations,
+            "panes closed since the ring was created",
+        )
+        reg.gauge_fn(
+            "repro_pane_retained",
+            lambda: len(self._closed),
+            "closed panes currently inside the window",
+        )
+        reg.gauge_fn(
+            "repro_pane_window_span",
+            lambda: self.window_span,
+            "samples currently inside the window",
+        )
 
     # ------------------------------------------------------------------
     # Write path
@@ -181,6 +222,7 @@ class PaneRing:
         self._open = self.spec.build_sketcher()
         self.rotations += 1
         self.last_rotate_seconds = time.perf_counter() - started
+        self._rotate_seconds.observe(self.last_rotate_seconds)
         return result
 
     # ------------------------------------------------------------------
@@ -213,7 +255,8 @@ class PaneRing:
         panes = self.panes()
         if not panes:
             return self.spec.build_sketcher()
-        return merge_shard_results(panes)
+        with self._merge_seconds.time():
+            return merge_shard_results(panes)
 
     @property
     def estimator(self):
@@ -235,7 +278,8 @@ class PaneRing:
         else:
             panes = self.panes()
         if panes:
-            merged = merge_shard_results(panes).estimator
+            with self._merge_seconds.time():
+                merged = merge_shard_results(panes).estimator
         else:
             merged = self.spec.build_sketcher().estimator
         return merged.export_snapshot_state()
@@ -304,12 +348,14 @@ class PaneRing:
         return paths
 
     @classmethod
-    def load(cls, directory) -> "PaneRing":
+    def load(cls, directory, *, registry=None) -> "PaneRing":
         """Restore a ring persisted by :meth:`save`.
 
         Closed panes load as immutable results; the open pane is restored
         to a live pipeline (counters, moments, sampler stats, tracker), so
-        ingestion continues where it left off.
+        ingestion continues where it left off.  ``registry`` rebinds the
+        restored ring's telemetry (rotation counts resume from the
+        persisted value).
         """
         directory = Path(directory)
         with np.load(directory / _MANIFEST, allow_pickle=False) as manifest:
@@ -322,7 +368,10 @@ class PaneRing:
             rotations = int(manifest["rotations"])
         open_result = load_shard_result(directory / f"pane-{open_seq:08d}.npz")
         ring = cls(
-            open_result.spec, num_panes=num_panes, pane_samples=pane_samples
+            open_result.spec,
+            num_panes=num_panes,
+            pane_samples=pane_samples,
+            registry=registry,
         )
         for seq in closed_seqs:
             ring._closed.append(

@@ -14,7 +14,34 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SNRRecorder", "estimate_sigma", "estimate_sigma_sparse"]
+__all__ = [
+    "SNRRecorder",
+    "estimate_sigma",
+    "estimate_sigma_sparse",
+    "model_stream_snr",
+]
+
+
+def model_stream_snr(alpha: float, u: float, sigma: float) -> float:
+    """Closed-form raw-stream SNR under the section-6.1 generative model.
+
+    A fraction ``alpha`` of variables are signal with per-sample values
+    ``N(u, sigma^2)`` and the rest noise with ``N(0, sigma^2)``, so the
+    expected inserted energies give
+
+        ``SNR = alpha (u^2 + sigma^2) / ((1 - alpha) sigma^2)``
+
+    — the value :class:`SNRRecorder` (and the online
+    :class:`repro.obs.AccuracyProbe`) converge to on an *unsampled*
+    stream, and the baseline against which observed ROSNR is normalised.
+    Matches :func:`repro.theory.bounds.snr_count_sketch` evaluated on the
+    equivalent :class:`~repro.theory.bounds.ProblemModel`.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    if sigma <= 0.0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return alpha * (u * u + sigma * sigma) / ((1.0 - alpha) * sigma * sigma)
 
 
 @dataclass

@@ -1,5 +1,6 @@
 """Tests for the experiments CLI (repro.experiments.runner)."""
 
+import json
 
 from repro.experiments import sweep_sketch_size
 from repro.experiments.runner import EXPERIMENTS, main, run_experiment
@@ -13,8 +14,12 @@ class TestCLI:
             assert name in out
 
     def test_unknown_name_fails(self, capsys):
+        # Diagnostics are structured log events on stderr, not prints.
         assert main(["fig99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().err
+        record = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+        assert record["event"] == "experiment.unknown"
+        assert record["name"] == "fig99"
+        assert "fig1" in record["available"]
 
     def test_runs_named_experiment(self, capsys, monkeypatch):
         # Patch in a tiny config so the CLI test stays fast.
@@ -25,10 +30,28 @@ class TestCLI:
         tiny = dataclasses.replace(fig2.Config(), dim=40, samples=150)
         monkeypatch.setattr(fig2, "Config", lambda: tiny)
         assert main(["fig2"]) == 0
-        out = capsys.readouterr().out
-        assert "Figure 2" in out
-        assert "paper reference" in out
-        assert "completed in" in out
+        captured = capsys.readouterr()
+        # Tables and the paper reference are the stdout deliverable...
+        assert "Figure 2" in captured.out
+        assert "paper reference" in captured.out
+        # ...while timing is an info-level log event, silent by default.
+        assert "completed" not in captured.out
+        assert "experiment.completed" not in captured.err
+
+    def test_verbose_emits_timing_event(self, capsys, monkeypatch):
+        import dataclasses
+
+        import repro.experiments.fig2_mean_std_cdf as fig2
+
+        tiny = dataclasses.replace(fig2.Config(), dim=40, samples=150)
+        monkeypatch.setattr(fig2, "Config", lambda: tiny)
+        assert main(["--verbose", "fig2"]) == 0
+        err = capsys.readouterr().err
+        events = [json.loads(line) for line in err.strip().splitlines()]
+        completed = [e for e in events if e["event"] == "experiment.completed"]
+        assert len(completed) == 1
+        assert completed[0]["name"] == "fig2"
+        assert completed[0]["seconds"] >= 0
 
 
 class TestSweepExperiment:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 import urllib.error
 import urllib.request
 
@@ -208,6 +209,105 @@ class TestErrorsAndReadOnlyTargets:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 client.refresh()
             assert excinfo.value.code == 405
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_route_serves_prometheus_text(self, serving_server):
+        _, server, client = serving_server
+        client.pair(0, 1)
+        client.query_keys(np.arange(5, dtype=np.int64))
+        with urllib.request.urlopen(f"{server.url}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = response.read().decode("utf-8")
+        # Serving, HTTP and breaker families all ride one exposition.
+        for family in (
+            "repro_http_requests_total",
+            "repro_http_request_seconds",
+            "repro_http_inflight",
+            "repro_serving_swaps_total",
+            "repro_serving_query_seconds",
+            "repro_serving_cache_hit_ratio",
+            "repro_breaker_rejections_total",
+        ):
+            assert f"# TYPE {family}" in text, family
+        # Histogram families carry the full bucket/sum/count triplet.
+        assert re.search(
+            r'repro_http_request_seconds_bucket\{[^}]*le="\+Inf"\}', text
+        )
+        assert "repro_http_request_seconds_sum" in text
+        assert "repro_http_request_seconds_count" in text
+
+    def test_client_metrics_returns_raw_text(self, serving_server):
+        _, _, client = serving_server
+        client.pair(0, 1)
+        text = client.metrics()
+        assert isinstance(text, str)
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_rejected_total counter" in text
+
+    def test_requests_counted_by_route_and_code(self, serving_server):
+        _, server, client = serving_server
+        client.pair(0, 1)
+        client.pair(0, 2)
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{server.url}/nope")
+        http = client.stats()["http"]
+        assert http["requests"]["GET /pair"]["200"] >= 2
+        # Unknown paths pool under "other" so junk cannot explode cardinality.
+        assert http["requests"]["GET other"]["404"] >= 1
+        assert "GET /pair" in http["latency"]
+        assert http["latency"]["GET /pair"]["count"] >= 2
+
+    def test_stats_reports_rejected_requests(self, serving_server):
+        """Satellite: /stats must surface the HTTP admission counters the
+        old plain-int implementation dropped."""
+        _, server, client = serving_server
+        http = client.stats()["http"]
+        assert http["rejected_requests"] == 0
+        assert http["rejected_requests"] == server.rejected_requests
+        # inflight counts the /stats request observing itself.
+        assert http["inflight"] == 1
+
+    def test_metrics_scrape_has_no_side_effects(self, rng):
+        """A scrape must never build a snapshot on a never-refreshed target."""
+        estimator = SketchEstimator(
+            CountSketch(3, 512, seed=47), total_samples=100
+        )
+        sketcher = CovarianceSketcher(DIM, estimator, mode="covariance")
+        serving = ServingEstimator(sketcher, top_index=16)
+        server, thread = serve_in_background(serving)
+        try:
+            with urllib.request.urlopen(f"{server.url}/metrics") as response:
+                assert response.status == 200
+            assert serving.swap_count == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_rejected_requests_counted_when_saturated(self, rng):
+        serving = _make_serving(rng)
+        server, thread = serve_in_background(serving, max_inflight=1)
+        try:
+            client = ServingClient(server.url)
+            # Hold the only admission slot, then hit a gated route.
+            acquired = server._admit()
+            assert acquired
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(f"{server.url}/pair?i=0&j=1")
+                assert excinfo.value.code == 503
+            finally:
+                server._release()
+            assert server.rejected_requests == 1
+            assert client.stats()["http"]["rejected_requests"] == 1
+            # /metrics is ungated: it must answer even at saturation.
+            assert "repro_http_rejected_total 1" in client.metrics()
         finally:
             server.shutdown()
             server.server_close()
