@@ -44,6 +44,7 @@ from repro.reference import (
 )
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch
+from repro.sketch.kernels import available_backends, numba_version
 from repro.sketch.topk import TopKTracker
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -317,7 +318,9 @@ def bench_sparse_pipeline(results, *, trials, rng, num_samples):
     # Sanity: both stacks must leave the same counters behind.
     np.testing.assert_array_equal(run_fused().sketch.table, run_legacy().sketch.table)
 
-    legacy_s = _best_seconds(lambda: None, lambda _: run_legacy(), trials=trials, inner=1)
+    legacy_s = _best_seconds(
+        lambda: None, lambda _: run_legacy(), trials=trials, inner=1
+    )
     fused_s = _best_seconds(lambda: None, lambda _: run_fused(), trials=trials, inner=1)
     results.append(
         _record(
@@ -330,6 +333,91 @@ def bench_sparse_pipeline(results, *, trials, rng, num_samples):
             batch_size=batch_size,
         )
     )
+
+
+def bench_backends(results, *, batches, trials, inner, rng):
+    """Kernel-backend axis: numpy vs numba on the same sketch hot paths.
+
+    Sketches are constructed with an *explicit* ``backend=`` (explicit
+    beats the env override), so a CI run forced onto one backend through
+    ``REPRO_KERNEL_BACKEND`` still measures both sides of the axis.
+    Records carry ``backend`` + absolute ``seconds``/``updates_per_sec``;
+    ``check_regressions`` derives the numba-vs-numpy speedup from pairs of
+    records and requires >= 5x on insert when numba is importable.
+    """
+    for n in batches:
+        keys = rng.integers(0, 10**12, size=n).astype(np.int64)
+        values = rng.standard_normal(n)
+        for backend in available_backends():
+
+            def make():
+                return CountSketch(
+                    NUM_TABLES, NUM_BUCKETS, seed=1, backend=backend
+                )
+
+            seconds = _best_seconds(
+                make, lambda sk: sk.insert(keys, values), trials=trials, inner=inner
+            )
+            results.append(
+                {
+                    "op": "backend_insert",
+                    "backend": backend,
+                    "batch": int(n),
+                    "seconds": seconds,
+                    "updates_per_sec": n / seconds,
+                }
+            )
+
+            warm = make()
+            warm.insert(keys, values)
+            seconds = _best_seconds(
+                lambda: warm, lambda sk: sk.query(keys), trials=trials, inner=inner
+            )
+            results.append(
+                {
+                    "op": "backend_query",
+                    "backend": backend,
+                    "batch": int(n),
+                    "seconds": seconds,
+                    "updates_per_sec": n / seconds,
+                }
+            )
+
+            seconds = _best_seconds(
+                make,
+                lambda sk: sk.insert_and_query(keys, values),
+                trials=trials,
+                inner=inner,
+            )
+            results.append(
+                {
+                    "op": "backend_insert_and_query",
+                    "backend": backend,
+                    "batch": int(n),
+                    "seconds": seconds,
+                    "updates_per_sec": n / seconds,
+                }
+            )
+
+
+def backend_speedup(report: dict, op: str = "backend_insert") -> float | None:
+    """Best numba-over-numpy throughput ratio for ``op`` across batches.
+
+    ``None`` when the report has no numba leg (numba not importable where
+    it ran) — callers skip their threshold checks in that case.
+    """
+    by_batch: dict[int, dict[str, float]] = {}
+    for rec in report.get("results", []):
+        if rec.get("op") == op and "backend" in rec:
+            by_batch.setdefault(rec["batch"], {})[rec["backend"]] = rec[
+                "updates_per_sec"
+            ]
+    ratios = [
+        rates["numba"] / rates["numpy"]
+        for rates in by_batch.values()
+        if "numba" in rates and "numpy" in rates
+    ]
+    return max(ratios) if ratios else None
 
 
 # ----------------------------------------------------------------------
@@ -359,6 +447,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
     bench_sparse_pipeline(
         results, trials=max(2, trials // 2), rng=rng, num_samples=pipeline_samples
     )
+    bench_backends(results, batches=batches, trials=trials, inner=inner, rng=rng)
 
     def _speedup(op, batch=None):
         for rec in results:
@@ -374,7 +463,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
         "sparse_pipeline_speedup": _speedup("sparse_pipeline_fit"),
         "topk_offer_speedup": _speedup("topk_offer_stream"),
     }
-    return {
+    report = {
         "meta": {
             "benchmark": "bench_kernels",
             "smoke": smoke,
@@ -382,12 +471,16 @@ def run_benchmarks(smoke: bool = False) -> dict:
             "num_buckets": NUM_BUCKETS,
             "cpu_count": os.cpu_count() or 1,
             "numpy": np.__version__,
+            "numba": numba_version(),
+            "kernel_backends": list(available_backends()),
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
         "headline": headline,
         "results": results,
     }
+    headline["numba_insert_speedup"] = backend_speedup(report)
+    return report
 
 
 def write_report(report: dict, out_path: Path) -> None:
@@ -398,12 +491,21 @@ def write_report(report: dict, out_path: Path) -> None:
 def print_report(report: dict) -> None:
     print(f"{'op':<32}{'batch':>8}{'legacy':>12}{'fused':>12}{'speedup':>9}")
     for rec in report["results"]:
-        print(
-            f"{rec['op']:<32}{rec['batch']:>8}"
-            f"{rec['legacy_seconds'] * 1e6:>10.1f}us"
-            f"{rec['fused_seconds'] * 1e6:>10.1f}us"
-            f"{rec['speedup']:>8.2f}x"
-        )
+        if "speedup" in rec:
+            print(
+                f"{rec['op']:<32}{rec['batch']:>8}"
+                f"{rec['legacy_seconds'] * 1e6:>10.1f}us"
+                f"{rec['fused_seconds'] * 1e6:>10.1f}us"
+                f"{rec['speedup']:>8.2f}x"
+            )
+        else:
+            label = f"{rec['op']}[{rec['backend']}]"
+            print(
+                f"{label:<32}{rec['batch']:>8}"
+                f"{'':>12}"
+                f"{rec['seconds'] * 1e6:>10.1f}us"
+                f"{rec['updates_per_sec'] / 1e6:>7.1f}M/s"
+            )
     print("headline:", json.dumps(report["headline"], indent=2))
 
 
@@ -414,14 +516,35 @@ def main(smoke: bool = False, out: Path | None = None) -> dict:
     return report
 
 
+#: Minimum numba-over-numpy insert throughput ratio the gate demands.  The
+#: compiled scatter loop removes the (K+1)-pass numpy overhead entirely, so
+#: anything below this means the JIT path silently degraded.
+NUMBA_MIN_INSERT_SPEEDUP = 5.0
+
+
 def _check(report: dict) -> list:
-    """CI gate: no fused kernel may regress below parity with the reference."""
+    """CI gate: no fused kernel may regress below parity with the
+    reference, and — when the report carries a numba leg — the compiled
+    insert path must actually pay for itself."""
+    problems = []
     regressions = [
-        rec["op"] for rec in report["results"] if rec["speedup"] < 0.5
+        rec["op"]
+        for rec in report["results"]
+        if "speedup" in rec and rec["speedup"] < 0.5
     ]
     if regressions:
-        return ["severe regressions: " + ", ".join(regressions)]
-    return []
+        problems.append("severe regressions: " + ", ".join(regressions))
+    meta = report.get("meta", {})
+    # Gate on the recorded host shape: the threshold is calibrated for a
+    # real runner, not a starved single-vCPU container.
+    if meta.get("numba") is not None and int(meta.get("cpu_count", 1)) >= 2:
+        ratio = backend_speedup(report)
+        if ratio is not None and ratio < NUMBA_MIN_INSERT_SPEEDUP:
+            problems.append(
+                f"numba insert speedup {ratio:.1f}x is below the "
+                f"{NUMBA_MIN_INSERT_SPEEDUP:.0f}x floor over numpy"
+            )
+    return problems
 
 
 SUITE = register(BenchSuite(name="kernels", run=main, check=_check))

@@ -17,6 +17,17 @@ it judges:
    ``meta.cpu_count``; deterministic accuracy checks (bit-identity gates,
    the streaming drift-F1 margin) always apply.
 
+When CI has already produced smoke reports (the test job uploads its
+``BENCH_<suite>.smoke.json`` files as workflow artifacts), the gate job
+can consume them directly instead of re-measuring::
+
+    PYTHONPATH=src python benchmarks/check_regressions.py --smoke-dir artifacts/
+
+``--smoke-dir`` replaces the fresh re-run layer: each suite's
+``BENCH_<suite>.smoke.json`` is loaded from the directory and run
+through the same suite check.  A missing or unparseable artifact is a
+failure — the gate never silently skips a suite.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regressions.py
@@ -64,6 +75,21 @@ def check_fresh_smoke(suite, scratch: Path) -> list[str]:
     return [f"fresh smoke {suite.name}: {problem}" for problem in suite.check(report)]
 
 
+def check_smoke_artifact(suite, smoke_dir: Path) -> list[str]:
+    """Apply the suite's check to a precomputed smoke report artifact."""
+    path = smoke_dir / f"BENCH_{suite.name}.smoke.json"
+    if not path.exists():
+        return [f"missing smoke artifact {path.name} in {smoke_dir}"]
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"unparseable smoke artifact {path.name}: {exc}"]
+    meta = report.get("meta")
+    if not isinstance(meta, dict) or "cpu_count" not in meta:
+        return [f"{path.name} lacks meta.cpu_count (cannot gate its checks)"]
+    return [f"smoke artifact {suite.name}: {problem}" for problem in suite.check(report)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -77,17 +103,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="only validate the committed reports, skip the smoke re-runs",
     )
+    parser.add_argument(
+        "--smoke-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory of precomputed BENCH_<suite>.smoke.json artifacts to "
+            "check instead of re-running the smoke workloads"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.smoke_dir is not None and args.skip_fresh:
+        parser.error("--smoke-dir and --skip-fresh are mutually exclusive")
 
     suites = [
-        suite
-        for suite in REGISTRY.values()
-        if args.suite in (None, suite.name)
+        suite for suite in REGISTRY.values() if args.suite in (None, suite.name)
     ]
     failures: list[str] = []
     for suite in suites:
         failures.extend(check_committed(suite))
-    if not args.skip_fresh:
+    if args.smoke_dir is not None:
+        for suite in suites:
+            failures.extend(check_smoke_artifact(suite, args.smoke_dir))
+    elif not args.skip_fresh:
         with tempfile.TemporaryDirectory(prefix="bench-smoke-") as scratch:
             for suite in suites:
                 failures.extend(check_fresh_smoke(suite, Path(scratch)))
@@ -95,8 +133,13 @@ def main(argv=None) -> int:
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:
-        print(f"ok: {len(suites)} suite(s) — committed reports valid"
-              + ("" if args.skip_fresh else ", fresh smoke runs pass"))
+        if args.skip_fresh:
+            smoke_note = ""
+        elif args.smoke_dir is not None:
+            smoke_note = ", smoke artifacts pass"
+        else:
+            smoke_note = ", fresh smoke runs pass"
+        print(f"ok: {len(suites)} suite(s) — committed reports valid{smoke_note}")
     return 1 if failures else 0
 
 

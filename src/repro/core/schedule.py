@@ -68,12 +68,14 @@ class ThresholdSchedule:
     def threshold(self, t: int) -> float:
         """``tau(t)`` — defined for ``t >= T0``; clamps below ``T0``."""
         t_eff = max(int(t), self.exploration_length)
-        return self.tau0 + self.theta * (t_eff - self.exploration_length) / self.total_samples
+        progress = (t_eff - self.exploration_length) / self.total_samples
+        return self.tau0 + self.theta * progress
 
     def thresholds(self, t: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`threshold`."""
         t = np.maximum(np.asarray(t, dtype=np.float64), self.exploration_length)
-        return self.tau0 + self.theta * (t - self.exploration_length) / self.total_samples
+        progress = (t - self.exploration_length) / self.total_samples
+        return self.tau0 + self.theta * progress
 
     @property
     def final_threshold(self) -> float:

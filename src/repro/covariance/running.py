@@ -130,7 +130,9 @@ class SparseMoments:
         self._sum = np.zeros(self.dim, dtype=np.float64)
         self._sumsq = np.zeros(self.dim, dtype=np.float64)
 
-    def update_batch(self, indices: np.ndarray, values: np.ndarray, num_samples: int) -> None:
+    def update_batch(
+        self, indices: np.ndarray, values: np.ndarray, num_samples: int
+    ) -> None:
         """Fold ``num_samples`` sparse samples in, given their concatenated
         non-zero ``indices`` / ``values``."""
         indices = np.asarray(indices, dtype=np.int64)

@@ -49,7 +49,9 @@ def triu_pair_values(matrix: np.ndarray) -> np.ndarray:
     return matrix[rows, cols]
 
 
-def dense_batch_products(batch: np.ndarray, center: np.ndarray | None = None) -> np.ndarray:
+def dense_batch_products(
+    batch: np.ndarray, center: np.ndarray | None = None
+) -> np.ndarray:
     """Sum of pair products over a dense batch, as a flat ``p``-vector.
 
     Computes ``sum_t (y_t - c)(y_t - c)^T`` restricted to the strict upper
@@ -162,10 +164,10 @@ def sparse_batch_pairs(
     idx = indices[order]
     val = values[order]
 
-    starts = np.cumsum(lengths) - lengths          # first slot of each sample
-    m_of = np.repeat(lengths, lengths)             # sample size, per element
+    starts = np.cumsum(lengths) - lengths  # first slot of each sample
+    m_of = np.repeat(lengths, lengths)  # sample size, per element
     local = np.arange(idx.size, dtype=np.int64) - np.repeat(starts, lengths)
-    reps = m_of - 1 - local                        # pairs rowed by this element
+    reps = m_of - 1 - local  # pairs rowed by this element
     num_out = int(reps.sum())
     if num_out == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)

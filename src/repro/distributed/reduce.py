@@ -30,7 +30,7 @@ versus the unsharded run).
 
 from __future__ import annotations
 
-from dataclasses import fields
+from dataclasses import fields, replace
 from typing import Sequence
 
 from repro.covariance.pipeline import CovarianceSketcher
@@ -40,12 +40,20 @@ __all__ = ["merge_shard_results"]
 
 
 def _check_uniform_specs(shards: Sequence[ShardResult]) -> ShardSpec:
-    """All shards must share one spec; report the first differing field."""
+    """All shards must share one spec; report the first differing field.
+
+    The kernel ``backend`` is exempt: it is runtime configuration, not
+    sketch state — backends are bit-identical, so shards produced on hosts
+    with different backends (or restored from pre-backend files, which pin
+    ``"numpy"``) merge exactly.
+    """
     spec = shards[0].spec
     for shard in shards[1:]:
-        if shard.spec == spec:
+        if replace(shard.spec, backend=spec.backend) == spec:
             continue
         for f in fields(ShardSpec):
+            if f.name == "backend":
+                continue
             a, b = getattr(spec, f.name), getattr(shard.spec, f.name)
             if a != b:
                 raise ValueError(

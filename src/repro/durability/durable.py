@@ -170,8 +170,12 @@ class DurableSketcher:
             self.pane_samples = pane_samples
             self._write_recipe(recipe_path)
         self.windowed = self.num_panes is not None
-        self.checkpoint_every = 64 if checkpoint_every is None else int(checkpoint_every)
-        self.keep_checkpoints = max(1, 2 if keep_checkpoints is None else int(keep_checkpoints))
+        self.checkpoint_every = (
+            64 if checkpoint_every is None else int(checkpoint_every)
+        )
+        self.keep_checkpoints = max(
+            1, 2 if keep_checkpoints is None else int(keep_checkpoints)
+        )
 
         # --- recover state: newest valid checkpoint, then WAL replay ---
         inner, ckpt_seq, ckpt_id = self._load_latest_checkpoint()
@@ -363,7 +367,8 @@ class DurableSketcher:
 
     def _prune(self) -> None:
         entries = self._checkpoints()
-        drop, keep = entries[: -self.keep_checkpoints], entries[-self.keep_checkpoints :]
+        drop = entries[: -self.keep_checkpoints]
+        keep = entries[-self.keep_checkpoints :]
         for ckpt_id, path in drop:
             path.unlink(missing_ok=True)
             ring = self._ring_dir(ckpt_id)

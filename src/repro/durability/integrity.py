@@ -208,7 +208,9 @@ def corruption_guard(source):
         ) from exc
 
 
-def write_npz(path, payload: dict, *, compress: bool = False, integrity: bool = True) -> Path:
+def write_npz(
+    path, payload: dict, *, compress: bool = False, integrity: bool = True
+) -> Path:
     """Atomically write an ``.npz`` with integrity members appended.
 
     The archive is written to a temporary file in the target directory and

@@ -45,7 +45,9 @@ class MethodRun:
     sketcher: CovarianceSketcher
 
 
-def rank_all_pairs(sketcher: CovarianceSketcher, *, chunk: int = 1 << 20) -> tuple[np.ndarray, np.ndarray]:
+def rank_all_pairs(
+    sketcher: CovarianceSketcher, *, chunk: int = 1 << 20
+) -> tuple[np.ndarray, np.ndarray]:
     """Estimates for every pair key, sorted descending (section 8.3 scan)."""
     p = sketcher.num_pairs
     estimates = np.empty(p, dtype=np.float64)
@@ -108,7 +110,9 @@ def run_method(
             num_tables=num_tables,
             num_buckets=num_buckets,
         )
-        plan = plan_hyperparameters(model, tau0=tau0, delta=delta, delta_star=delta_star)
+        plan = plan_hyperparameters(
+            model, tau0=tau0, delta=delta, delta_star=delta_star
+        )
 
     estimator = build_estimator(
         method,

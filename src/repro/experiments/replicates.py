@@ -18,7 +18,9 @@ from repro.data.synthetic import BlockCorrelationModel
 __all__ = ["replicate_covariances", "simulation_model"]
 
 
-def simulation_model(dim: int = 80, alpha: float = 0.005, seed: int = 0) -> BlockCorrelationModel:
+def simulation_model(
+    dim: int = 80, alpha: float = 0.005, seed: int = 0
+) -> BlockCorrelationModel:
     """The section-6.2 simulation source: alpha signal pairs, strengths
     uniform in (0.5, 1)."""
     return BlockCorrelationModel.from_alpha(

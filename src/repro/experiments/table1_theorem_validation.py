@@ -69,7 +69,8 @@ class SignalMissTracker:
         if t_pre < self.exploration_length:
             return  # exploration batch (or the batch straddling T0)
         positions = np.searchsorted(keys, self.signal_keys)
-        ok = (positions < keys.size) & (keys[np.minimum(positions, keys.size - 1)] == self.signal_keys)
+        found = keys[np.minimum(positions, keys.size - 1)] == self.signal_keys
+        ok = (positions < keys.size) & found
         signal_mask = np.zeros(self.signal_keys.size, dtype=bool)
         signal_mask[ok] = mask[positions[ok]]
         if self.first_decision_pass is None:

@@ -70,9 +70,9 @@ def _mulmod_mersenne61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ah, al = a >> _U64(32), a & _MASK32
     bh, bl = b >> _U64(32), b & _MASK32
 
-    high = ah * bh                      # < 2^58
-    mid = ah * bl + al * bh             # < 2^62
-    low = al * bl                       # < 2^64 (wraps are impossible)
+    high = ah * bh  # < 2^58
+    mid = ah * bl + al * bh  # < 2^62
+    low = al * bl  # < 2^64 (wraps are impossible)
 
     # a*b = high*2^64 + mid*2^32 + low;  2^64 === 8, 2^61 === 1 (mod P).
     total = high * _U64(8)

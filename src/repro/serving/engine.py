@@ -78,10 +78,10 @@ class QueryEngine:
         self.snapshot = snapshot
         self.cache = LRUCache(cache_size)
         self.cache_batch_limit = cache_batch_limit
-        self.queries = 0          # logical query calls answered
-        self.keys_served = 0      # individual key estimates returned
-        self.gathers = 0          # fused sketch gathers issued
-        self.gathered_keys = 0    # distinct keys fetched by those gathers
+        self.queries = 0  # logical query calls answered
+        self.keys_served = 0  # individual key estimates returned
+        self.gathers = 0  # fused sketch gathers issued
+        self.gathered_keys = 0  # distinct keys fetched by those gathers
         # Telemetry: a shared per-stack registry accumulates latency
         # histograms across snapshot swaps (get-or-create returns the same
         # instrument to every engine built on the registry), while the

@@ -44,6 +44,9 @@ class AugmentedSketch(ValueSketch):
         Counter storage of the backing :class:`CountSketch` (see
         :mod:`repro.sketch.storage`); the exact filter keeps float64
         precision regardless — it holds only ``filter_capacity`` values.
+    backend:
+        Kernel backend of the backing :class:`CountSketch` (see
+        :mod:`repro.sketch.kernels`); the filter itself is a dict.
     """
 
     def __init__(
@@ -58,12 +61,13 @@ class AugmentedSketch(ValueSketch):
         two_sided: bool = False,
         dtype=np.float64,
         quantum: float | None = None,
+        backend: str | None = None,
     ):
         if filter_capacity < 1:
             raise ValueError(f"filter_capacity must be >= 1, got {filter_capacity}")
         self.sketch = CountSketch(
             num_tables, num_buckets, seed=seed, family=family,
-            dtype=dtype, quantum=quantum,
+            dtype=dtype, quantum=quantum, backend=backend,
         )
         self.filter_capacity = int(filter_capacity)
         self.exchange_every = max(1, int(exchange_every))

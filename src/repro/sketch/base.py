@@ -151,5 +151,14 @@ class ValueSketch(abc.ABC):
 
     @property
     def memory_bytes(self) -> int:
-        """Approximate resident size of the counter storage."""
+        """Resident size of the counter storage in bytes.
+
+        Sketches backed by a :class:`repro.sketch.storage.CounterStore`
+        report its actual ``nbytes`` — itemsize-aware, so the compact
+        int16/int32 tier is not misreported as 8 bytes per counter.
+        Sketches without a store fall back to the float64 assumption.
+        """
+        store = getattr(self, "_store", None)
+        if store is not None:
+            return store.nbytes
         return self.memory_floats * 8

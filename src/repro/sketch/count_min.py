@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.families import MultiTableHasher
+from repro.hashing.families import MultiTableHasher, _keys_as_u64
 from repro.sketch.base import (
     ValueSketch,
     ensure_mergeable,
     reject_readonly_counters,
     validate_batch,
 )
+from repro.sketch.kernels import numba_kernels, resolve_backend
 from repro.sketch.storage import CounterStore
 
 __all__ = ["CountMinSketch"]
@@ -41,6 +42,10 @@ class CountMinSketch(ValueSketch):
         Conservative update and ``cap`` both clamp counters through
         non-linear in-place passes expressed in raw units, so they require
         plain float storage; combining them with a quantized dtype raises.
+    backend:
+        Kernel backend, as for :class:`repro.sketch.CountSketch`.  The
+        compiled path covers the linear (non-conservative) insert and the
+        min-of-tables query; conservative update stays on numpy.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class CountMinSketch(ValueSketch):
         cap: float | None = None,
         dtype=np.float64,
         quantum: float | None = None,
+        backend: str | None = None,
     ):
         if num_tables < 1:
             raise ValueError(f"num_tables must be >= 1, got {num_tables}")
@@ -86,6 +92,45 @@ class CountMinSketch(ValueSketch):
             self.num_buckets,
             [int(children[e].generate_state(1)[0]) for e in range(self.num_tables)],
         )
+
+        # Compiled-kernel plumbing (see CountSketch): only the fused
+        # multiply-shift family with float storage is eligible, and
+        # conservative update always stays on the numpy path.
+        self.backend = resolve_backend(backend)
+        self._jit_args = None
+        bucket = getattr(self._hasher, "_bucket", None)
+        if (
+            self.backend == "numba"
+            and not self.conservative
+            and self._store.quantum is None
+            and hasattr(bucket, "_a")
+        ):
+            mask = self._hasher._bucket_mask
+            self._jit_args = (
+                bucket._a.ravel(),
+                bucket._b.ravel(),
+                self._offsets_u64.ravel(),
+                np.uint64(self.num_buckets),
+                np.uint64(0) if mask is None else mask,
+                mask is not None,
+            )
+
+    def _jit_kernels(self, flat_needed_writable: bool):
+        """``(module, flat)`` for the compiled path, or ``None``."""
+        if self._jit_args is None:
+            return None
+        store = self._store
+        if store.quantum is not None or store.dtype != np.float64:
+            return None
+        raw = store.raw
+        if isinstance(raw, np.memmap):
+            return None
+        module = numba_kernels()
+        if module is None:  # pragma: no cover - unpickled without numba
+            return None
+        if flat_needed_writable:
+            reject_readonly_counters(raw)
+        return module, raw
 
     @property
     def table(self) -> np.ndarray:
@@ -136,13 +181,29 @@ class CountMinSketch(ValueSketch):
                 np.broadcast_to(target, fi.shape).ravel(),
             )
         else:
-            fi = self._flat_indices(keys)
-            # Always bincount, matching the legacy per-table path exactly.
-            self._store.scatter_add(
-                fi.ravel(),
-                np.broadcast_to(values, fi.shape).ravel(),
-                use_bincount=True,
-            )
+            jit = self._jit_kernels(flat_needed_writable=True)
+            if jit is not None:
+                module, flat = jit
+                a, b, offsets, r_u64, mask, use_mask = self._jit_args
+                module.cm_insert(
+                    flat,
+                    _keys_as_u64(keys),
+                    np.ascontiguousarray(values),
+                    a,
+                    b,
+                    offsets,
+                    r_u64,
+                    mask,
+                    use_mask,
+                )
+            else:
+                fi = self._flat_indices(keys)
+                # Always bincount, matching the legacy per-table path exactly.
+                self._store.scatter_add(
+                    fi.ravel(),
+                    np.broadcast_to(values, fi.shape).ravel(),
+                    use_bincount=True,
+                )
         if self.cap is not None:
             np.minimum(self.table, self.cap, out=self.table)
 
@@ -150,6 +211,15 @@ class CountMinSketch(ValueSketch):
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
+        jit = self._jit_kernels(flat_needed_writable=False)
+        if jit is not None:
+            module, flat = jit
+            a, b, offsets, r_u64, mask, use_mask = self._jit_args
+            out = np.empty(keys.size, dtype=np.float64)
+            module.cm_query(
+                flat, _keys_as_u64(keys), a, b, offsets, r_u64, mask, use_mask, out
+            )
+            return out
         gathered = self._store.gather(self._flat_indices(keys))
         return np.min(gathered, axis=0)
 
@@ -198,6 +268,7 @@ class CountMinSketch(ValueSketch):
             family=self.family,
             conservative=self.conservative,
             cap=self.cap,
+            backend=self.backend,
         )
         clone._store = self._store.copy()
         return clone
@@ -205,11 +276,6 @@ class CountMinSketch(ValueSketch):
     @property
     def memory_floats(self) -> int:
         return self.num_tables * self.num_buckets
-
-    @property
-    def memory_bytes(self) -> int:
-        """Resident counter bytes — itemsize-aware, unlike ``memory_floats``."""
-        return self._store.nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

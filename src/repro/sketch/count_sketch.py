@@ -21,8 +21,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.families import MultiTableHasher, _sign_bits_to_float
-from repro.sketch.base import ValueSketch, ensure_mergeable, validate_batch
+from repro.hashing.families import (
+    MultiTableHasher,
+    _keys_as_u64,
+    _sign_bits_to_float,
+)
+from repro.sketch.base import (
+    ValueSketch,
+    ensure_mergeable,
+    reject_readonly_counters,
+    validate_batch,
+)
+from repro.sketch.kernels import numba_kernels, resolve_backend
 from repro.sketch.storage import CounterStore
 
 __all__ = ["CountSketch"]
@@ -66,8 +76,8 @@ def _median_axis0(est: np.ndarray) -> np.ndarray:
         e0, e1, e2, e3, e4 = est
         lo01, hi01 = np.minimum(e0, e1), np.maximum(e0, e1)
         lo23, hi23 = np.minimum(e2, e3), np.maximum(e2, e3)
-        lo = np.maximum(lo01, lo23)   # 3rd-smallest candidate from below
-        hi = np.minimum(hi01, hi23)   # 3rd-smallest candidate from above
+        lo = np.maximum(lo01, lo23)  # 3rd-smallest candidate from below
+        hi = np.minimum(hi01, hi23)  # 3rd-smallest candidate from above
         m1, m2 = np.minimum(lo, hi), np.maximum(lo, hi)
         return np.minimum(np.maximum(e4, m1), m2)
     return np.median(est, axis=0)
@@ -97,6 +107,13 @@ class CountSketch(ValueSketch):
         Fixed-point step for quantized storage
         (:data:`repro.sketch.storage.DEFAULT_QUANTUM` when omitted for an
         integer dtype).
+    backend:
+        Kernel backend for the hot paths (see
+        :mod:`repro.sketch.kernels`): ``"numpy"``, ``"numba"`` or
+        ``"auto"`` (the default; the ``REPRO_KERNEL_BACKEND`` env var
+        overrides an unset argument).  The compiled backend is
+        bit-identical to numpy and falls back to it gracefully when
+        numba is absent; runtime configuration only — never serialised.
     """
 
     def __init__(
@@ -108,6 +125,7 @@ class CountSketch(ValueSketch):
         family: str = "multiply-shift",
         dtype=np.float64,
         quantum: float | None = None,
+        backend: str | None = None,
     ):
         if num_tables < 1:
             raise ValueError(f"num_tables must be >= 1, got {num_tables}")
@@ -147,6 +165,28 @@ class CountSketch(ValueSketch):
         self._cached_keys: np.ndarray | None = None
         self._cached_flat_indices: np.ndarray | None = None
         self._cached_signs: np.ndarray | None = None
+
+        # Compiled-kernel plumbing.  The resolved backend is runtime
+        # configuration (never serialised); _jit_args holds the flattened
+        # hash parameters the kernels consume, and stays None whenever
+        # this sketch cannot take the compiled path at all (non-fused
+        # family, quantized storage) so per-op checks stay cheap.
+        self.backend = resolve_backend(backend)
+        self._jit_args = None
+        if (
+            self.backend == "numba"
+            and self._hasher._combined_a is not None
+            and self._store.quantum is None
+        ):
+            mask = self._hasher._bucket_mask
+            self._jit_args = (
+                self._hasher._combined_a.ravel(),
+                self._hasher._combined_b.ravel(),
+                self._offsets_u64.ravel(),
+                np.uint64(self.num_buckets),
+                np.uint64(0) if mask is None else mask,
+                mask is not None,
+            )
 
     # ------------------------------------------------------------------
     # Storage views
@@ -214,6 +254,31 @@ class CountSketch(ValueSketch):
         return flat_indices, bits, None
 
     # ------------------------------------------------------------------
+    # Compiled-kernel dispatch
+    # ------------------------------------------------------------------
+    def _jit_kernels(self, keys):
+        """``(module, flat)`` for the compiled path, or ``None``.
+
+        The compiled kernels cover the common hot configuration: the
+        fused multiply-shift family, plain float64 counters that are not
+        mmap-backed, and a fresh (uncached) key batch.  Everything else
+        — cache hits, quantized or widened storage, serving snapshots —
+        transparently takes the numpy path, which is bit-identical.
+        """
+        if self._jit_args is None or keys is self._cached_keys:
+            return None
+        store = self._store
+        if store.quantum is not None or store.dtype != np.float64:
+            return None
+        raw = store.raw
+        if isinstance(raw, np.memmap):
+            return None
+        module = numba_kernels()
+        if module is None:  # pragma: no cover - unpickled without numba
+            return None
+        return module, raw
+
+    # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
     def insert(self, keys, values) -> None:
@@ -221,6 +286,24 @@ class CountSketch(ValueSketch):
         # int64 input, so the hash cache still hits after validation.
         keys, values = validate_batch(keys, values)
         if keys.size == 0:
+            return
+        jit = self._jit_kernels(keys)
+        if jit is not None:
+            module, flat = jit
+            reject_readonly_counters(flat)
+            a, b, offsets, r_u64, mask, use_mask = self._jit_args
+            module.cs_insert(
+                flat,
+                _keys_as_u64(keys),
+                np.ascontiguousarray(values),
+                a,
+                b,
+                offsets,
+                r_u64,
+                mask,
+                use_mask,
+                keys.size * 16 >= self.num_buckets,
+            )
             return
         self._scatter(self._lookup(keys), values)
 
@@ -235,6 +318,26 @@ class CountSketch(ValueSketch):
         keys, values = validate_batch(keys, values)
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
+        jit = self._jit_kernels(keys)
+        if jit is not None and self.num_tables in (1, 3, 5):
+            module, flat = jit
+            reject_readonly_counters(flat)
+            a, b, offsets, r_u64, mask, use_mask = self._jit_args
+            out = np.empty(keys.size, dtype=np.float64)
+            module.cs_insert_and_query(
+                flat,
+                _keys_as_u64(keys),
+                np.ascontiguousarray(values),
+                a,
+                b,
+                offsets,
+                r_u64,
+                mask,
+                use_mask,
+                keys.size * 16 >= self.num_buckets,
+                out,
+            )
+            return out
         hashed = self._lookup(keys)
         self._scatter(hashed, values)
         return _median_axis0(self._estimates(hashed))
@@ -245,6 +348,15 @@ class CountSketch(ValueSketch):
             raise ValueError("keys must be a 1-D array")
         if keys.size == 0:
             return np.empty(0, dtype=np.float64)
+        jit = self._jit_kernels(keys)
+        if jit is not None and self.num_tables in (1, 3, 5):
+            module, flat = jit
+            a, b, offsets, r_u64, mask, use_mask = self._jit_args
+            out = np.empty(keys.size, dtype=np.float64)
+            module.cs_query(
+                flat, _keys_as_u64(keys), a, b, offsets, r_u64, mask, use_mask, out
+            )
+            return out
         return _median_axis0(self._estimates(self._lookup(keys)))
 
     def query_per_table(self, keys) -> np.ndarray:
@@ -335,6 +447,7 @@ class CountSketch(ValueSketch):
             self.num_buckets,
             seed=self.seed,
             family=self.family,
+            backend=self.backend,
         )
         clone._store = self._store.copy()
         return clone
@@ -346,15 +459,11 @@ class CountSketch(ValueSketch):
     def memory_floats(self) -> int:
         return self.num_tables * self.num_buckets
 
-    @property
-    def memory_bytes(self) -> int:
-        """Resident counter bytes — itemsize-aware, unlike ``memory_floats``."""
-        return self._store.nbytes
-
     def l2_norm(self) -> float:
         """Frobenius norm of the counter values — tracks stream energy."""
         if self._store.quantum is not None:
-            return float(np.linalg.norm(self.table.astype(np.float64)) * self._store.quantum)
+            norm = np.linalg.norm(self.table.astype(np.float64))
+            return float(norm * self._store.quantum)
         return float(np.linalg.norm(self.table))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

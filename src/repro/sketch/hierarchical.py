@@ -81,7 +81,7 @@ class HierarchicalCountSketch(ValueSketch):
     seed:
         Master seed; per-level hash seeds are spawned from it, so two
         hierarchies with equal parameters and seed are mergeable.
-    family, dtype, quantum:
+    family, dtype, quantum, backend:
         Forwarded to every level's :class:`CountSketch` (see there).
     """
 
@@ -98,6 +98,7 @@ class HierarchicalCountSketch(ValueSketch):
         family: str = "multiply-shift",
         dtype=np.float64,
         quantum: float | None = None,
+        backend: str | None = None,
     ):
         key_space = int(key_space)
         branching = int(branching)
@@ -136,6 +137,7 @@ class HierarchicalCountSketch(ValueSketch):
                 family=family,
                 dtype=dtype,
                 quantum=quantum,
+                backend=backend,
             )
             for child in children
         ]

@@ -1,0 +1,169 @@
+"""Kernel backend selection for the fused sketch hot paths.
+
+The scatter/gather/median loop is the entire ingest and query cost of the
+system, so it is worth compiling.  This package holds the two
+implementations of the hot primitives and the knob that picks between
+them:
+
+* :mod:`repro.sketch.kernels.numpy_ref` — the executable specification.
+  Standalone numpy implementations of the fused primitives (combined
+  multiply-shift bucket+sign hashing, flat-table scatter-insert,
+  single-gather + min/max-network median query, combined
+  ``insert_and_query``) with exactly the layout and summation order the
+  sketches use inline.  Tests pin the inline paths against this module.
+* :mod:`repro.sketch.kernels.numba_jit` — the same primitives compiled
+  with numba.  Identical ``(K*R,)`` flat layout, identical uint64 hash
+  arithmetic, identical accumulation order, so results are bit-identical
+  to the numpy path (the conformance suite enforces this per backend).
+
+Backend selection
+-----------------
+``resolve_backend(requested)`` maps a request to a concrete backend:
+
+* an explicit ``backend="numpy"|"numba"|"auto"`` argument wins;
+* otherwise the ``REPRO_KERNEL_BACKEND`` environment variable applies —
+  CI forces either path through it without touching call sites;
+* otherwise ``"auto"``: numba when importable, else numpy.
+
+Requesting ``"numba"`` when numba is not importable **falls back to
+numpy** instead of failing, and emits a one-time structured
+``kernels.fallback`` warning through :mod:`repro.obs` — never
+silent-crash, never silent-slow.  ``"auto"`` falls back silently (that
+is its contract).
+
+The backend is **runtime configuration, not state**: it never enters
+:func:`repro.sketch.serialization.sketch_to_arrays`, so snapshots are
+byte-identical across backends and a file written under one backend
+loads under the other.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.log import get_logger
+
+__all__ = [
+    "VALID_BACKENDS",
+    "ENV_VAR",
+    "resolve_backend",
+    "available_backends",
+    "numba_available",
+    "numba_version",
+    "numba_kernels",
+    "reset_fallback_warning",
+]
+
+#: Accepted values for the ``backend`` knob and the env override.
+VALID_BACKENDS = ("numpy", "numba", "auto")
+
+#: Environment override consulted when no explicit backend is passed.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_log = get_logger(__name__)
+
+#: Lazy one-shot import state for the compiled module (tests monkeypatch
+#: these two to simulate numba presence/absence deterministically).
+_jit_checked = False
+_jit_module = None
+
+#: One-time guard for the ``kernels.fallback`` warning event.
+_fallback_warned = False
+
+
+def numba_kernels():
+    """The compiled kernel module, or ``None`` when numba is unavailable.
+
+    The import is attempted once per process; any failure (numba absent,
+    broken install) is treated as "unavailable" — callers fall back to
+    the numpy path rather than surfacing an import error from deep
+    inside an insert.
+    """
+    global _jit_checked, _jit_module
+    if not _jit_checked:
+        _jit_checked = True
+        try:
+            from repro.sketch.kernels import numba_jit
+
+            _jit_module = numba_jit
+        except Exception:
+            _jit_module = None
+    return _jit_module
+
+
+def numba_available() -> bool:
+    """Whether the compiled backend can actually be used."""
+    return numba_kernels() is not None
+
+
+def numba_version() -> str | None:
+    """The importable numba version string, or ``None``."""
+    module = numba_kernels()
+    return None if module is None else module.NUMBA_VERSION
+
+
+def available_backends() -> tuple[str, ...]:
+    """Concrete backends usable in this process, numpy first."""
+    if numba_available():
+        return ("numpy", "numba")
+    return ("numpy",)
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the one-time fallback warning (test hook)."""
+    global _fallback_warned
+    _fallback_warned = False
+
+
+def _warn_fallback_once(requested_via: str) -> None:
+    global _fallback_warned
+    if _fallback_warned:
+        return
+    _fallback_warned = True
+    _log.warning(
+        "kernels.fallback",
+        requested="numba",
+        via=requested_via,
+        using="numpy",
+        reason="numba is not importable",
+        hint="pip install numba (the 'fast' extra) to enable the JIT backend",
+    )
+
+
+def _validated(value: str, source: str) -> str:
+    value = value.strip().lower()
+    if value not in VALID_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {value!r} (from {source}); "
+            f"choose from {VALID_BACKENDS}"
+        )
+    return value
+
+
+def resolve_backend(requested: str | None = None) -> str:
+    """Resolve a backend request to a concrete ``"numpy"`` or ``"numba"``.
+
+    Precedence: an explicit ``requested`` string wins; with
+    ``requested=None`` the :data:`ENV_VAR` environment variable applies;
+    absent both, ``"auto"``.  ``"auto"`` resolves to numba when
+    importable and numpy otherwise (silently).  An explicit or
+    env-forced ``"numba"`` without numba installed resolves to numpy
+    and fires the one-time ``kernels.fallback`` warning.
+    """
+    via = "backend argument"
+    if requested is None:
+        env = os.environ.get(ENV_VAR)
+        if env:
+            requested = _validated(env, f"${ENV_VAR}")
+            via = f"${ENV_VAR}"
+        else:
+            requested = "auto"
+            via = "default"
+    else:
+        requested = _validated(requested, "backend argument")
+    if requested == "auto":
+        return "numba" if numba_available() else "numpy"
+    if requested == "numba" and not numba_available():
+        _warn_fallback_once(via)
+        return "numpy"
+    return requested

@@ -1,0 +1,180 @@
+"""Numpy reference implementations of the fused sketch kernels.
+
+This module is the **executable specification** shared by the inline
+sketch hot paths and the compiled backend
+(:mod:`repro.sketch.kernels.numba_jit`): every function here states, in
+plain vectorised numpy, exactly what a kernel must compute — the layout,
+the hash arithmetic and the floating-point accumulation order.  The
+equivalence tests pin both the inline paths and the compiled kernels
+against these functions, so "bit-identical across backends" is enforced
+rather than hoped for.
+
+The contract
+------------
+* **Layout.** Counters live in one flat ``(K*R,)`` float64 array;
+  counter ``(e, b)`` sits at ``flat[e*R + b]`` (``offsets[e] = e*R``).
+* **Hashing.** Combined multiply-shift: for table ``e`` and key ``x``,
+  ``w = (x * a[e] + b[e]) mod 2^64 >> 32``; the bucket is ``w & mask``
+  (power-of-two ``R``) or ``w % R``.  Rows ``K..2K-1`` of ``a``/``b``
+  are the sign hashes; the sign bit is bit 0 of the same expression
+  (``0 => +1``, ``1 => -1``).  All arithmetic is uint64 with wrap-around,
+  matching numpy and C exactly.
+* **Summation order.** The bincount strategy accumulates every signed
+  update into a fresh float64 accumulator in table-major input order
+  (all of table 0's hits in batch order, then table 1's, ...), then adds
+  the accumulator to the table elementwise; the small-batch strategy
+  applies each update directly to the table in the same order.  Both
+  mirror :func:`repro.sketch.base.scatter_add_flat` on the raveled
+  ``(K, n)`` index matrix, so either backend reproduces the other's
+  floats bit-for-bit.
+* **Median.** ``K in {1, 3, 5}`` uses the min/max selection network of
+  :func:`repro.sketch.count_sketch._median_axis0`; ``np.minimum`` /
+  ``np.maximum`` semantics (NaN propagates, ties keep the first operand)
+  are part of the contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bucket_sign",
+    "cs_insert",
+    "cs_query",
+    "cs_insert_and_query",
+    "cm_insert",
+    "cm_query",
+    "median_network",
+]
+
+_U1 = np.uint64(1)
+_U32 = np.uint64(32)
+
+
+def bucket_sign(keys, a, b, num_buckets, mask, use_mask):
+    """``(buckets, sign_bits)`` for all tables, each ``(K, n)`` uint64.
+
+    ``a`` and ``b`` are the flattened ``(2K,)`` combined multiply-shift
+    parameters (bucket rows first, sign rows after); ``keys`` is the
+    uint64 view of the validated int64 key batch.
+    """
+    w = keys[None, :] * a[:, None]
+    w += b[:, None]
+    w >>= _U32
+    num_tables = a.shape[0] // 2
+    buckets, bits = w[:num_tables], w[num_tables:]
+    if use_mask:
+        buckets &= np.uint64(mask)
+    else:
+        buckets %= np.uint64(num_buckets)
+    bits &= _U1
+    return buckets, bits
+
+
+def _flat_indices(buckets, offsets):
+    return (buckets + offsets[:, None]).view(np.int64)
+
+
+def _signed(bits, values):
+    return np.where(bits != 0, -values, values)
+
+
+def cs_insert(
+    flat, keys, values, a, b, offsets, num_buckets, mask, use_mask, use_bincount
+):
+    """Scatter one signed batch into the flat count-sketch table."""
+    buckets, bits = bucket_sign(keys, a, b, num_buckets, mask, use_mask)
+    indices = _flat_indices(buckets, offsets)
+    signed = _signed(bits, values)
+    if use_bincount:
+        acc = np.bincount(
+            indices.ravel(), weights=signed.ravel(), minlength=flat.size
+        )
+        flat += acc.astype(flat.dtype, copy=False)
+    else:
+        np.add.at(flat, indices.ravel(), signed.ravel())
+
+
+def cs_query(flat, keys, a, b, offsets, num_buckets, mask, use_mask, out):
+    """Median-of-tables estimates for a key batch (``K in {1, 3, 5}``)."""
+    buckets, bits = bucket_sign(keys, a, b, num_buckets, mask, use_mask)
+    gathered = flat[_flat_indices(buckets, offsets)]
+    out[:] = median_network(_signed(bits, gathered))
+
+
+def cs_insert_and_query(
+    flat,
+    keys,
+    values,
+    a,
+    b,
+    offsets,
+    num_buckets,
+    mask,
+    use_mask,
+    use_bincount,
+    out,
+):
+    """Insert a batch, then estimate the same keys post-insert."""
+    cs_insert(
+        flat, keys, values, a, b, offsets, num_buckets, mask, use_mask, use_bincount
+    )
+    cs_query(flat, keys, a, b, offsets, num_buckets, mask, use_mask, out)
+
+
+def _cm_buckets(keys, a, b, num_buckets, mask, use_mask):
+    w = keys[None, :] * a[:, None]
+    w += b[:, None]
+    w >>= _U32
+    if use_mask:
+        w &= np.uint64(mask)
+    else:
+        w %= np.uint64(num_buckets)
+    return w
+
+
+def cm_insert(flat, keys, values, a, b, offsets, num_buckets, mask, use_mask):
+    """Unsigned scatter into the flat count-min table (bincount order).
+
+    Count-min's non-conservative insert always takes the bincount
+    strategy (its batches broadcast one value row across ``K`` tables);
+    ``a``/``b`` carry only the ``(K,)`` bucket-hash rows — no signs.
+    """
+    buckets = _cm_buckets(keys, a, b, num_buckets, mask, use_mask)
+    indices = _flat_indices(buckets, offsets)
+    weights = np.broadcast_to(values, indices.shape)
+    acc = np.bincount(
+        indices.ravel(), weights=weights.ravel(), minlength=flat.size
+    )
+    flat += acc.astype(flat.dtype, copy=False)
+
+
+def cm_query(flat, keys, a, b, offsets, num_buckets, mask, use_mask, out):
+    """Min-of-tables estimates (reduction in ascending table order)."""
+    buckets = _cm_buckets(keys, a, b, num_buckets, mask, use_mask)
+    gathered = flat[_flat_indices(buckets, offsets)]
+    out[:] = np.min(gathered, axis=0)
+
+
+def median_network(est: np.ndarray) -> np.ndarray:
+    """Column medians of ``(K, n)`` for ``K in {1, 3, 5}`` via min/max nets.
+
+    Mirrors :func:`repro.sketch.count_sketch._median_axis0` exactly
+    (selection, not averaging — bit-identical to ``np.median`` for odd
+    ``K``); the kernel backends only claim eligibility for these widths.
+    """
+    k = est.shape[0]
+    if k == 1:
+        return est[0]
+    if k == 3:
+        e0, e1, e2 = est
+        return np.maximum(np.minimum(e0, e1), np.minimum(np.maximum(e0, e1), e2))
+    if k == 5:
+        e0, e1, e2, e3, e4 = est
+        lo01, hi01 = np.minimum(e0, e1), np.maximum(e0, e1)
+        lo23, hi23 = np.minimum(e2, e3), np.maximum(e2, e3)
+        lo = np.maximum(lo01, lo23)
+        hi = np.minimum(hi01, hi23)
+        m1, m2 = np.minimum(lo, hi), np.maximum(lo, hi)
+        return np.minimum(np.maximum(e4, m1), m2)
+    raise ValueError(f"median network supports K in (1, 3, 5), got {k}")

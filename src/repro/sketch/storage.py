@@ -110,7 +110,9 @@ class CounterStore:
         rejected for ``float32`` (not on the ladder).
     """
 
-    def __init__(self, num_tables: int, num_buckets: int, dtype=np.float64, quantum=None):
+    def __init__(
+        self, num_tables: int, num_buckets: int, dtype=np.float64, quantum=None
+    ):
         dtype = resolve_storage(dtype)
         if quantum is not None:
             quantum = float(quantum)
@@ -171,7 +173,9 @@ class CounterStore:
     # ------------------------------------------------------------------
     # Hot paths
     # ------------------------------------------------------------------
-    def scatter_add(self, flat_indices: np.ndarray, weights: np.ndarray, *, use_bincount: bool) -> None:
+    def scatter_add(
+        self, flat_indices: np.ndarray, weights: np.ndarray, *, use_bincount: bool
+    ) -> None:
         """Accumulate ``weights`` (value units) at ``flat_indices``.
 
         The float path is byte-for-byte the pre-storage-tier behaviour

@@ -114,7 +114,7 @@ class TopKTracker:
         size = max(64, int(self.capacity * self.slack) + 1)
         self._keys = np.empty(size, dtype=np.int64)
         self._ests = np.empty(size, dtype=np.float64)
-        self._size = 0          # occupied prefix of the buffers
+        self._size = 0  # occupied prefix of the buffers
         self._has_dups = False  # whether entries past the last compaction exist
 
     def __len__(self) -> int:

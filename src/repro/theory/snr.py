@@ -84,7 +84,9 @@ class SNRRecorder:
         self.signal_keys = np.asarray(self.signal_keys, dtype=np.int64)
         self._signal_set = frozenset(self.signal_keys.tolist())
 
-    def __call__(self, t: int, keys: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+    def __call__(
+        self, t: int, keys: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
         """Observer hook: record the energy of accepted updates."""
         keys = np.asarray(keys, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)

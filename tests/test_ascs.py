@@ -117,9 +117,9 @@ class TestObserverIntegration:
             observer=lambda t, k, v, m: masks.append(m.copy()),
         )
         est.ingest(np.array([0]), np.array([1.0]), num_samples=10)  # explore
-        est.ingest(np.array([0]), np.array([1.0]), num_samples=1)   # filtered
-        assert masks[0].all()          # exploration batch: all accepted
-        assert not masks[1].any()      # sampling batch: below huge tau
+        est.ingest(np.array([0]), np.array([1.0]), num_samples=1)  # filtered
+        assert masks[0].all()  # exploration batch: all accepted
+        assert not masks[1].any()  # sampling batch: below huge tau
 
 
 class TestSNRImprovement:
@@ -132,7 +132,9 @@ class TestSNRImprovement:
         signal_keys = np.arange(5)
         noise_keys = np.arange(5, 1000)
 
-        ascs = make_ascs(total=total, t0=t0, tau0=0.05, theta=0.2, buckets=1 << 14, seed=2)
+        ascs = make_ascs(
+            total=total, t0=t0, tau0=0.05, theta=0.2, buckets=1 << 14, seed=2
+        )
         cs = SketchEstimator(CountSketch(5, 1 << 14, seed=2), total)
         for _ in range(total):
             keys = np.concatenate([signal_keys, noise_keys])

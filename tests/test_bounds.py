@@ -22,7 +22,13 @@ from repro.theory.bounds import (
 
 def model(**overrides) -> ProblemModel:
     base = dict(
-        p=499_500, alpha=0.005, u=0.5, sigma=1.0, T=6000, num_tables=5, num_buckets=24_975
+        p=499_500,
+        alpha=0.005,
+        u=0.5,
+        sigma=1.0,
+        T=6000,
+        num_tables=5,
+        num_buckets=24_975,
     )
     base.update(overrides)
     return ProblemModel(**base)
@@ -96,7 +102,9 @@ class TestTheorem1:
 
     def test_decreasing_in_t0(self):
         m = model()
-        values = [theorem1_miss_probability(m, t0, 1e-4) for t0 in (50, 200, 1000, 5000)]
+        values = [
+            theorem1_miss_probability(m, t0, 1e-4) for t0 in (50, 200, 1000, 5000)
+        ]
         assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
 
     def test_decreasing_in_u(self):
@@ -106,7 +114,8 @@ class TestTheorem1:
 
     def test_floor_is_saturation(self):
         m = model()
-        assert theorem1_miss_probability(m, m.T, 0.0) >= saturation_probability(m) - 1e-12
+        floor = saturation_probability(m) - 1e-12
+        assert theorem1_miss_probability(m, m.T, 0.0) >= floor
 
     def test_zero_t0_is_certain_miss(self):
         assert theorem1_miss_probability(model(), 0, 1e-4) == 1.0

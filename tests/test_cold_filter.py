@@ -12,7 +12,9 @@ class TestConstruction:
             ColdFilterSketch(3, 100, threshold=0.0)
 
     def test_memory_accounts_gate_at_quarter_width(self):
-        cf = ColdFilterSketch(3, 100, filter_buckets=100, filter_tables=4, threshold=1.0)
+        cf = ColdFilterSketch(
+            3, 100, filter_buckets=100, filter_tables=4, threshold=1.0
+        )
         assert cf.memory_floats == 300 + 100  # 400 gate counters / 4
 
 
@@ -35,8 +37,8 @@ class TestGating:
 
     def test_exact_crossing_accounting(self):
         cf = ColdFilterSketch(5, 512, threshold=5.0, seed=3)
-        cf.insert(np.array([4]), np.array([3.0]))   # below
-        cf.insert(np.array([4]), np.array([4.0]))   # crosses: overflow 2
+        cf.insert(np.array([4]), np.array([3.0]))  # below
+        cf.insert(np.array([4]), np.array([4.0]))  # crosses: overflow 2
         assert cf.query_single(4) == pytest.approx(7.0, rel=0.05)
 
     def test_negative_values_graduate_by_magnitude(self):

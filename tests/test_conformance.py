@@ -27,7 +27,9 @@ non-mergeability with a reason.
 import numpy as np
 import pytest
 
+import repro.sketch.kernels as kernels
 from repro.sketch.cold_filter import ColdFilterSketch
+from repro.sketch.kernels import available_backends
 from repro.sketch.serialization import (
     MERGE_LAWS,
     kind_registry,
@@ -38,6 +40,20 @@ from repro.sketch.serialization import (
 )
 
 KINDS = kind_registry()
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=BACKENDS, autouse=True)
+def kernel_backend(request, monkeypatch):
+    """Run the whole conformance net once per importable kernel backend.
+
+    The registry factories build sketches without an explicit ``backend=``,
+    so forcing the environment knob routes every contract — round-trip,
+    freeze, merge law, corruption — through that backend's hot paths.
+    Locally this may collapse to numpy alone; the CI numba leg runs both.
+    """
+    monkeypatch.setenv(kernels.ENV_VAR, request.param)
+    return request.param
 
 
 def _make(name, seed=0):
@@ -175,7 +191,9 @@ class TestMergeLaw:
         for s in range(num_shards):
             shard = _make(name, seed=17)
             _insert_stream(
-                shard, keys[bounds[s] : bounds[s + 1]], values[bounds[s] : bounds[s + 1]]
+                shard,
+                keys[bounds[s] : bounds[s + 1]],
+                values[bounds[s] : bounds[s + 1]],
             )
             shards.append(shard)
         one_shot = _make(name, seed=17)
@@ -342,6 +360,65 @@ class TestCorruptionDetection:
         flip_byte(path, offset=path.stat().st_size // 2)
         with pytest.raises(IntegrityError):
             load_sketch(str(path), mmap=True, verify_tables=True)
+
+
+class TestCrossBackendBitIdentity:
+    """Every registered kind must leave byte-identical state and answers on
+    every importable backend — the backend is a throughput knob, never an
+    accuracy knob.  One-backend hosts trivially pass with a single entry;
+    the CI numba leg turns these into real numpy-vs-numba comparisons.
+    """
+
+    def _fitted(self, name, backend, monkeypatch, *, seed_stream=777):
+        monkeypatch.setenv(kernels.ENV_VAR, backend)
+        sketch = _make(name, seed=41)
+        rng = np.random.default_rng(seed_stream)
+        _insert_stream(sketch, *_stream(rng))
+        return sketch
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_insert_and_query_identical(self, name, monkeypatch):
+        probe = np.random.default_rng(778).integers(0, 5000, size=400)
+        sketches = [
+            self._fitted(name, backend, monkeypatch) for backend in BACKENDS
+        ]
+        reference = sketches[0]
+        expected = reference.query(probe)
+        for other in sketches[1:]:
+            _assert_state_equal(other, reference)
+            np.testing.assert_array_equal(other.query(probe), expected)
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_combined_insert_and_query_identical(self, name, monkeypatch):
+        if not hasattr(KINDS[name].cls, "insert_and_query"):
+            pytest.skip(f"kind {name!r} has no combined insert_and_query")
+        live_rng = np.random.default_rng(555)
+        live_keys, live_values = _stream(live_rng, n=300)
+        outputs, sketches = [], []
+        for backend in BACKENDS:
+            sketch = self._fitted(name, backend, monkeypatch)
+            outputs.append(sketch.insert_and_query(live_keys, live_values))
+            sketches.append(sketch)
+        for estimates, sketch in zip(outputs[1:], sketches[1:]):
+            np.testing.assert_array_equal(estimates, outputs[0])
+            _assert_state_equal(sketch, sketches[0])
+
+    @pytest.mark.parametrize("name", sorted(KINDS))
+    def test_merged_state_identical(self, name, monkeypatch):
+        if KINDS[name].merge_law == "unsupported":
+            pytest.skip(f"kind {name!r} declares merging unsupported")
+        merged = []
+        for backend in BACKENDS:
+            monkeypatch.setenv(kernels.ENV_VAR, backend)
+            rng = np.random.default_rng(911)
+            keys, values = _stream(rng, n=600, integral=True)
+            a = _make(name, seed=43)
+            b = _make(name, seed=43)
+            _insert_stream(a, keys[:300], values[:300])
+            _insert_stream(b, keys[300:], values[300:])
+            merged.append(a.merge(b))
+        for other in merged[1:]:
+            _assert_state_equal(other, merged[0])
 
 
 class TestColdFilterDeclares:

@@ -25,7 +25,11 @@ class TestBasics:
 
 
 class TestOverestimateInvariant:
-    @given(st.lists(st.tuples(st.integers(0, 10**6), st.floats(0, 50)), min_size=1, max_size=60))
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10**6), st.floats(0, 50)), min_size=1, max_size=60
+        )
+    )
     @settings(max_examples=60, deadline=None)
     def test_never_underestimates(self, updates):
         cm = CountMinSketch(3, 64, seed=1)
@@ -38,7 +42,11 @@ class TestOverestimateInvariant:
         truth = np.array([totals[k] for k in totals])
         assert (est >= truth - 1e-9).all()
 
-    @given(st.lists(st.tuples(st.integers(0, 10**6), st.floats(0, 50)), min_size=1, max_size=60))
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10**6), st.floats(0, 50)), min_size=1, max_size=60
+        )
+    )
     @settings(max_examples=60, deadline=None)
     def test_conservative_never_underestimates(self, updates):
         cm = CountMinSketch(3, 64, seed=1, conservative=True)

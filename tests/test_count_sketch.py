@@ -90,7 +90,11 @@ class TestValidation:
 
 
 class TestLinearity:
-    @given(st.integers(min_value=0, max_value=2**40), st.floats(-100, 100), st.floats(-100, 100))
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+    )
     @settings(max_examples=50, deadline=None)
     def test_insert_additivity(self, key, v1, v2):
         cs = CountSketch(3, 256, seed=2)

@@ -56,8 +56,8 @@ class TestDatasetCharacter:
         """Figure-1 character: most correlations near zero, a real tail."""
         ds = make_dataset(name, d=150, n=1500, seed=4)
         flat = np.abs(flat_true_correlations(ds.dense()))
-        assert np.mean(flat <= 0.15) > 0.75   # bulk near zero
-        assert flat.max() > 0.3               # but signals exist
+        assert np.mean(flat <= 0.15) > 0.75  # bulk near zero
+        assert flat.max() > 0.3  # but signals exist
 
     def test_topic_datasets_have_strong_signals(self):
         for name in ("rcv1", "sector"):

@@ -54,7 +54,7 @@ class TestTrueCorrelation:
         np.testing.assert_allclose(np.diag(corr), 1.0)
         assert corr[0, 1] == 0.7
         assert corr[4, 7] == 0.9
-        assert corr[0, 4] == 0.0   # across blocks
+        assert corr[0, 4] == 0.0  # across blocks
         assert corr[10, 11] == 0.0  # noise features
 
     def test_signal_pairs_match_matrix(self):

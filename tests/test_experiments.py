@@ -230,7 +230,7 @@ class TestFig6:
             alphas_panel_f=(0.02,),
         )
         main, panel_f = fig6_f1_curves.run(config)
-        assert len(main.rows) == 4   # (CS + 1 ASCS) x 2 sizes
+        assert len(main.rows) == 4  # (CS + 1 ASCS) x 2 sizes
         assert len(panel_f.rows) == 2
         for f1 in main.column("max_f1"):
             assert 0.0 <= f1 <= 1.0

@@ -23,11 +23,30 @@ from repro.reference import (
     LegacyTopKTracker,
     legacy_sparse_batch_pairs,
 )
+import repro.sketch.kernels as kernels
 from repro.sketch.count_min import CountMinSketch
 from repro.sketch.count_sketch import CountSketch, _median_axis0
+from repro.sketch.kernels import available_backends, numba_available, numpy_ref
 from repro.sketch.topk import TopKTracker
 
 FAMILIES = ["multiply-shift", "polynomial", "tabulation"]
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba is not importable"
+)
+
+
+@pytest.fixture(params=available_backends())
+def backend_env(request, monkeypatch):
+    """Repeat the dependent test under every importable kernel backend.
+
+    Forces the backend through the environment knob, so the sketches the
+    test constructs (without an explicit ``backend=``) take that path —
+    exactly how the CI matrix drives the suite.  Locally this may collapse
+    to the numpy path alone; the numba leg runs both.
+    """
+    monkeypatch.setenv(kernels.ENV_VAR, request.param)
+    return request.param
 
 
 def _key_batches(rng, num_batches=4):
@@ -95,7 +114,9 @@ class TestCountSketchEquivalence:
     @pytest.mark.parametrize("family", FAMILIES)
     @pytest.mark.parametrize("dtype", [np.float64, np.float32])
     @pytest.mark.parametrize("num_tables", [1, 5])
-    def test_insert_query_bit_identical(self, family, dtype, num_tables, rng):
+    def test_insert_query_bit_identical(
+        self, family, dtype, num_tables, backend_env, rng
+    ):
         fused = CountSketch(num_tables, 2048, seed=7, family=family, dtype=dtype)
         legacy = LegacyCountSketch(
             num_tables, 2048, seed=7, family=family, dtype=dtype
@@ -122,7 +143,7 @@ class TestCountSketchEquivalence:
         np.testing.assert_array_equal(fused.table, legacy.table)
         np.testing.assert_array_equal(fused.query(keys[:100]), legacy.query(keys[:100]))
 
-    def test_non_power_of_two_buckets(self, rng):
+    def test_non_power_of_two_buckets(self, backend_env, rng):
         fused = CountSketch(3, 1000, seed=5)
         legacy = LegacyCountSketch(3, 1000, seed=5)
         keys = rng.integers(0, 10**12, size=5000)
@@ -131,7 +152,7 @@ class TestCountSketchEquivalence:
         legacy.insert(keys, values)
         np.testing.assert_array_equal(fused.table, legacy.table)
 
-    def test_cached_keys_bit_identical(self, rng):
+    def test_cached_keys_bit_identical(self, backend_env, rng):
         keys = np.arange(3000, dtype=np.int64)
         values = rng.standard_normal(3000)
         fused = CountSketch(5, 1024, seed=9)
@@ -160,7 +181,7 @@ class TestCountSketchEquivalence:
         assert not sk._flat.any()
 
     @pytest.mark.parametrize("cls", [CountSketch, CountMinSketch])
-    def test_pickle_rebuilds_flat_view(self, cls, rng):
+    def test_pickle_rebuilds_flat_view(self, cls, backend_env, rng):
         import pickle
 
         sk = cls(3, 256, seed=5)
@@ -177,6 +198,192 @@ class TestCountSketchEquivalence:
         np.testing.assert_array_equal(clone.query(keys), sk.query(keys))
         clone.reset()
         assert not clone.query(keys).any()
+
+
+def _cs_hash_args(sk):
+    """The flat kernel argument tuple for a fused-family count sketch."""
+    mask = sk._hasher._bucket_mask
+    return (
+        sk._hasher._combined_a.ravel(),
+        sk._hasher._combined_b.ravel(),
+        sk._offsets_u64.ravel(),
+        np.uint64(sk.num_buckets),
+        np.uint64(0) if mask is None else mask,
+        mask is not None,
+    )
+
+
+def _cm_hash_args(cm):
+    mask = cm._hasher._bucket_mask
+    return (
+        cm._hasher._bucket._a.ravel(),
+        cm._hasher._bucket._b.ravel(),
+        cm._offsets_u64.ravel(),
+        np.uint64(cm.num_buckets),
+        np.uint64(0) if mask is None else mask,
+        mask is not None,
+    )
+
+
+class TestKernelModuleParity:
+    """``numpy_ref`` is the executable spec of the kernel contract: it must
+    replicate the inline sketch paths bit-for-bit, so the compiled module
+    only ever needs comparing against it."""
+
+    @pytest.mark.parametrize("num_buckets", [1024, 1000])  # pow2 and not
+    @pytest.mark.parametrize("num_tables", [1, 3, 5])
+    def test_numpy_ref_matches_inline_count_sketch(
+        self, num_tables, num_buckets, rng
+    ):
+        sk = CountSketch(num_tables, num_buckets, seed=17, backend="numpy")
+        a, b, off, r_u64, mask, use_mask = _cs_hash_args(sk)
+        flat = np.zeros(num_tables * num_buckets)
+        for keys, values in _key_batches(rng):
+            sk.insert(keys, values)
+            numpy_ref.cs_insert(
+                flat,
+                keys.view(np.uint64),
+                values,
+                a,
+                b,
+                off,
+                r_u64,
+                mask,
+                use_mask,
+                keys.size * 16 >= num_buckets,
+            )
+        np.testing.assert_array_equal(flat, sk._flat)
+        probe = rng.integers(0, 10**12, size=513)
+        out = np.empty(probe.size)
+        numpy_ref.cs_query(
+            flat, probe.view(np.uint64), a, b, off, r_u64, mask, use_mask, out
+        )
+        np.testing.assert_array_equal(out, sk.query(probe))
+        live_keys = rng.integers(0, 10**12, size=300)
+        live_values = rng.standard_normal(300)
+        est = sk.insert_and_query(live_keys, live_values)
+        out_live = np.empty(live_keys.size)
+        numpy_ref.cs_insert_and_query(
+            flat,
+            live_keys.view(np.uint64),
+            live_values,
+            a,
+            b,
+            off,
+            r_u64,
+            mask,
+            use_mask,
+            live_keys.size * 16 >= num_buckets,
+            out_live,
+        )
+        np.testing.assert_array_equal(flat, sk._flat)
+        np.testing.assert_array_equal(out_live, est)
+
+    @pytest.mark.parametrize("num_buckets", [512, 500])
+    def test_numpy_ref_matches_inline_count_min(self, num_buckets, rng):
+        cm = CountMinSketch(3, num_buckets, seed=19, backend="numpy")
+        a, b, off, r_u64, mask, use_mask = _cm_hash_args(cm)
+        flat = np.zeros(3 * num_buckets)
+        for keys, values in _key_batches(rng):
+            cm.insert(keys, np.abs(values))
+            numpy_ref.cm_insert(
+                flat,
+                keys.view(np.uint64),
+                np.abs(values),
+                a,
+                b,
+                off,
+                r_u64,
+                mask,
+                use_mask,
+            )
+        np.testing.assert_array_equal(flat, cm._flat)
+        probe = rng.integers(0, 10**12, size=333)
+        out = np.empty(probe.size)
+        numpy_ref.cm_query(
+            flat, probe.view(np.uint64), a, b, off, r_u64, mask, use_mask, out
+        )
+        np.testing.assert_array_equal(out, cm.query(probe))
+
+
+@needs_numba
+class TestNumbaModuleParity:
+    """The compiled module must replicate ``numpy_ref`` bit-for-bit: both
+    accumulation strategies, both bucket-range reductions, every median
+    network, and the min-reduce — same flat layout, same summation order."""
+
+    @pytest.mark.parametrize("num_buckets", [512, 500])
+    @pytest.mark.parametrize("num_tables", [1, 3, 5])
+    def test_cs_kernels_bit_identical(self, num_tables, num_buckets, rng):
+        from repro.sketch.kernels import numba_jit
+
+        sk = CountSketch(num_tables, num_buckets, seed=23, backend="numpy")
+        a, b, off, r_u64, mask, use_mask = _cs_hash_args(sk)
+        flat_np = np.zeros(num_tables * num_buckets)
+        flat_nb = np.zeros(num_tables * num_buckets)
+        for keys, values in _key_batches(rng):
+            # Force both strategies regardless of batch size: strategy
+            # choice is the caller's, the kernels must agree under either.
+            for use_bincount in (False, True):
+                args = (keys.view(np.uint64), values, a, b, off, r_u64, mask)
+                numpy_ref.cs_insert(flat_np, *args, use_mask, use_bincount)
+                numba_jit.cs_insert(flat_nb, *args, use_mask, use_bincount)
+                np.testing.assert_array_equal(flat_nb, flat_np)
+        probe = rng.integers(0, 10**12, size=777)
+        out_np = np.empty(probe.size)
+        out_nb = np.empty(probe.size)
+        query_args = (probe.view(np.uint64), a, b, off, r_u64, mask, use_mask)
+        numpy_ref.cs_query(flat_np, *query_args, out_np)
+        numba_jit.cs_query(flat_nb, *query_args, out_nb)
+        np.testing.assert_array_equal(out_nb, out_np)
+        live_keys = rng.integers(0, 10**12, size=300)
+        live_values = rng.standard_normal(300)
+        live_np = np.empty(live_keys.size)
+        live_nb = np.empty(live_keys.size)
+        live_args = (live_keys.view(np.uint64), live_values, a, b, off, r_u64, mask)
+        numpy_ref.cs_insert_and_query(flat_np, *live_args, use_mask, True, live_np)
+        numba_jit.cs_insert_and_query(flat_nb, *live_args, use_mask, True, live_nb)
+        np.testing.assert_array_equal(flat_nb, flat_np)
+        np.testing.assert_array_equal(live_nb, live_np)
+
+    @pytest.mark.parametrize("num_buckets", [512, 500])
+    def test_cm_kernels_bit_identical(self, num_buckets, rng):
+        from repro.sketch.kernels import numba_jit
+
+        cm = CountMinSketch(3, num_buckets, seed=29, backend="numpy")
+        a, b, off, r_u64, mask, use_mask = _cm_hash_args(cm)
+        flat_np = np.zeros(3 * num_buckets)
+        flat_nb = np.zeros(3 * num_buckets)
+        for keys, values in _key_batches(rng):
+            args = (keys.view(np.uint64), np.abs(values), a, b, off, r_u64, mask)
+            numpy_ref.cm_insert(flat_np, *args, use_mask)
+            numba_jit.cm_insert(flat_nb, *args, use_mask)
+            np.testing.assert_array_equal(flat_nb, flat_np)
+        probe = rng.integers(0, 10**12, size=333)
+        out_np = np.empty(probe.size)
+        out_nb = np.empty(probe.size)
+        query_args = (probe.view(np.uint64), a, b, off, r_u64, mask, use_mask)
+        numpy_ref.cm_query(flat_np, *query_args, out_np)
+        numba_jit.cm_query(flat_nb, *query_args, out_nb)
+        np.testing.assert_array_equal(out_nb, out_np)
+
+    def test_median_networks_handle_ties_and_nans(self, rng):
+        from repro.sketch.kernels import numba_jit
+
+        # Tie-heavy and NaN-poisoned tables: the scalar min/max pairs in
+        # the compiled networks must pick the same operand numpy does.
+        for num_tables in (1, 3, 5):
+            sk = CountSketch(num_tables, 64, seed=31, backend="numpy")
+            a, b, off, r_u64, mask, use_mask = _cs_hash_args(sk)
+            flat = rng.integers(-2, 3, size=num_tables * 64).astype(np.float64)
+            flat[rng.integers(0, flat.size, size=5)] = np.nan
+            probe = rng.integers(0, 10**12, size=200)
+            out_np = np.empty(probe.size)
+            out_nb = np.empty(probe.size)
+            query_args = (probe.view(np.uint64), a, b, off, r_u64, mask, use_mask)
+            numpy_ref.cs_query(flat, *query_args, out_np)
+            numba_jit.cs_query(flat, *query_args, out_nb)
+            np.testing.assert_array_equal(out_nb, out_np)
 
 
 class TestMedianKernel:
@@ -198,7 +405,9 @@ class TestMedianKernel:
 class TestCountMinEquivalence:
     @pytest.mark.parametrize("family", FAMILIES)
     @pytest.mark.parametrize("conservative", [False, True])
-    def test_insert_query_bit_identical(self, family, conservative, rng):
+    def test_insert_query_bit_identical(
+        self, family, conservative, backend_env, rng
+    ):
         fused = CountMinSketch(
             3, 512, seed=4, family=family, conservative=conservative
         )

@@ -83,11 +83,14 @@ class TestMaxF1:
 
     def test_monotone_in_ranking_quality(self):
         signal = np.arange(10)
-        good = np.arange(20)          # signals first
-        bad = np.arange(20)[::-1]     # signals last
+        good = np.arange(20)  # signals first
+        bad = np.arange(20)[::-1]  # signals last
         assert max_f1_score(good, signal) > max_f1_score(bad, signal)
 
-    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=10**6),
+    )
     @settings(max_examples=40, deadline=None)
     def test_bounded_in_unit_interval(self, num_signals, seed):
         rng = np.random.default_rng(seed)

@@ -248,8 +248,12 @@ class TestMergeAfterRoundTrip:
     def test_count_min_merge_identical(self, tmp_path, rng):
         base = CountMinSketch(3, 256, seed=5)
         other = CountMinSketch(3, 256, seed=5)
-        base.insert(rng.integers(0, 10**6, size=1000), np.abs(rng.standard_normal(1000)))
-        other.insert(rng.integers(0, 10**6, size=1000), np.abs(rng.standard_normal(1000)))
+        base.insert(
+            rng.integers(0, 10**6, size=1000), np.abs(rng.standard_normal(1000))
+        )
+        other.insert(
+            rng.integers(0, 10**6, size=1000), np.abs(rng.standard_normal(1000))
+        )
 
         path = str(tmp_path / "cm.npz")
         save_sketch(base, path)
@@ -303,7 +307,11 @@ class TestShardResultRoundTrip:
     def test_all_fields_preserved(self, tmp_path, rng):
         spec = self._spec()
         result = sketch_shard(
-            spec, _shard_samples(rng, 32, spec.dim), shard_index=1, num_shards=2, start=32
+            spec,
+            _shard_samples(rng, 32, spec.dim),
+            shard_index=1,
+            num_shards=2,
+            start=32,
         )
         path = str(tmp_path / "shard.npz")
         save_shard_result(result, path)

@@ -38,8 +38,8 @@ class TestLRUCache:
         cache = LRUCache(3)
         for key in (1, 2, 3):
             cache.put(key, float(key))
-        cache.get(1)          # 1 becomes most-recent; 2 is now LRU
-        cache.put(4, 4.0)     # evicts 2
+        cache.get(1)  # 1 becomes most-recent; 2 is now LRU
+        cache.put(4, 4.0)  # evicts 2
         assert 2 not in cache
         assert all(k in cache for k in (1, 3, 4))
         assert len(cache) == 3
@@ -49,7 +49,7 @@ class TestLRUCache:
         cache = LRUCache(2)
         cache.put(1, 1.0)
         cache.put(2, 2.0)
-        cache.put(1, 1.5)     # refresh, not insert
+        cache.put(1, 1.5)  # refresh, not insert
         assert len(cache) == 2
         assert cache.evictions == 0
         assert cache.get(1) == 1.5
@@ -99,7 +99,7 @@ class TestCacheCorrectness:
         uncached = QueryEngine(snapshot, cache_size=0)
         keys = rng.integers(0, snapshot.num_pairs, size=500)
         first = cached.query_keys(keys)
-        second = cached.query_keys(keys)      # all hits
+        second = cached.query_keys(keys)  # all hits
         raw = uncached.query_keys(keys)
         np.testing.assert_array_equal(first, raw)
         np.testing.assert_array_equal(second, raw)

@@ -44,7 +44,9 @@ def _integer_stream(rng, n, key_space=10**9, lo=-50, hi=50):
 def _split(arrays, num_shards, rng):
     """Split parallel arrays into ``num_shards`` contiguous random slices."""
     n = arrays[0].size
-    cuts = np.sort(rng.integers(0, n + 1, size=num_shards - 1)) if num_shards > 1 else []
+    cuts = (
+        np.sort(rng.integers(0, n + 1, size=num_shards - 1)) if num_shards > 1 else []
+    )
     bounds = [0, *map(int, cuts), n]
     return [
         tuple(a[bounds[i] : bounds[i + 1]] for a in arrays)
@@ -95,7 +97,9 @@ class TestCountSketchMergeLaw:
             worker = CountSketch(5, 512, seed=11)
             worker.insert(shard_keys, shard_values)
             merged = worker if merged is None else merged.merge(worker)
-        np.testing.assert_allclose(merged.table, reference.table, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(
+            merged.table, reference.table, rtol=1e-12, atol=1e-12
+        )
 
 
 class TestCountMinMergeLaw:
@@ -126,7 +130,7 @@ class TestTrackerMergeLaw:
         sketch.insert(keys, np.linspace(1.0, 60.0, keys.size))
 
         left, right = TopKTracker(50), TopKTracker(50)
-        left.offer(keys[:400], rng.standard_normal(400))   # stale shard estimates
+        left.offer(keys[:400], rng.standard_normal(400))  # stale shard estimates
         right.offer(keys[250:], rng.standard_normal(350))
         # The law operates on the *current* pools (already pruned under
         # their stale shard-local estimates).
@@ -169,7 +173,8 @@ class TestMomentsMergeLaw:
         per_shard = _split((idx, val), num_shards, rng)
         for k, (si, sv) in enumerate(per_shard):
             shard = SparseMoments(dim)
-            shard.update_batch(si, sv, num_samples=500 // num_shards + (k == 0) * (500 % num_shards))
+            extra = (k == 0) * (500 % num_shards)
+            shard.update_batch(si, sv, num_samples=500 // num_shards + extra)
             merged.merge(shard)
         assert merged.count == reference.count
         np.testing.assert_array_equal(merged._sum, reference._sum)

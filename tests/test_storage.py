@@ -63,7 +63,9 @@ class TestQuantizedRoundTrip:
 
     def test_exact_for_quantum_multiples(self):
         store = CounterStore(1, 8, dtype="int16", quantum=0.5)
-        store.scatter_add(np.array([1, 1, 2]), np.array([1.5, 2.0, -4.5]), use_bincount=True)
+        store.scatter_add(
+            np.array([1, 1, 2]), np.array([1.5, 2.0, -4.5]), use_bincount=True
+        )
         np.testing.assert_array_equal(store.gather(np.array([1, 2])), [3.5, -4.5])
 
     def test_intra_batch_duplicate_order_never_matters(self):
@@ -86,7 +88,9 @@ class TestOverflowPromotion:
     def test_triggers_exactly_at_saturation(self):
         info = np.iinfo(np.int16)
         store = CounterStore(1, 4, dtype="int16", quantum=1.0)
-        store.scatter_add(np.array([0]), np.array([float(info.max)]), use_bincount=False)
+        store.scatter_add(
+            np.array([0]), np.array([float(info.max)]), use_bincount=False
+        )
         # Exactly iinfo.max quanta: still int16, counter sits on the bound.
         assert store.dtype == np.int16
         assert store.raw[0] == info.max
@@ -240,7 +244,9 @@ class TestFrozenAndGuards:
         store.scatter_add(np.array([0]), np.array([1.0]), use_bincount=False)
         store.freeze()
         for op in (
-            lambda: store.scatter_add(np.array([0]), np.array([1.0]), use_bincount=False),
+            lambda: store.scatter_add(
+                np.array([0]), np.array([1.0]), use_bincount=False
+            ),
             store.zero,
             lambda: store.scale(0.5),
             lambda: store.add_raw(np.zeros(16, dtype=np.int16)),

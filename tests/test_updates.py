@@ -112,8 +112,12 @@ class TestSparseSamplePairs:
             assert lookup[int(key)] == pytest.approx(full[key])
 
     def test_unsorted_input_handled(self):
-        keys1, vals1 = sparse_sample_pairs(np.array([9, 2, 5]), np.array([1.0, 2.0, 3.0]), 20)
-        keys2, vals2 = sparse_sample_pairs(np.array([2, 5, 9]), np.array([2.0, 3.0, 1.0]), 20)
+        keys1, vals1 = sparse_sample_pairs(
+            np.array([9, 2, 5]), np.array([1.0, 2.0, 3.0]), 20
+        )
+        keys2, vals2 = sparse_sample_pairs(
+            np.array([2, 5, 9]), np.array([2.0, 3.0, 1.0]), 20
+        )
         order1, order2 = np.argsort(keys1), np.argsort(keys2)
         np.testing.assert_array_equal(keys1[order1], keys2[order2])
         np.testing.assert_allclose(vals1[order1], vals2[order2])
