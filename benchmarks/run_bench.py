@@ -42,6 +42,7 @@ _SUITE_MODULES = (
     "bench_faults",
     "bench_discovery",
     "bench_obs",
+    "bench_autoscale",
 )
 
 for _module in _SUITE_MODULES:

@@ -19,6 +19,9 @@ matrices.  The package layers:
 * :mod:`repro.obs` — dependency-free observability: the metrics registry
   behind every ``stats()`` view and the ``/metrics`` exposition, request
   tracing, structured JSON logging and the accuracy probe;
+* :mod:`repro.autoscale` — adaptive re-sketching: the online
+  ``AutoScaler`` loop that watches the accuracy probe's gauges and
+  re-shapes a live serving stack through history-preserving migrations;
 * :mod:`repro.data` — synthetic datasets and stream generators;
 * :mod:`repro.evaluation` — paper metrics and the comparison harness;
 * :mod:`repro.experiments` — one module per paper table/figure;
@@ -47,6 +50,7 @@ Quick start::
         print(f"({i:3d},{j:3d})  corr-estimate={est:+.3f}")
 """
 
+from repro.autoscale import AutoScaler, plan_from_spec
 from repro.core import (
     ActiveSamplingCountSketch,
     SketchEstimator,
@@ -85,6 +89,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AccuracyProbe",
     "ActiveSamplingCountSketch",
+    "AutoScaler",
     "CheckpointManager",
     "CountSketch",
     "CovarianceSketcher",
@@ -105,6 +110,7 @@ __all__ = [
     "fit_sparse_sharded",
     "get_logger",
     "make_decaying_sketcher",
+    "plan_from_spec",
     "plan_hyperparameters",
     "render_exposition",
     "run_pilot",

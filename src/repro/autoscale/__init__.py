@@ -1,0 +1,26 @@
+"""Adaptive re-sketching: close the capacity-planner loop online.
+
+The capacity planner (:mod:`repro.sketch.planner`) picks ``(K, R, dtype,
+quantum, levels)`` once; the paper's whole point is *active* measurement —
+adapt the budget as observed signal-to-noise shifts.  This package wires
+the two together for a live serving stack:
+
+* :func:`repro.sketch.planner.replan` — the pure decision function:
+  ``(current plan, observed signals) -> Replan`` (grow / demote /
+  escalate_decay / hold);
+* :class:`AutoScaler` — the loop: samples the
+  :class:`repro.obs.AccuracyProbe` gauges (collision energy, ROSNR, top-K
+  churn) plus counter saturation at an ingest-driven cadence, asks
+  ``replan``, and executes changed decisions through
+  :meth:`repro.serving.ServingEstimator.migrate` — a history-preserving
+  re-sketch that replays the retained window
+  (:meth:`repro.streaming.PaneRing.rebuild`) into the new shape during a
+  double-buffered swap.
+
+Build the whole stack in one call with
+:meth:`repro.serving.ServingEstimator.autoscaled`.
+"""
+
+from repro.autoscale.scaler import AutoScaler, plan_from_spec
+
+__all__ = ["AutoScaler", "plan_from_spec"]

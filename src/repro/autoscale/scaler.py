@@ -1,0 +1,335 @@
+"""The online autoscaling loop: observe -> replan -> migrate.
+
+:class:`AutoScaler` owns everything :func:`repro.sketch.planner.replan`
+deliberately does not: cadence (ingest-driven checks every
+``check_every`` samples), cooldown after a migration (gauges must refill
+before they are trusted again), a hard migration budget, the decision
+log, and the actual execution through
+:meth:`repro.serving.ServingEstimator.migrate`.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.hashing.pairs import num_pairs, pair_to_index
+from repro.obs.metrics import MetricsRegistry
+from repro.sketch.planner import CapacityPlan, ObservedSignals, replan
+
+__all__ = ["AutoScaler", "plan_from_spec"]
+
+logger = logging.getLogger(__name__)
+
+
+def plan_from_spec(spec, *, value_range: float = 1.0) -> CapacityPlan:
+    """Describe an existing :class:`ShardSpec` as a :class:`CapacityPlan`.
+
+    The autoscaler's starting point: the spec the stack was built from,
+    restated in the planner's vocabulary so :func:`replan` can scale its
+    budget.  ``value_range`` seeds the quantum of future *quantized*
+    plans; the returned plan keeps the spec's own quantum verbatim.
+    """
+    itemsize = np.dtype(spec.storage).itemsize
+    levels = max(1, int(getattr(spec, "levels", 1) or 1))
+    if spec.method != "hcs":
+        levels = 1
+    budget_bytes = levels * spec.num_tables * spec.num_buckets * itemsize
+    step_rel = 0.0
+    if np.dtype(spec.storage).kind == "i":
+        step_rel = 1.0 / float(np.iinfo(np.dtype(spec.storage)).max)
+    gain = 8.0 / itemsize
+    return CapacityPlan(
+        n_features=int(spec.dim),
+        num_pairs=int(num_pairs(int(spec.dim))),
+        budget_bytes=int(budget_bytes),
+        num_tables=int(spec.num_tables),
+        num_buckets=int(spec.num_buckets),
+        storage=str(spec.storage),
+        quantum=spec.quantum,
+        predicted_bytes_per_counter=float(itemsize),
+        counters_vs_float64=float(gain),
+        predicted_snr_gain_db=float(10.0 * math.log10(gain)),
+        quantization_step_rel=float(step_rel),
+        levels=levels,
+        branching=int(getattr(spec, "branching", 16)),
+    )
+
+
+def _table_saturation(table: np.ndarray) -> float:
+    if table.dtype.kind != "i" or table.size == 0:
+        return 0.0
+    peak = float(max(-int(table.min()), int(table.max())))
+    return peak / float(np.iinfo(table.dtype).max)
+
+
+def observed_saturation(sketcher) -> float:
+    """Peak counter saturation across a write side's retained state.
+
+    For a :class:`~repro.streaming.PaneRing` (or a durable wrapper over
+    one) this is the max over every closed pane's table plus the open
+    pane's live store; for a plain pipeline, the backing sketch's
+    :attr:`~repro.sketch.CountSketch.saturation`.  Float storage reports
+    0.0 throughout.
+    """
+    closed = getattr(sketcher, "_closed", None)
+    if closed is not None:
+        sat = max(
+            (_table_saturation(pane.table) for pane in closed), default=0.0
+        )
+        open_side = getattr(sketcher, "_open", None)
+        sketch = getattr(getattr(open_side, "estimator", None), "sketch", None)
+    else:
+        sketch = getattr(getattr(sketcher, "estimator", None), "sketch", None)
+        sat = 0.0
+    if sketch is not None:
+        sat = max(sat, float(getattr(sketch, "saturation", 0.0)))
+    return sat
+
+
+class AutoScaler:
+    """Drive :meth:`ServingEstimator.migrate` from live accuracy gauges.
+
+    Parameters
+    ----------
+    serving:
+        The :class:`repro.serving.ServingEstimator` to watch and migrate.
+        Its :attr:`probe` supplies the read-side signals (built
+        automatically by :meth:`ServingEstimator.autoscaled`).
+    check_every:
+        Ingest-driven cadence: run one observe/replan step every this
+        many write-side samples (the serving layer calls
+        :meth:`on_ingest` after each committed ingest).
+    cooldown:
+        Check intervals to sit out after a committed migration — the
+        probe was just reset, so its gauges need at least one full
+        refill before they describe the *new* configuration.
+    max_migrations:
+        Hard budget on executed migrations (a runaway trigger loop must
+        not ratchet memory forever); ``None`` removes the bound.
+    min_panes:
+        Floor for decay escalation — the window never shrinks below this
+        many panes (history-preserving migration needs retained panes).
+    collision_ceiling / rosnr_floor / churn_ceiling / saturation_ceiling
+    / demote_collision_floor / growth / window_shrink / max_budget_bytes:
+        Trigger thresholds, forwarded verbatim to
+        :func:`repro.sketch.planner.replan` (``None`` disables the
+        corresponding trigger).
+    topk:
+        Top-pair set size fed to the probe's churn gauge each check.
+    log_limit:
+        Decision-log ring size (every check logs one decision, executed
+        or not).
+    """
+
+    def __init__(
+        self,
+        serving,
+        *,
+        check_every: int = 2000,
+        cooldown: int = 1,
+        max_migrations: int | None = 8,
+        min_panes: int = 2,
+        collision_ceiling: float | None = None,
+        rosnr_floor: float | None = None,
+        churn_ceiling: float | None = 0.5,
+        saturation_ceiling: float | None = 0.85,
+        demote_collision_floor: float | None = None,
+        growth: float = 2.0,
+        window_shrink: float = 0.5,
+        max_budget_bytes: int | None = None,
+        value_range: float = 1.0,
+        topk: int = 32,
+        log_limit: int = 64,
+    ):
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        if min_panes < 2:
+            raise ValueError(f"min_panes must be >= 2, got {min_panes}")
+        self.serving = serving
+        self.check_every = int(check_every)
+        self.cooldown = int(cooldown)
+        self.max_migrations = max_migrations
+        self.min_panes = int(min_panes)
+        self.thresholds = {
+            "collision_ceiling": collision_ceiling,
+            "rosnr_floor": rosnr_floor,
+            "churn_ceiling": churn_ceiling,
+            "saturation_ceiling": saturation_ceiling,
+            "demote_collision_floor": demote_collision_floor,
+            "growth": growth,
+            "window_shrink": window_shrink,
+            "max_budget_bytes": max_budget_bytes,
+        }
+        self.plan = plan_from_spec(
+            serving.sketcher.spec, value_range=value_range
+        )
+        self.topk = int(topk)
+        self.decisions: deque[dict] = deque(maxlen=int(log_limit))
+        self.migrations_executed = 0
+        self.last_error: str | None = None
+        self._next_check = self.check_every
+        self._cooldown_until = 0
+
+        registry = serving.registry
+        if not isinstance(registry, MetricsRegistry):  # pragma: no cover
+            registry = MetricsRegistry()
+        self._registry = registry
+        self._checks_total = registry.counter(
+            "repro_autoscale_checks_total", "observe/replan steps run"
+        )
+        self._errors_total = registry.counter(
+            "repro_autoscale_errors_total",
+            "autoscale steps that raised (ingest unaffected)",
+        )
+        registry.gauge_fn(
+            "repro_autoscale_budget_bytes",
+            lambda: self.plan.budget_bytes,
+            "current plan's counter byte budget",
+        )
+        registry.gauge_fn(
+            "repro_autoscale_migrations_executed",
+            lambda: self.migrations_executed,
+            "migrations this scaler committed",
+        )
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def on_ingest(self) -> None:
+        """Ingest hook: run a check when the cadence threshold crosses.
+
+        Never raises — a broken autoscale step must not fail the ingest
+        that triggered it.  Errors are counted, logged and surfaced via
+        :attr:`last_error` / :meth:`stats`.
+        """
+        if self.serving.sketcher.samples_seen < self._next_check:
+            return
+        try:
+            self.step()
+        except Exception as exc:  # noqa: BLE001 - ingest must survive
+            self._errors_total.inc()
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            logger.warning("autoscale step failed: %s", exc)
+
+    def observe(self) -> ObservedSignals:
+        """One probe pass -> the planner's :class:`ObservedSignals`."""
+        serving = self.serving
+        readings: dict = {}
+        probe = serving.probe
+        if probe is not None:
+            i, j, _ = serving.top_pairs(self.topk)
+            top_keys = (
+                pair_to_index(i, j, serving.sketcher.dim)
+                if np.asarray(i).size
+                else np.empty(0, dtype=np.int64)
+            )
+            readings = probe.sample(serving.query_keys, top_keys=top_keys)
+        return ObservedSignals(
+            samples_seen=int(serving.sketcher.samples_seen),
+            collision_energy=readings.get("collision_energy"),
+            rosnr=readings.get("rosnr"),
+            topk_churn=readings.get("topk_churn"),
+            saturation=observed_saturation(serving.sketcher),
+        )
+
+    def step(self) -> dict:
+        """Observe, replan, and execute a changed decision; returns the
+        decision-log entry."""
+        serving = self.serving
+        self._checks_total.inc()
+        samples_seen = int(serving.sketcher.samples_seen)
+        self._next_check = samples_seen + self.check_every
+
+        observed = self.observe()
+        decision = replan(self.plan, observed, **self.thresholds)
+        entry = {
+            "samples_seen": samples_seen,
+            "action": decision.action,
+            "reason": decision.reason,
+            "executed": False,
+            "config_version": serving.config_version,
+            "collision_energy": observed.collision_energy,
+            "rosnr": observed.rosnr,
+            "topk_churn": observed.topk_churn,
+            "saturation": observed.saturation,
+        }
+        self._registry.counter(
+            "repro_autoscale_decisions_total",
+            "replan decisions by action",
+            labels={"action": decision.action},
+        ).inc()
+        if decision.changed and self._may_execute(samples_seen, entry):
+            self._execute(decision)
+            entry["executed"] = True
+            entry["config_version"] = serving.config_version
+        self.decisions.append(entry)
+        return entry
+
+    def _may_execute(self, samples_seen: int, entry: dict) -> bool:
+        if samples_seen < self._cooldown_until:
+            entry["reason"] += "; suppressed: cooling down"
+            return False
+        if (
+            self.max_migrations is not None
+            and self.migrations_executed >= self.max_migrations
+        ):
+            entry["reason"] += "; suppressed: migration budget spent"
+            return False
+        return True
+
+    def _execute(self, decision) -> None:
+        serving = self.serving
+        num_panes = None
+        if decision.window_scale != 1.0:
+            current = int(serving.sketcher.num_panes)
+            num_panes = max(
+                self.min_panes, int(round(current * decision.window_scale))
+            )
+            if num_panes == current and decision.action == "escalate_decay":
+                # Already at the floor: nothing to change.
+                return
+        serving.migrate(
+            decision.plan,
+            num_panes=num_panes,
+            trigger=decision.action,
+            reason=decision.reason,
+        )
+        self.plan = decision.plan
+        self.migrations_executed += 1
+        self._cooldown_until = (
+            int(serving.sketcher.samples_seen)
+            + self.cooldown * self.check_every
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready scaler state: plan, counters, decision-log tail."""
+        return {
+            "plan": {
+                "budget_bytes": self.plan.budget_bytes,
+                "num_tables": self.plan.num_tables,
+                "num_buckets": self.plan.num_buckets,
+                "storage": self.plan.storage,
+                "quantum": self.plan.quantum,
+                "levels": self.plan.levels,
+            },
+            "check_every": self.check_every,
+            "cooldown": self.cooldown,
+            "migrations_executed": self.migrations_executed,
+            "max_migrations": self.max_migrations,
+            "last_error": self.last_error,
+            "decisions": list(self.decisions)[-8:],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AutoScaler(budget={self.plan.budget_bytes}b, "
+            f"migrations={self.migrations_executed}, "
+            f"decisions={len(self.decisions)})"
+        )

@@ -128,6 +128,7 @@ class DurableSketcher:
         *,
         num_panes: int | None = None,
         pane_samples: int | None = None,
+        retain_raw: bool = False,
         checkpoint_every: int | None = None,
         keep_checkpoints: int | None = None,
         fsync: str = "rotate",
@@ -168,6 +169,7 @@ class DurableSketcher:
             self.spec = spec
             self.num_panes = num_panes
             self.pane_samples = pane_samples
+            self.retain_raw = bool(retain_raw)
             self._write_recipe(recipe_path)
         self.windowed = self.num_panes is not None
         self.checkpoint_every = (
@@ -179,6 +181,14 @@ class DurableSketcher:
 
         # --- recover state: newest valid checkpoint, then WAL replay ---
         inner, ckpt_seq, ckpt_id = self._load_latest_checkpoint()
+        if inner is not None and self.windowed:
+            # A migration commits at the checkpoint-marker write and only
+            # then rewrites the recipe: a crash in between leaves a recipe
+            # one configuration behind the newest valid checkpoint.  The
+            # checkpoint is the committed truth — adopt its spec/geometry
+            # and self-heal the recipe, so recovery always lands on
+            # exactly one side of the migration, never a hybrid.
+            self._adopt_checkpoint_config(inner)
         self._inner = inner if inner is not None else self._fresh_inner()
         self.checkpoint_seq = ckpt_seq
         self.recovered_from = ckpt_id
@@ -220,6 +230,7 @@ class DurableSketcher:
         payload["pane_samples"] = np.asarray(
             -1 if self.pane_samples is None else int(self.pane_samples)
         )
+        payload["retain_raw"] = np.asarray(int(self.retain_raw))
         write_npz(path, payload)
 
     def _load_recipe(self, path, spec, num_panes, pane_samples) -> None:
@@ -229,10 +240,16 @@ class DurableSketcher:
             windowed = bool(int(data["windowed"]))
             recipe_panes = int(data["num_panes"]) if windowed else None
             recipe_samples = int(data["pane_samples"]) if windowed else None
+            recipe_retain = (
+                bool(int(data["retain_raw"]))
+                if "retain_raw" in data.files
+                else False
+            )
         if spec is not None and spec != recipe_spec:
             raise ValueError(
                 f"{path}: the passed spec differs from the persisted recipe; "
-                "a durable directory is bound to one spec for life"
+                "a durable directory is bound to its recipe (only migrate() "
+                "rewrites it)"
             )
         if num_panes is not None and num_panes != recipe_panes:
             raise ValueError(
@@ -247,6 +264,27 @@ class DurableSketcher:
         self.spec = recipe_spec
         self.num_panes = recipe_panes
         self.pane_samples = recipe_samples
+        self.retain_raw = recipe_retain
+
+    def _adopt_checkpoint_config(self, ring: PaneRing) -> None:
+        """Align the recipe with a recovered checkpoint's configuration."""
+        if (
+            ring.spec == self.spec
+            and ring.num_panes == self.num_panes
+            and ring.pane_samples == self.pane_samples
+            and ring.retain_raw == self.retain_raw
+        ):
+            return
+        logger.info(
+            "%s: recovered checkpoint carries a migrated configuration; "
+            "adopting it and rewriting the recipe",
+            self.directory,
+        )
+        self.spec = ring.spec
+        self.num_panes = ring.num_panes
+        self.pane_samples = ring.pane_samples
+        self.retain_raw = ring.retain_raw
+        self._write_recipe(self.directory / _RECIPE)
 
     def _fresh_inner(self):
         if self.num_panes is not None:
@@ -255,6 +293,7 @@ class DurableSketcher:
                 num_panes=self.num_panes,
                 pane_samples=self.pane_samples,
                 registry=self.registry,
+                retain_raw=self.retain_raw,
             )
         return self.spec.build_sketcher()
 
@@ -357,6 +396,60 @@ class DurableSketcher:
             else:
                 result = extract_shard_result(self._inner, self.spec)
                 save_shard_result(result, path, extra={"wal_seq": wal_seq})
+            self._next_ckpt = ckpt_id + 1
+            self.checkpoint_seq = wal_seq
+            self._records_since_checkpoint = 0
+            self._prune()
+        self._ckpt_total.inc()
+        self._ckpt_bytes.set(path.stat().st_size)
+        return path
+
+    def migrate(self, spec: ShardSpec, *, num_panes: int | None = None) -> Path:
+        """Re-shape the windowed write side crash-safely, keeping history.
+
+        Rebuilds the ring under the new ``spec`` (and optionally a new
+        window size) by replaying its retained raw panes
+        (:meth:`repro.streaming.PaneRing.rebuild` — requires the sketcher
+        to have been created with ``retain_raw=True``), then commits the
+        result as a checkpoint.  The write order makes mid-migration
+        crashes land on **exactly one side**:
+
+        1. the new ring directory is written first — a crash here leaves
+           the old-configuration checkpoint newest, recovery stays on the
+           old side and the orphaned ring directory is inert;
+        2. the checkpoint **marker** is written atomically — this is the
+           commit point: once it exists, recovery loads the new ring;
+        3. the recipe is rewritten last — a crash between 2 and 3 is
+           healed at recovery by adopting the checkpoint's configuration
+           over the stale recipe.
+
+        WAL continuity is unbroken: the migration checkpoint covers the
+        journal position at commit, so records ingested after it replay
+        into the new configuration on recovery, exactly like any other
+        checkpoint.  Returns the marker path.
+        """
+        if not self.windowed:
+            raise ValueError(
+                "migrate() needs a windowed durable sketcher "
+                "(create with num_panes/pane_samples)"
+            )
+        new_ring = self._inner.rebuild(
+            spec, num_panes=num_panes, registry=self.registry
+        )
+        with self._ckpt_seconds.time():
+            self.journal.sync()
+            wal_seq = self.journal.last_seq
+            ckpt_id = self._next_ckpt
+            path = self.directory / f"ckpt-{ckpt_id:08d}.npz"
+            new_ring.save(self._ring_dir(ckpt_id))
+            # Commit point (atomic tmp+rename inside write_npz).
+            write_npz(
+                path, {"ring": np.asarray(1), "wal_seq": np.asarray(wal_seq)}
+            )
+            self._inner = new_ring
+            self.spec = spec
+            self.num_panes = new_ring.num_panes
+            self._write_recipe(self.directory / _RECIPE)
             self._next_ckpt = ckpt_id + 1
             self.checkpoint_seq = wal_seq
             self._records_since_checkpoint = 0

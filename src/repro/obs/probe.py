@@ -87,6 +87,7 @@ class AccuracyProbe:
             raise ValueError(f"reservoir must be >= 1, got {reservoir}")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = SNRRecorder(signal_keys, window=window)
+        self._explicit_baseline = baseline_snr is not None
         self.baseline_snr = None if baseline_snr is None else float(baseline_snr)
         self.topk = int(topk)
         self._signal_keys = np.asarray(signal_keys, dtype=np.int64)
@@ -155,6 +156,34 @@ class AccuracyProbe:
         """Close the current SNR window and refresh the gauges."""
         self.recorder.flush()
         self._consume_points()
+
+    def reset(self, *, rebaseline: bool = False) -> None:
+        """Drop all accumulated probe state — the migration seam.
+
+        An engine swap/migration changes the thing the probe measures:
+        letting the Algorithm-R reservoir, the open SNR window and the
+        last top-K set survive the swap blends pre- and post-migration
+        collision noise into single gauge readings.
+        :meth:`repro.serving.ServingEstimator.migrate` calls this after
+        installing the new engine, so the first post-migration window
+        measures only the new configuration.
+
+        Gauge *values* are left at their last readings (a scrape between
+        migration and the next sample sees stale-but-real numbers, not
+        fabricated zeros); they refresh on the next ``sample``/``flush``.
+        ``rebaseline=True`` additionally forgets an auto-derived ROSNR
+        baseline so the next closed window re-anchors it; an explicit
+        ``baseline_snr`` from the constructor is always kept.
+        """
+        self.recorder = SNRRecorder(
+            self._signal_keys, window=self.recorder.window
+        )
+        self._reservoir_fill = 0
+        self._noise_seen = 0
+        self._points_consumed = 0
+        self._last_top = None
+        if rebaseline and not self._explicit_baseline:
+            self.baseline_snr = None
 
     def _consume_points(self) -> None:
         points = self.recorder.points

@@ -143,6 +143,17 @@ class ServingEstimator:
         # ring exposes window_span, a decaying pipeline exposes decay.
         self._windowed = hasattr(sketcher, "window_span")
         self.last_window_span: int | None = None
+        # Migration state (the autoscale loop): the served configuration is
+        # versioned, and each committed migration bumps it.  ``probe`` and
+        # ``autoscaler`` are attached by :meth:`autoscaled` (or manually);
+        # both are optional — a plain serving stack never touches them.
+        self.probe = None
+        self.autoscaler = None
+        self.config_version = 0
+        self.migration_count = 0
+        self.last_migration_seconds = 0.0
+        self.last_migration_trigger: str | None = None
+        self.last_migration_reason: str | None = None
         # Registry-backed counters are the single source of truth;
         # `swap_count` / `refresh_failures` stay available as properties so
         # stats()/health() (and existing callers) are thin views over them.
@@ -161,6 +172,15 @@ class ServingEstimator:
         self._ingest_seconds = reg.histogram(
             "repro_serving_ingest_seconds",
             "write-side ingest batch duration (lock wait included)",
+        )
+        self._migration_seconds = reg.histogram(
+            "repro_serving_migration_seconds",
+            "live migration duration: window replay + write-side swap",
+        )
+        reg.gauge_fn(
+            "repro_serving_config_version",
+            lambda: self.config_version,
+            "served configuration version (bumped per committed migration)",
         )
         reg.gauge_fn(
             "repro_serving_stale_samples",
@@ -214,16 +234,63 @@ class ServingEstimator:
         registry = kwargs.pop("registry", None)
         if registry is None:
             registry = MetricsRegistry()
+        retain_raw = kwargs.pop("retain_raw", False)
         return cls(
             PaneRing(
                 spec,
                 num_panes=num_panes,
                 pane_samples=pane_samples,
                 registry=registry,
+                retain_raw=retain_raw,
             ),
             registry=registry,
             **kwargs,
         )
+
+    @classmethod
+    def autoscaled(
+        cls,
+        spec,
+        *,
+        num_panes: int,
+        pane_samples: int,
+        probe=None,
+        autoscale_options: dict | None = None,
+        **kwargs,
+    ) -> "ServingEstimator":
+        """A windowed serving estimator that re-plans itself online.
+
+        Builds :meth:`windowed` with the pane retention contract enabled
+        (``retain_raw=True`` — the window's raw panes are kept so the
+        sketch can be re-shaped without losing history), attaches
+        ``probe`` (an :class:`repro.obs.AccuracyProbe`; one is built from
+        the spec when omitted) and an :class:`repro.autoscale.AutoScaler`
+        driving :meth:`migrate` from the probe's gauges.
+        ``autoscale_options`` are passed to the
+        :class:`~repro.autoscale.AutoScaler` constructor (``check_every``,
+        ``cooldown``, trigger thresholds, ...).
+        """
+        from repro.autoscale import AutoScaler
+        from repro.hashing.pairs import num_pairs
+        from repro.obs.probe import AccuracyProbe
+
+        est = cls.windowed(
+            spec,
+            num_panes=num_panes,
+            pane_samples=pane_samples,
+            retain_raw=True,
+            **kwargs,
+        )
+        if probe is None:
+            probe = AccuracyProbe(
+                np.empty(0, dtype=np.int64),
+                registry=est.registry,
+                key_space=num_pairs(spec.dim),
+                seed=spec.seed,
+            )
+        est.probe = probe
+        est.autoscaler = AutoScaler(est, **(autoscale_options or {}))
+        return est
 
     @classmethod
     def durable(cls, directory, spec=None, *, durable_options=None, **kwargs):
@@ -264,6 +331,7 @@ class ServingEstimator:
             raise
         self.breaker.record_success()
         self._maybe_refresh()
+        self._maybe_autoscale()
 
     def ingest_dense(self, batch: np.ndarray) -> None:
         """Stream a dense ``(n, d)`` batch into the write side."""
@@ -276,6 +344,19 @@ class ServingEstimator:
             raise
         self.breaker.record_success()
         self._maybe_refresh()
+        self._maybe_autoscale()
+
+    def _maybe_autoscale(self) -> None:
+        """Give an attached :class:`repro.autoscale.AutoScaler` its tick.
+
+        Runs after the ingest committed and outside every lock (the scaler
+        re-enters through :meth:`migrate`, which takes the write lock
+        itself).  Scaler errors must never fail the ingest that triggered
+        them — they are recorded on the scaler's decision log instead.
+        """
+        scaler = self.autoscaler
+        if scaler is not None:
+            scaler.on_ingest()
 
     def _maybe_refresh(self) -> None:
         if self.refresh_every <= 0:
@@ -389,6 +470,105 @@ class ServingEstimator:
             self._retired.append(previous)
             del self._retired[:-4]  # bound the kept history
         return engine
+
+    # ------------------------------------------------------------------
+    # Migration (the autoscale write-side swap)
+    # ------------------------------------------------------------------
+    def _spec_for_plan(self, plan) -> "object":
+        """Map a :class:`repro.sketch.CapacityPlan` onto the current spec."""
+        from repro.distributed.shard import spec_with
+
+        spec = self.sketcher.spec
+        changes = {
+            "num_tables": plan.num_tables,
+            "num_buckets": plan.num_buckets,
+            "storage": plan.storage,
+            "quantum": plan.quantum,
+        }
+        if spec.method == "hcs":
+            changes["levels"] = plan.levels
+            changes["branching"] = plan.branching
+        return spec_with(spec, **changes)
+
+    def migrate(
+        self,
+        target,
+        *,
+        num_panes: int | None = None,
+        trigger: str = "manual",
+        reason: str = "",
+    ) -> None:
+        """Move the live write side to a new configuration, keeping history.
+
+        ``target`` is a :class:`repro.distributed.ShardSpec` or a
+        :class:`repro.sketch.CapacityPlan` (mapped onto the current spec's
+        stream geometry).  The write side must support history-preserving
+        re-sketching: a :class:`~repro.streaming.PaneRing` built with
+        ``retain_raw=True`` (its :meth:`~repro.streaming.PaneRing.rebuild`
+        replays the retained window into the new shape, bit-identical to a
+        from-scratch fit) or a :class:`~repro.durability.DurableSketcher`
+        wrapping one (its ``migrate`` additionally checkpoints the new side
+        atomically, so a crash lands on exactly one configuration).
+
+        Reads are never blocked: the current engine keeps serving the old
+        snapshot throughout and the read side moves on the next refresh —
+        which this method performs immediately after the write-side swap
+        (double-buffered end to end).  Ingest *is* blocked for the replay
+        duration; the cost is O(retained window nnz) and is tracked in the
+        ``repro_serving_migration_seconds`` histogram.
+
+        An attached :class:`~repro.obs.AccuracyProbe` is :meth:`reset
+        <repro.obs.AccuracyProbe.reset>` after the swap so post-migration
+        gauges never blend measurements of two configurations, and
+        ``config_version`` bumps — ``stats()`` / ``/metrics`` expose the
+        version, count, duration and trigger of migrations.
+        """
+        from repro.distributed.shard import ShardSpec
+
+        spec = (
+            target
+            if isinstance(target, ShardSpec)
+            else self._spec_for_plan(target)
+        )
+        started = time.perf_counter()
+        with self._write_lock:
+            if hasattr(self.sketcher, "migrate"):
+                # Durable write side: crash-safe rebuild + checkpoint.
+                self.sketcher.migrate(spec, num_panes=num_panes)
+            elif hasattr(self.sketcher, "rebuild"):
+                self.sketcher = self.sketcher.rebuild(
+                    spec,
+                    num_panes=num_panes,
+                    registry=self.sketcher.registry,
+                )
+            else:
+                raise TypeError(
+                    "migrate() needs a history-preserving write side: a "
+                    "PaneRing with retain_raw=True (see "
+                    "ServingEstimator.windowed/autoscaled) or a "
+                    "DurableSketcher wrapping one"
+                )
+        elapsed = time.perf_counter() - started
+        self.config_version += 1
+        self.migration_count += 1
+        self.last_migration_seconds = elapsed
+        self.last_migration_trigger = trigger
+        self.last_migration_reason = reason or None
+        self._migration_seconds.observe(elapsed)
+        self.registry.counter(
+            "repro_serving_migrations_total",
+            "committed live migrations by trigger",
+            labels={"trigger": trigger},
+        ).inc()
+        if self.probe is not None:
+            # Stale-probe seam: pre-migration reservoir/SNR windows measure
+            # a sketch that no longer exists.
+            self.probe.reset()
+        # Move the read side now (the engine gauge_fns and window gauges
+        # rebind through self.sketcher automatically).  A refresh failure
+        # here leaves the old snapshot serving (stale-but-available) and
+        # propagates like any explicit refresh failure.
+        self.refresh()
 
     # ------------------------------------------------------------------
     # Read side
@@ -521,7 +701,16 @@ class ServingEstimator:
             "stale_samples": self.stale_samples,
             "stale_seconds": self.stale_seconds,
             "breaker": self.breaker.stats(),
+            "config_version": self.config_version,
+            "migrations": {
+                "count": self.migration_count,
+                "last_seconds": self.last_migration_seconds,
+                "last_trigger": self.last_migration_trigger,
+                "last_reason": self.last_migration_reason,
+            },
         }
+        if self.autoscaler is not None:
+            out["autoscaler"] = self.autoscaler.stats()
         if getattr(self.sketcher, "wal_lag", None) is not None:
             # Durable write side: surface WAL/checkpoint progress.
             out["durability"] = self.sketcher.stats()

@@ -210,6 +210,11 @@ class CountSketch(ValueSketch):
         """Current counter dtype (may have widened past the declared one)."""
         return self._store.dtype
 
+    @property
+    def saturation(self) -> float:
+        """Counter-range headroom signal (see ``CounterStore.saturation``)."""
+        return self._store.saturation
+
     # ------------------------------------------------------------------
     # Hash caching
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ numbers to ``BENCH_memory.json``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,7 +35,20 @@ from repro.sketch.hierarchical import HierarchicalCountSketch
 from repro.sketch.kernels import resolve_backend
 from repro.sketch.storage import STORAGE_DTYPES, resolve_storage
 
-__all__ = ["CapacityPlan", "plan"]
+__all__ = ["CapacityPlan", "ObservedSignals", "Replan", "plan", "replan"]
+
+
+def _require_finite(name: str, value) -> float:
+    """Reject NaN/inf knobs before they poison a quantum downstream.
+
+    ``NaN <= 0`` is False, so a NaN budget or value range sails past every
+    ordering check and turns into a NaN quantum that silently zeroes (or
+    NaN-fills) every quantized table built from the plan.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
 
 #: Storage candidates, narrowest first — the order :func:`plan` tries.
 _CANDIDATES = ("int16", "int32", "float32", "float64")
@@ -253,12 +267,15 @@ def plan(
     """
     if n_features < 2:
         raise ValueError(f"n_features must be >= 2, got {n_features}")
+    budget_mb = _require_finite("budget_mb", budget_mb)
     if budget_mb <= 0:
         raise ValueError(f"budget_mb must be > 0, got {budget_mb}")
     if num_tables < 1:
         raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+    value_range = _require_finite("value_range", value_range)
     if value_range <= 0:
         raise ValueError(f"value_range must be > 0, got {value_range}")
+    headroom = _require_finite("headroom", headroom)
     if headroom < 1.0:
         raise ValueError(f"headroom must be >= 1, got {headroom}")
     if levels < 1:
@@ -267,11 +284,16 @@ def plan(
         raise ValueError(f"branching must be >= 2, got {branching}")
     if quantization_tolerance is None:
         if target_f1 is not None:
+            target_f1 = _require_finite("target_f1", target_f1)
             if not 0.0 < target_f1 < 1.0:
                 raise ValueError(f"target_f1 must be in (0, 1), got {target_f1}")
             quantization_tolerance = min(max(1.0 - target_f1, 1e-5), 0.05)
         else:
             quantization_tolerance = 1e-3
+    else:
+        quantization_tolerance = _require_finite(
+            "quantization_tolerance", quantization_tolerance
+        )
 
     budget_bytes = int(budget_mb * (1 << 20))
 
@@ -324,3 +346,203 @@ def plan(
         levels=int(levels),
         branching=int(branching),
     )
+
+
+@dataclass(frozen=True)
+class ObservedSignals:
+    """What the live system measured — the input half of :func:`replan`.
+
+    Fields default to ``None`` (= not observed); :func:`replan` skips any
+    trigger whose signal is missing or non-finite, so a partially
+    instrumented stack degrades to fewer triggers instead of garbage
+    decisions.
+
+    Attributes
+    ----------
+    samples_seen:
+        Write-side stream position when the observation was taken.
+    collision_energy:
+        Mean squared estimate at never-inserted sentinel keys
+        (:class:`repro.obs.AccuracyProbe`) — pure collision/noise mass,
+        the live proxy for Lemma 1's ``||f||^2 / R`` variance.
+    rosnr:
+        Observed SNR over the baseline SNR (the probe's ROSNR gauge, or
+        the read-side ``estimate_snr`` normalised by its first reading).
+    topk_churn:
+        Fraction of the top-K set replaced since the last probe sample —
+        the drift signal.
+    saturation:
+        Largest |counter| as a fraction of the quantized dtype's range
+        (:attr:`repro.sketch.storage.CounterStore.saturation`); 0 for
+        float storage.
+    """
+
+    samples_seen: int = 0
+    collision_energy: float | None = None
+    rosnr: float | None = None
+    topk_churn: float | None = None
+    saturation: float | None = None
+
+
+@dataclass(frozen=True)
+class Replan:
+    """One re-planning decision: the action, the new plan, and why.
+
+    ``action`` is one of ``"hold"`` (no change), ``"grow"`` (wider
+    buckets at a bigger byte budget), ``"demote"`` (same shape, cold
+    history pushed onto the int16 fixed-point rung) or
+    ``"escalate_decay"`` (same sketch, ``window_scale`` < 1 asks the
+    windowed write side to retain fewer panes — the pane-ring spelling of
+    a faster decay).  ``plan`` is always a complete :class:`CapacityPlan`
+    (equal to ``current`` for holds and pure window changes), so callers
+    migrate with a full recipe, never a diff they must apply themselves.
+    """
+
+    action: str
+    plan: CapacityPlan
+    reason: str
+    window_scale: float = 1.0
+
+    @property
+    def changed(self) -> bool:
+        return self.action != "hold"
+
+
+def _sized(current: CapacityPlan, *, budget_bytes: int, storage: str) -> CapacityPlan:
+    """Re-run :func:`plan` for a new budget/storage, keeping the rest."""
+    return plan(
+        current.n_features,
+        budget_bytes / float(1 << 20),
+        num_tables=current.num_tables,
+        storage=storage,
+        levels=current.levels,
+        branching=current.branching,
+    )
+
+
+def replan(
+    current: CapacityPlan,
+    observed: ObservedSignals,
+    *,
+    collision_ceiling: float | None = None,
+    rosnr_floor: float | None = None,
+    churn_ceiling: float | None = 0.5,
+    saturation_ceiling: float | None = 0.85,
+    demote_collision_floor: float | None = None,
+    growth: float = 2.0,
+    window_shrink: float = 0.5,
+    max_budget_bytes: int | None = None,
+) -> Replan:
+    """The planner-loop delta API: ``(current plan, observations) -> next``.
+
+    A pure function — no clocks, no cooldowns, no migration mechanics;
+    :class:`repro.autoscale.AutoScaler` owns cadence and execution.  The
+    triggers, checked in severity order (first match wins):
+
+    1. **saturation** >= ``saturation_ceiling`` — the quantized table is
+       about to widen (which is exact but silently doubles residency);
+       grow instead, spreading mass over more buckets.
+    2. **collision_energy** > ``collision_ceiling`` or **rosnr** <
+       ``rosnr_floor`` — collision noise ate the SNR margin; grow the
+       byte budget by ``growth`` (collision variance shrinks as ``1/R``,
+       Lemma 1).
+    3. **topk_churn** > ``churn_ceiling`` — the heavy set itself is
+       moving (drift); keep the sketch, shrink the retained window by
+       ``window_shrink`` so stale mass ages out faster.
+    4. **collision_energy** < ``demote_collision_floor`` on float storage
+       — quiet regime; demote cold history to int16 fixed point at the
+       same ``(K, R)`` (4x fewer bytes, quantization noise bounded by
+       half a quantum).
+
+    ``None`` disables a trigger; non-finite thresholds are rejected, and
+    non-finite *observations* are treated as missing (a probe that has
+    not closed a window yet reports NaN — that must never trigger a
+    migration).  ``max_budget_bytes`` caps growth: at the cap the grow
+    triggers hold instead, so a noisy workload cannot ratchet memory
+    unboundedly.
+    """
+    for name, threshold in (
+        ("collision_ceiling", collision_ceiling),
+        ("rosnr_floor", rosnr_floor),
+        ("churn_ceiling", churn_ceiling),
+        ("saturation_ceiling", saturation_ceiling),
+        ("demote_collision_floor", demote_collision_floor),
+    ):
+        if threshold is not None:
+            _require_finite(name, threshold)
+    growth = _require_finite("growth", growth)
+    if growth <= 1.0:
+        raise ValueError(f"growth must be > 1, got {growth}")
+    window_shrink = _require_finite("window_shrink", window_shrink)
+    if not 0.0 < window_shrink < 1.0:
+        raise ValueError(f"window_shrink must be in (0, 1), got {window_shrink}")
+
+    def signal(value: float | None) -> float | None:
+        if value is None:
+            return None
+        value = float(value)
+        return value if math.isfinite(value) else None
+
+    collision = signal(observed.collision_energy)
+    rosnr = signal(observed.rosnr)
+    churn = signal(observed.topk_churn)
+    saturation = signal(observed.saturation)
+
+    def grow(reason: str) -> Replan:
+        target = int(current.budget_bytes * growth)
+        if max_budget_bytes is not None and target > max_budget_bytes:
+            if current.budget_bytes >= max_budget_bytes:
+                return Replan(
+                    "hold",
+                    current,
+                    f"{reason}; already at the {max_budget_bytes}-byte cap",
+                )
+            target = int(max_budget_bytes)
+        return Replan(
+            "grow",
+            _sized(current, budget_bytes=target, storage=current.storage),
+            reason,
+        )
+
+    if saturation_ceiling is not None and saturation is not None:
+        if saturation >= saturation_ceiling:
+            return grow(
+                f"counter saturation {saturation:.2f} >= {saturation_ceiling:.2f}"
+            )
+    if collision_ceiling is not None and collision is not None:
+        if collision > collision_ceiling:
+            return grow(
+                f"collision energy {collision:.3g} > {collision_ceiling:.3g}"
+            )
+    if rosnr_floor is not None and rosnr is not None:
+        if rosnr < rosnr_floor:
+            return grow(f"ROSNR {rosnr:.3g} < floor {rosnr_floor:.3g}")
+    if churn_ceiling is not None and churn is not None:
+        if churn > churn_ceiling:
+            return Replan(
+                "escalate_decay",
+                current,
+                f"top-K churn {churn:.2f} > {churn_ceiling:.2f}",
+                window_scale=window_shrink,
+            )
+    if (
+        demote_collision_floor is not None
+        and collision is not None
+        and collision < demote_collision_floor
+        and np.dtype(current.storage).kind == "f"
+    ):
+        demoted = _sized(
+            current,
+            budget_bytes=current.levels
+            * current.num_tables
+            * current.num_buckets
+            * np.dtype("int16").itemsize,
+            storage="int16",
+        )
+        return Replan(
+            "demote",
+            demoted,
+            f"collision energy {collision:.3g} < {demote_collision_floor:.3g}; "
+            "demoting cold history to int16",
+        )
+    return Replan("hold", current, "no trigger fired")

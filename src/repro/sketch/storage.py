@@ -158,6 +158,22 @@ class CounterStore:
         return self.raw.dtype.itemsize
 
     @property
+    def saturation(self) -> float:
+        """Largest |counter| as a fraction of the current dtype's range.
+
+        The autoscaler's headroom signal: a quantized store approaching
+        1.0 is about to widen (exact, but it silently doubles residency —
+        re-planning to more buckets keeps the compact dtype instead).
+        Float stores report 0.0 — they do not saturate.
+        """
+        if self.raw.dtype.kind != "i" or self.raw.size == 0:
+            return 0.0
+        peak = float(
+            max(-int(self.raw.min()), int(self.raw.max()))
+        )
+        return peak / float(np.iinfo(self.raw.dtype).max)
+
+    @property
     def frozen(self) -> bool:
         return not self.raw.flags.writeable
 

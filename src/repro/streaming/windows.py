@@ -53,6 +53,58 @@ __all__ = ["PaneRing"]
 _MANIFEST = "ring.npz"
 
 
+def _pack_raw(chunks: list[list]) -> dict:
+    """Flatten a pane's recorded raw chunks into ``.npz``-able arrays.
+
+    Three levels of structure survive the round-trip: per-chunk sample
+    counts (the ``fit_sparse`` call boundaries), per-sample nnz, and the
+    concatenated indices/values.  Values are stored as float64 — exact for
+    the integer-valued and float64 streams the bit-identity law covers.
+    """
+    idx_parts, val_parts, sample_lens, chunk_lens = [], [], [], []
+    for chunk in chunks:
+        chunk_lens.append(len(chunk))
+        for indices, values in chunk:
+            indices = np.asarray(indices, dtype=np.int64)
+            values = np.asarray(values, dtype=np.float64)
+            sample_lens.append(indices.size)
+            idx_parts.append(indices)
+            val_parts.append(values)
+    return {
+        "raw_chunk_lens": np.asarray(chunk_lens, dtype=np.int64),
+        "raw_sample_lens": np.asarray(sample_lens, dtype=np.int64),
+        "raw_indices": (
+            np.concatenate(idx_parts)
+            if idx_parts
+            else np.zeros(0, dtype=np.int64)
+        ),
+        "raw_values": (
+            np.concatenate(val_parts)
+            if val_parts
+            else np.zeros(0, dtype=np.float64)
+        ),
+    }
+
+
+def _unpack_raw(data) -> list[list]:
+    """Rebuild recorded raw chunks from :func:`_pack_raw` members."""
+    indices = data["raw_indices"]
+    values = data["raw_values"]
+    samples = []
+    pos = 0
+    for n in data["raw_sample_lens"].astype(np.int64).tolist():
+        samples.append(
+            (indices[pos : pos + n].copy(), values[pos : pos + n].copy())
+        )
+        pos += n
+    chunks = []
+    start = 0
+    for count in data["raw_chunk_lens"].astype(np.int64).tolist():
+        chunks.append(samples[start : start + count])
+        start += count
+    return chunks
+
+
 class PaneRing:
     """Bounded ring of mergeable panes — the sliding-window write side.
 
@@ -78,6 +130,17 @@ class PaneRing:
         theirs (a durable windowed sketcher shares its registry; so does
         :meth:`repro.serving.ServingEstimator.windowed`); the default is a
         no-op registry.
+    retain_raw:
+        The **pane retention contract** for migration.  When ``True`` the
+        ring additionally keeps, per retained pane, the raw sparse sample
+        chunks exactly as they were fed to the open pane's ``fit_sparse``
+        — one recorded chunk per call, preserving the call/batch structure
+        that pins bit-identity.  Retained raws age out with their pane,
+        persist alongside it in :meth:`save` and enable :meth:`rebuild`:
+        replaying the window into a sketch built from a *different*
+        :class:`ShardSpec` (wider, narrower, requantized), bit-identical
+        to fitting that spec over the retained window from scratch.
+        Costs O(window nnz) extra memory; off by default.
 
     Notes
     -----
@@ -102,6 +165,7 @@ class PaneRing:
         num_panes: int,
         pane_samples: int,
         registry: MetricsRegistry | None = None,
+        retain_raw: bool = False,
     ):
         if num_panes < 1:
             raise ValueError(f"num_panes must be >= 1, got {num_panes}")
@@ -113,7 +177,12 @@ class PaneRing:
         self.spec = spec
         self.num_panes = int(num_panes)
         self.pane_samples = int(pane_samples)
+        self.retain_raw = bool(retain_raw)
         self._closed: deque[ShardResult] = deque(maxlen=self.num_panes - 1)
+        # Raw chunks are kept in lockstep with ``_closed`` (same maxlen), so
+        # a pane and its raws age out of the window together.
+        self._closed_raw: deque[list[list]] = deque(maxlen=self.num_panes - 1)
+        self._open_raw: list[list] = []
         self._open = spec.build_sketcher()
         self._open_start = 0
         self._pane_seq = 0
@@ -182,6 +251,11 @@ class PaneRing:
             if not chunk:
                 break
             self._open.fit_sparse(iter(chunk))
+            if self.retain_raw:
+                # One recorded chunk per fit_sparse call: replay must
+                # reproduce the exact call structure (each call flushes a
+                # trailing partial batch) for bit-identity to hold.
+                self._open_raw.append(chunk)
             total += len(chunk)
             self.samples_seen += len(chunk)
         return total
@@ -217,6 +291,9 @@ class PaneRing:
             start=self._open_start,
         )
         self._closed.append(result)
+        if self.retain_raw:
+            self._closed_raw.append(self._open_raw)
+            self._open_raw = []
         self._pane_seq += 1
         self._open_start += result.num_samples
         self._open = self.spec.build_sketcher()
@@ -299,6 +376,78 @@ class PaneRing:
         return self._open_start
 
     # ------------------------------------------------------------------
+    # Migration (history-preserving re-sketch)
+    # ------------------------------------------------------------------
+    def rebuild(
+        self,
+        spec: ShardSpec,
+        *,
+        num_panes: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "PaneRing":
+        """Re-ingest the retained window into a ring with a new spec.
+
+        The migration primitive: replays each retained pane's recorded raw
+        chunks — one ``fit_sparse`` call per recorded chunk, rotating at
+        the original pane boundaries — into a fresh ring built from
+        ``spec``.  The result is **bit-identical** to having run the new
+        configuration over the retained window from scratch (same chunk
+        and pane structure, same seed-derived hashes), while global
+        bookkeeping (pane sequence numbers, stream offsets,
+        ``samples_seen``, ``rotations``) carries over so merges, staleness
+        accounting and downstream WAL continuity are unaffected.
+
+        ``num_panes`` may shrink the window (decay escalation): only the
+        newest ``num_panes - 1`` closed panes are replayed.  Requires
+        ``retain_raw=True``; the rebuilt ring retains raws too, so it can
+        itself migrate later.  ``self`` is left untouched — callers swap
+        atomically after the rebuild succeeds (double-buffered migration).
+        """
+        if not self.retain_raw:
+            raise ValueError(
+                "rebuild() needs the pane retention contract: construct the "
+                "ring with retain_raw=True to record replayable raw panes"
+            )
+        target_panes = self.num_panes if num_panes is None else int(num_panes)
+        ring = PaneRing(
+            spec,
+            num_panes=target_panes,
+            pane_samples=self.pane_samples,
+            registry=registry,
+            retain_raw=True,
+        )
+        closed = list(self._closed)
+        raws = [list(chunks) for chunks in self._closed_raw]
+        drop = len(closed) - max(0, target_panes - 1)
+        if drop > 0:
+            closed, raws = closed[drop:], raws[drop:]
+        if closed:
+            ring._open_start = closed[0].start
+            ring._pane_seq = closed[0].shard_index
+        else:
+            ring._open_start = self._open_start
+            ring._pane_seq = self._pane_seq
+        for pane, chunks in zip(closed, raws):
+            for chunk in chunks:
+                ring._open.fit_sparse(iter(chunk))
+                ring._open_raw.append(chunk)
+            if ring._open.samples_seen != pane.num_samples:
+                raise RuntimeError(
+                    f"pane {pane.shard_index} replay mismatch: recorded raws "
+                    f"cover {ring._open.samples_seen} samples, pane holds "
+                    f"{pane.num_samples}"
+                )
+            ring.rotate()
+        for chunk in self._open_raw:
+            ring._open.fit_sparse(iter(chunk))
+            ring._open_raw.append(chunk)
+        # Global bookkeeping continues from the source ring: the rebuild is
+        # a re-sketch of retained history, not a new stream.
+        ring.samples_seen = self.samples_seen
+        ring.rotations = self.rotations
+        return ring
+
+    # ------------------------------------------------------------------
     # Persistence (.npz panes + manifest, through the kind registry)
     # ------------------------------------------------------------------
     def save(self, directory) -> list[Path]:
@@ -320,10 +469,14 @@ class PaneRing:
                 start=self._open_start,
             )
         )
+        raws: list[list | None] = [None] * len(panes)
+        if self.retain_raw:
+            raws = [*self._closed_raw, self._open_raw]
         paths = []
-        for pane in panes:
+        for pane, chunks in zip(panes, raws):
             path = directory / f"pane-{pane.shard_index:08d}.npz"
-            save_shard_result(pane, path)
+            extra = _pack_raw(chunks) if chunks is not None else None
+            save_shard_result(pane, path, extra=extra)
             paths.append(path)
         # Manifest last, atomically: a crash mid-save leaves either the old
         # manifest (pointing at the old, still-present pane files) or the
@@ -339,6 +492,7 @@ class PaneRing:
                 ),
                 "samples_seen": np.asarray(self.samples_seen),
                 "rotations": np.asarray(self.rotations),
+                "retain_raw": np.asarray(int(self.retain_raw)),
             },
         )
         keep = {path.name for path in paths} | {_MANIFEST}
@@ -366,17 +520,32 @@ class PaneRing:
             closed_seqs = manifest["closed_seqs"].astype(np.int64).tolist()
             samples_seen = int(manifest["samples_seen"])
             rotations = int(manifest["rotations"])
-        open_result = load_shard_result(directory / f"pane-{open_seq:08d}.npz")
+            retain_raw = (
+                bool(int(manifest["retain_raw"]))
+                if "retain_raw" in manifest
+                else False
+            )
+        open_path = directory / f"pane-{open_seq:08d}.npz"
+        open_result = load_shard_result(open_path)
         ring = cls(
             open_result.spec,
             num_panes=num_panes,
             pane_samples=pane_samples,
             registry=registry,
+            retain_raw=retain_raw,
         )
+
+        def pane_raw(path) -> list[list]:
+            with np.load(path, allow_pickle=False) as data:
+                return _unpack_raw(data)
+
         for seq in closed_seqs:
-            ring._closed.append(
-                load_shard_result(directory / f"pane-{seq:08d}.npz")
-            )
+            pane_path = directory / f"pane-{seq:08d}.npz"
+            ring._closed.append(load_shard_result(pane_path))
+            if retain_raw:
+                ring._closed_raw.append(pane_raw(pane_path))
+        if retain_raw:
+            ring._open_raw = pane_raw(open_path)
         ring._open = restore_sketcher(open_result)
         ring._open_start = open_result.start
         ring._pane_seq = open_seq

@@ -1,0 +1,267 @@
+"""Crash injection across the durable migration write sequence.
+
+:meth:`DurableSketcher.migrate` promises that a crash at any point leaves
+recovery on **exactly one side** — the old configuration (crash before
+the checkpoint marker commits) or the new one (crash after) — never a
+hybrid.  Every ``write_npz`` call in the sequence is a seeded kill
+point here: the k-th write raises ``SimulatedCrash``, the directory is
+reopened cold, and the recovered state must be bit-identical to one of
+the two reference runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import shutil
+
+import numpy as np
+import pytest
+
+import repro.distributed.shard as shard_mod
+import repro.durability.durable as durable_mod
+import repro.streaming.windows as windows_mod
+from repro.distributed.shard import ShardSpec, spec_with
+from repro.durability.durable import DurableSketcher
+
+DIM = 120
+
+
+def _spec(**overrides) -> ShardSpec:
+    base = dict(
+        dim=DIM,
+        total_samples=50_000,
+        batch_size=8,
+        num_tables=3,
+        num_buckets=64,
+        seed=17,
+        mode="covariance",
+        track_top=32,
+    )
+    base.update(overrides)
+    return ShardSpec(**base)
+
+
+def _stream(rng, n, nnz=5):
+    out = []
+    for _ in range(n):
+        idx = np.sort(rng.choice(DIM, size=nnz, replace=False)).astype(np.int64)
+        val = rng.integers(-3, 4, size=nnz).astype(np.float64)
+        out.append((idx, val))
+    return out
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the kill switch in place of the k-th durable write."""
+
+
+class _KillSwitch:
+    """Counting ``write_npz`` stand-in; raises instead of the k-th write.
+
+    The crash fires *before* the real write — ``write_npz`` is atomic
+    (tmp + rename), so "crashed during write #k" and "crashed just before
+    write #k" are indistinguishable to recovery.
+    """
+
+    def __init__(self, real, kill_at=None):
+        self.real = real
+        self.kill_at = kill_at
+        self.count = 0
+
+    def __call__(self, path, *args, **kwargs):
+        self.count += 1
+        if self.kill_at is not None and self.count == self.kill_at:
+            raise SimulatedCrash(f"write #{self.count}: {path}")
+        return self.real(path, *args, **kwargs)
+
+
+_PATCH_MODULES = (durable_mod, shard_mod, windows_mod)
+
+
+@contextlib.contextmanager
+def _patched(kill_at=None):
+    """Swap ``write_npz`` at every import site the migration touches."""
+    switch = _KillSwitch(durable_mod.write_npz, kill_at=kill_at)
+    saved = [mod.write_npz for mod in _PATCH_MODULES]
+    for mod in _PATCH_MODULES:
+        mod.write_npz = switch
+    try:
+        yield switch
+    finally:
+        for mod, real in zip(_PATCH_MODULES, saved):
+            mod.write_npz = real
+
+
+def _build_base(tmp_path):
+    """A durable windowed directory with a checkpoint plus a WAL tail."""
+    base = tmp_path / "base"
+    rng = np.random.default_rng(21)
+    with DurableSketcher(
+        base,
+        _spec(),
+        num_panes=3,
+        pane_samples=64,
+        retain_raw=True,
+        checkpoint_every=0,
+    ) as d:
+        for _ in range(4):
+            d.fit_sparse(_stream(rng, 64))
+        d.checkpoint()
+        # Tail records past the checkpoint: migration must carry them too.
+        for _ in range(2):
+            d.fit_sparse(_stream(rng, 16))
+    return base
+
+
+def _copy(base, dest):
+    shutil.copytree(base, dest)
+    return dest
+
+
+def _state(d):
+    return (
+        d.spec,
+        int(d.samples_seen),
+        d.window().estimator.sketch.table.copy(),
+    )
+
+
+class TestMigrationCrashRecovery:
+    WIDE_BUCKETS = 128
+
+    def _references(self, base, tmp_path):
+        wide = spec_with(_spec(), num_buckets=self.WIDE_BUCKETS)
+        with DurableSketcher.recover(_copy(base, tmp_path / "ref-old")) as d:
+            old = _state(d)
+        with DurableSketcher.recover(_copy(base, tmp_path / "ref-new")) as d:
+            d.migrate(wide)
+            new = _state(d)
+        return wide, old, new
+
+    def test_crash_at_every_write_lands_on_one_side(self, tmp_path):
+        base = _build_base(tmp_path)
+        wide, (old_spec, old_seen, old_table), (
+            new_spec,
+            new_seen,
+            new_table,
+        ) = self._references(base, tmp_path)
+        assert old_seen == new_seen  # migration loses no history
+
+        # Count the writes in one clean migration: panes + ring manifest,
+        # then the checkpoint marker, then the recipe.
+        with DurableSketcher.recover(_copy(base, tmp_path / "count")) as d:
+            with _patched() as switch:
+                d.migrate(wide)
+            total_writes = switch.count
+        assert total_writes >= 4
+
+        for k in range(1, total_writes + 1):
+            crashed = _copy(base, tmp_path / f"kill-{k:02d}")
+            d = DurableSketcher.recover(crashed)
+            with _patched(kill_at=k):
+                with pytest.raises(SimulatedCrash):
+                    d.migrate(wide)
+            d.close()
+
+            with DurableSketcher.recover(crashed) as recovered:
+                spec, seen, table = _state(recovered)
+                assert seen == old_seen
+                if k < total_writes:
+                    # The recipe write is last; the marker write right
+                    # before it is the commit point — killing *at* it
+                    # means the marker never landed, so every kill before
+                    # the final write recovers the old side.
+                    assert spec == old_spec, f"kill point {k}"
+                    np.testing.assert_array_equal(table, old_table)
+                else:
+                    # Marker committed, recipe stale: recovery adopts the
+                    # checkpoint's configuration and self-heals.
+                    assert spec == new_spec, f"kill point {k}"
+                    np.testing.assert_array_equal(table, new_table)
+
+    def test_healed_recipe_is_durable(self, tmp_path):
+        """After a crash between marker and recipe, the *second* recovery
+        must not depend on the checkpoint still being newest."""
+        base = _build_base(tmp_path)
+        wide, _, (new_spec, _, new_table) = self._references(base, tmp_path)
+        crashed = _copy(base, tmp_path / "heal")
+
+        with DurableSketcher.recover(crashed) as d:
+            with _patched() as switch:
+                d.migrate(wide)
+            total_writes = switch.count
+        shutil.rmtree(crashed)
+
+        crashed = _copy(base, tmp_path / "heal-2")
+        d = DurableSketcher.recover(crashed)
+        with _patched(kill_at=total_writes):  # kill the recipe rewrite
+            with pytest.raises(SimulatedCrash):
+                d.migrate(wide)
+        d.close()
+
+        with DurableSketcher.recover(crashed) as first:
+            assert first.spec == new_spec
+        # The heal rewrote the recipe on disk: reopening again (after the
+        # healed instance checkpointed nothing new) still lands new-side.
+        with DurableSketcher.recover(crashed) as second:
+            assert second.spec == new_spec
+            np.testing.assert_array_equal(
+                second.window().estimator.sketch.table, new_table
+            )
+
+    def test_old_side_survivor_can_migrate_again(self, tmp_path):
+        """An orphaned new-ring directory from a failed attempt is inert:
+        the recovered old-side sketcher retries the migration cleanly."""
+        base = _build_base(tmp_path)
+        wide, _, (new_spec, new_seen, new_table) = self._references(
+            base, tmp_path
+        )
+        crashed = _copy(base, tmp_path / "retry")
+        d = DurableSketcher.recover(crashed)
+        with _patched(kill_at=1):  # dies on the first pane write
+            with pytest.raises(SimulatedCrash):
+                d.migrate(wide)
+        d.close()
+
+        with DurableSketcher.recover(crashed) as recovered:
+            recovered.migrate(wide)
+            assert recovered.spec == new_spec
+            assert recovered.samples_seen == new_seen
+            np.testing.assert_array_equal(
+                recovered.window().estimator.sketch.table, new_table
+            )
+
+    def test_post_migration_ingest_replays_into_new_config(self, tmp_path):
+        """WAL continuity: records ingested after a (crash-healed)
+        migration replay into the new configuration on the next boot."""
+        base = _build_base(tmp_path)
+        wide, _, _ = self._references(base, tmp_path)
+        tail = _stream(np.random.default_rng(99), 32)
+
+        reference = _copy(base, tmp_path / "cont-ref")
+        with DurableSketcher.recover(reference) as d:
+            d.migrate(wide)
+            d.fit_sparse(list(tail))
+            want_seen = d.samples_seen
+            want = d.window().estimator.sketch.table.copy()
+
+        crashed = _copy(base, tmp_path / "cont-crash")
+        d = DurableSketcher.recover(crashed)
+        with _patched() as switch:
+            d.migrate(wide)
+        d.close()
+        # Redo with a recipe-write crash this time.
+        shutil.rmtree(crashed)
+        crashed = _copy(base, tmp_path / "cont-crash2")
+        d = DurableSketcher.recover(crashed)
+        with _patched(kill_at=switch.count):
+            with pytest.raises(SimulatedCrash):
+                d.migrate(wide)
+        d.close()
+
+        with DurableSketcher.recover(crashed) as healed:
+            healed.fit_sparse(list(tail))
+        with DurableSketcher.recover(crashed) as final:
+            assert final.samples_seen == want_seen
+            np.testing.assert_array_equal(
+                final.window().estimator.sketch.table, want
+            )

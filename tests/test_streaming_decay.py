@@ -232,3 +232,92 @@ class TestDriftRecovery:
             sketch_correlations(
                 data, memory_floats=1024, method="ascs", decay=0.99
             )
+
+
+class TestFlushBoundary:
+    """Pin the lazy-scale flush semantics exactly at ``_FLUSH_BELOW``.
+
+    The flush bound is ``2.0**-40`` and ``_age`` flushes on strict ``<``:
+    with ``gamma = 0.5`` and one-sample batches the scale walks down the
+    exact powers of two and *lands on* the boundary at step 40 without
+    flushing; step 41 crosses it and flushes exactly once.  Because aging
+    runs (and possibly flushes) *before* the incoming values are divided
+    by the scale, the accumulated statistics are exact — bit-identical to
+    an eager reference — on both sides of the boundary.  This test exists
+    so any future reordering of the fold/flush steps (e.g. dividing by
+    the pre-flush scale) fails loudly instead of silently skewing every
+    post-flush estimate.
+    """
+
+    GAMMA = 0.5
+    FLUSH_BELOW = 2.0**-40
+
+    @staticmethod
+    def _reference(values, gamma):
+        """Eager decayed sum/sumsq/weight — exact for these inputs."""
+        total = 0.0
+        total_sq = 0.0
+        weight = 0.0
+        for v in values:
+            total = total * gamma + v
+            total_sq = total_sq * gamma + v * v
+            weight = weight * gamma + 1.0
+        return total, total_sq, weight
+
+    def _check_sparse(self, steps):
+        rng = np.random.default_rng(9)
+        values = rng.integers(-3, 4, size=steps).astype(np.float64)
+        m = DecayedSparseMoments(1, gamma=self.GAMMA)
+        for v in values:
+            m.update_batch(np.array([0]), np.array([v]), 1)
+        total, total_sq, weight = self._reference(values, self.GAMMA)
+        # Exact equality, not approx: every operation on this walk is a
+        # power-of-two scaling of exactly representable values.
+        assert m.weight == weight
+        assert m._sum[0] * m._scale == total
+        assert m._sumsq[0] * m._scale == total_sq
+        mean = total / weight
+        assert m.mean[0] == mean
+        assert m.variance()[0] == max(total_sq / weight - mean * mean, 0.0)
+        return m
+
+    def test_exact_boundary_does_not_flush(self):
+        m = self._check_sparse(40)
+        # Landed exactly on the bound: strict < means no flush yet.
+        assert m._scale == self.FLUSH_BELOW
+        assert m.flushes == 0
+
+    def test_one_past_boundary_flushes_once_exactly(self):
+        m = self._check_sparse(41)
+        # Crossed the bound during _age: flushed once, scale reset, and
+        # (per _check_sparse) every statistic still matches the eager
+        # reference exactly — the flush is invisible to estimates.
+        assert m.flushes == 1
+        assert m._scale == 1.0
+
+    def test_dense_moments_same_boundary(self):
+        rng = np.random.default_rng(11)
+        rows = rng.integers(-3, 4, size=(41, 1)).astype(np.float64)
+        m = DecayedRunningMoments(1, gamma=self.GAMMA)
+        for k, row in enumerate(rows, start=1):
+            m.update(row.reshape(1, 1))
+            assert m.flushes == (1 if k >= 41 else 0)
+        total, total_sq, weight = self._reference(rows[:, 0], self.GAMMA)
+        assert m.weight == weight
+        assert m.mean[0] == total / weight
+        mean = total / weight
+        assert m.variance()[0] == max(total_sq / weight - mean * mean, 0.0)
+
+    def test_batch_landing_exactly_on_boundary_in_one_age(self):
+        # A single 40-sample age lands on the bound in one multiplication
+        # (0.5**40 is exact): still no flush, and the fold divides the
+        # incoming values by the boundary scale exactly.
+        m = DecayedSparseMoments(1, gamma=self.GAMMA)
+        m.update_batch(np.array([0]), np.array([3.0]), 40)
+        assert m.flushes == 0
+        assert m._scale == self.FLUSH_BELOW
+        assert m._sum[0] * m._scale == 3.0
+        # The very next age crosses the bound and flushes exactly once.
+        m.update_batch(np.array([0]), np.array([1.0]), 1)
+        assert m.flushes == 1
+        assert m._sum[0] * m._scale == 3.0 * self.GAMMA + 1.0
